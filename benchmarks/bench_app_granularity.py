@@ -1,0 +1,132 @@
+"""Experiment G1 — offload cost vs application speedup (granularity).
+
+Paper Sec. V-A (last paragraph): "How much these numbers affect
+application runtimes depends on the frequency and granularity of
+offloading ... In a similar study with the Intel Xeon Phi accelerator, a
+reduction in offloading cost of 13.7× on values of the same order of
+magnitude translated into speed-up of up to 2.6× for a real world
+application."
+
+We reproduce the *mechanism*: a stream of dgemm tasks of varying size is
+offloaded through both protocols (kernel time on the VE from the roofline
+model, full protocol execution for every offload). For fine-grained tasks
+the DMA protocol's 70× lower overhead translates into large end-to-end
+speedups over the VEO protocol; for coarse tasks the protocols converge —
+exactly the paper's point that lower overhead makes *more* code feasible
+to offload.
+"""
+
+import pytest
+
+from repro.backends import DmaCommBackend, VeoCommBackend
+from repro.bench.harness import measure_sim
+from repro.bench.tables import format_time, render_table
+from repro.ham import f2f, offloadable
+from repro.hw.roofline import VE_DEVICE, VH_DEVICE
+from repro.offload import Runtime
+from repro.workloads.kernels import KERNELS
+
+#: dgemm sizes n (matrix n×n) spanning fine to coarse granularity.
+SIZES = [24, 48, 96, 192, 384, 768, 1536, 3072]
+TASKS_PER_POINT = 8
+
+
+@offloadable
+def granularity_stub(n: int) -> int:
+    """Stand-in task body; VE compute time is charged via the roofline."""
+    return n
+
+
+def _makespan(backend_cls, n: int) -> float:
+    kernel = KERNELS["dgemm"]
+    backend = backend_cls()
+    backend.kernel_cost_fn = lambda functor: kernel.time_on(VE_DEVICE, functor.args[0])
+    runtime = Runtime(backend)
+    sim = backend.sim
+    stats = measure_sim(
+        lambda: runtime.sync(1, f2f(granularity_stub, n)),
+        sim, reps=TASKS_PER_POINT, warmup=2,
+    )
+    runtime.shutdown()
+    return stats.mean * TASKS_PER_POINT
+
+
+@pytest.fixture(scope="module")
+def granularity(report):
+    kernel = KERNELS["dgemm"]
+    rows = []
+    data = {}
+    for n in SIZES:
+        host = kernel.time_on(VH_DEVICE, n) * TASKS_PER_POINT
+        veo = _makespan(VeoCommBackend, n)
+        dma = _makespan(DmaCommBackend, n)
+        data[n] = {"host": host, "veo": veo, "dma": dma}
+        rows.append({
+            "dgemm n": n,
+            "host only": format_time(host),
+            "offload (VEO proto)": format_time(veo),
+            "offload (DMA proto)": format_time(dma),
+            "DMA vs VEO": f"{veo / dma:.2f}x",
+            "DMA vs host": f"{host / dma:.2f}x",
+        })
+    text = render_table(
+        rows,
+        title=(
+            f"G1 — {TASKS_PER_POINT} dgemm tasks per point: protocol overhead "
+            "vs granularity"
+        ),
+    )
+    text += (
+        "\n\ncontext: the paper cites a 13.7x offload-cost reduction turning "
+        "into up to 2.6x application speedup on Xeon Phi; here the 70x "
+        "protocol-cost reduction yields the speedups in the 'DMA vs VEO' "
+        "column, decaying toward 1x as kernels grow."
+    )
+    report("app_granularity", text)
+    return data
+
+
+class TestGranularity:
+    def test_dma_protocol_never_slower(self, granularity):
+        for n, row in granularity.items():
+            assert row["dma"] <= row["veo"] * 1.001, n
+
+    def test_fine_granularity_speedup_exceeds_2_6(self, granularity):
+        # For the finest tasks the protocol switch alone buys more than
+        # the 2.6x the paper cites for the Xeon Phi application study.
+        finest = granularity[SIZES[0]]
+        assert finest["veo"] / finest["dma"] > 2.6
+
+    def test_speedup_decays_with_granularity(self, granularity):
+        ratios = [granularity[n]["veo"] / granularity[n]["dma"] for n in SIZES]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 1.05  # coarse tasks: protocols converge
+
+    def test_offloading_pays_off_only_beyond_crossover(self, granularity):
+        # Tiny kernels: host wins (offload overhead dominates).
+        finest = granularity[SIZES[0]]
+        assert finest["host"] < finest["veo"]
+        # Large kernels: the VE's compute advantage dominates.
+        coarsest = granularity[SIZES[-1]]
+        assert coarsest["dma"] < coarsest["host"]
+
+    def test_dma_crossover_finer_than_veo(self, granularity):
+        """Lower overhead -> offloading pays off at finer granularity
+        (the paper's central application-level argument)."""
+        def crossover(protocol):
+            for n in SIZES:
+                if granularity[n][protocol] < granularity[n]["host"]:
+                    return n
+            return float("inf")
+
+        assert crossover("dma") <= crossover("veo")
+
+    def test_benchmark_fine_grained_offload(self, benchmark, granularity):
+        backend = DmaCommBackend()
+        kernel = KERNELS["dgemm"]
+        backend.kernel_cost_fn = lambda functor: kernel.time_on(VE_DEVICE, functor.args[0])
+        runtime = Runtime(backend)
+        try:
+            benchmark(lambda: runtime.sync(1, f2f(granularity_stub, 24)))
+        finally:
+            runtime.shutdown()

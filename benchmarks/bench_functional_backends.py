@@ -1,0 +1,99 @@
+"""Experiment P1 — the functional (wall-clock) backends.
+
+The paper's portability claim: HAM-Offload applications run unchanged on
+every communication backend. The ``local`` and ``tcp`` backends are real
+Python offloading transports; this bench measures their wall-clock
+offload latency and put/get throughput with pytest-benchmark — the
+reproduction's analogue of the paper's TCP/MPI reference backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import LocalBackend, TcpBackend, spawn_local_server
+from repro.bench.harness import measure_wall
+from repro.bench.tables import format_time, render_table
+from repro.ham import f2f, offloadable
+from repro.offload import Runtime
+
+
+@offloadable
+def functional_empty() -> None:
+    """Empty kernel for wall-clock latency."""
+    return None
+
+
+@offloadable
+def functional_sum(buf) -> float:
+    """Reduction over a staged buffer."""
+    return float(np.asarray(buf).sum())
+
+
+@pytest.fixture(scope="module")
+def local_rt():
+    runtime = Runtime(LocalBackend())
+    yield runtime
+    runtime.shutdown()
+
+
+@pytest.fixture(scope="module")
+def tcp_rt():
+    process, address = spawn_local_server()
+    runtime = Runtime(TcpBackend(address, on_shutdown=lambda: process.join(timeout=5)))
+    yield runtime
+    runtime.shutdown()
+    if process.is_alive():  # pragma: no cover
+        process.terminate()
+
+
+@pytest.fixture(scope="module")
+def latency_report(report, local_rt, tcp_rt):
+    rows = []
+    for name, runtime in (("local", local_rt), ("tcp", tcp_rt)):
+        stats = measure_wall(
+            lambda rt=runtime: rt.sync(1, f2f(functional_empty)), reps=300
+        )
+        rows.append({
+            "backend": name,
+            "empty offload (wall clock)": format_time(stats.mean),
+            "min": format_time(stats.minimum),
+        })
+    text = render_table(
+        rows, title="P1 — functional backends: wall-clock empty-offload latency"
+    )
+    report("functional_backends", text)
+    return rows
+
+
+class TestFunctionalBackends:
+    def test_local_latency_sane(self, latency_report):
+        # In-process round trip should be well under a millisecond.
+        local = latency_report[0]
+        assert "us" in local["empty offload (wall clock)"]
+
+    def test_report_has_both_backends(self, latency_report):
+        assert [r["backend"] for r in latency_report] == ["local", "tcp"]
+
+    def test_benchmark_local_offload(self, benchmark, local_rt):
+        benchmark(lambda: local_rt.sync(1, f2f(functional_empty)))
+
+    def test_benchmark_tcp_offload(self, benchmark, tcp_rt):
+        benchmark(lambda: tcp_rt.sync(1, f2f(functional_empty)))
+
+    def test_benchmark_tcp_put_1mib(self, benchmark, tcp_rt):
+        data = np.random.default_rng(0).random(131072)  # 1 MiB of f8
+        ptr = tcp_rt.allocate(1, data.size)
+        try:
+            benchmark(lambda: tcp_rt.put(data, ptr))
+        finally:
+            tcp_rt.free(ptr)
+
+    def test_benchmark_local_buffer_kernel(self, benchmark, local_rt):
+        data = np.random.default_rng(1).random(4096)
+        ptr = local_rt.allocate(1, data.size)
+        local_rt.put(data, ptr)
+        try:
+            result = benchmark(lambda: local_rt.sync(1, f2f(functional_sum, ptr)))
+            assert result == pytest.approx(float(data.sum()))
+        finally:
+            local_rt.free(ptr)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""2-D heat equation solved with offloaded Jacobi sweeps.
+
+A complete scientific mini-application on the HAM-Offload API, in the
+style of the domain-decomposition solvers the paper cites as HAM-Offload
+users (Sec. II): the grid lives in VE memory across all iterations, the
+host orchestrates pointer-swapped sweeps and only pulls the field back at
+the end. The run reports how much of the simulated time the protocol
+consumed vs. the kernels — the granularity economics of paper Sec. V-A.
+
+Run::
+
+    python examples/heat_equation.py [grid_n] [sweeps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.backends import DmaCommBackend
+from repro.hw.roofline import VE_DEVICE
+from repro.offload import Runtime, f2f
+from repro.workloads import KERNELS, jacobi_sweep
+
+
+def main(n: int = 64, sweeps: int = 200) -> None:
+    kernel = KERNELS["jacobi"]
+    backend = DmaCommBackend()
+    backend.kernel_cost_fn = lambda functor: kernel.time_on(VE_DEVICE, n)
+    runtime = Runtime(backend)
+    sim = backend.sim
+
+    # Initial condition: hot top edge, cold elsewhere.
+    grid = np.zeros((n, n))
+    grid[0, :] = 100.0
+
+    g = runtime.allocate(1, n * n)
+    s = runtime.allocate(1, n * n)
+    runtime.put(grid.ravel(), g)
+    runtime.put(grid.ravel(), s)
+
+    t0 = sim.now
+    src, dst = g, s
+    residual = float("inf")
+    done_sweeps = 0
+    for sweep in range(sweeps):
+        residual = runtime.sync(1, f2f(jacobi_sweep, src, dst, n))
+        src, dst = dst, src
+        done_sweeps = sweep + 1
+        if residual < 1e-4:
+            break
+    elapsed = sim.now - t0
+
+    field = np.zeros(n * n)
+    runtime.get(src, field)
+    field = field.reshape(n, n)
+    runtime.shutdown()
+
+    kernel_time = done_sweeps * kernel.time_on(VE_DEVICE, n)
+    print(f"grid {n}x{n}, {done_sweeps} Jacobi sweeps on the simulated VE")
+    print(f"  final residual      : {residual:.3e}")
+    print(f"  center temperature  : {field[n // 2, n // 2]:.4f}")
+    print(f"  simulated total     : {elapsed * 1e3:.3f} ms")
+    print(f"  VE kernel share     : {kernel_time / elapsed:.0%} "
+          f"({kernel.time_on(VE_DEVICE, n) * 1e6:.2f} us per sweep)")
+    print(f"  protocol+memory     : {(elapsed - kernel_time) / elapsed:.0%} "
+          "(the offload overhead the paper's DMA protocol minimizes)")
+    # Physical sanity: heat flows downward from the hot edge.
+    assert field[1, n // 2] > field[n // 2, n // 2] > field[-2, n // 2] >= 0.0
+    print("  monotone temperature profile: OK")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

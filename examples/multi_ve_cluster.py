@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Driving all eight Vector Engines of an A300-8 from one host process.
+
+The paper's benchmark system (Fig. 3) carries eight VEs; its evaluation
+offloads to one. This example scales the HAM-Offload runtime across every
+VE of the simulated machine — including the four behind the *other*
+socket's PCIe switch, which pay the UPI penalty — and load-balances a
+bag of dgemm tasks over host + 8 VEs.
+
+Run::
+
+    python examples/multi_ve_cluster.py
+"""
+
+from repro.backends import DmaCommBackend
+from repro.hw.roofline import VE_DEVICE, VH_DEVICE
+from repro.machine import AuroraMachine
+from repro.offload import Runtime, f2f, offloadable
+from repro.workloads import KERNELS, run_balanced
+
+N_TASKS = 64
+MATRIX_N = 512
+
+
+@offloadable
+def cluster_dgemm(task_id: int, n: int) -> int:
+    """One dense-matrix task (VE time charged via the roofline model)."""
+    return task_id
+
+
+def main() -> None:
+    kernel = KERNELS["dgemm"]
+    t_vh = kernel.time_on(VH_DEVICE, MATRIX_N)
+    t_ve = kernel.time_on(VE_DEVICE, MATRIX_N)
+
+    machine = AuroraMachine(num_ves=8, socket=0)
+    backend = DmaCommBackend(machine)
+    backend.kernel_cost_fn = lambda functor: kernel.time_on(VE_DEVICE, functor.args[1])
+    runtime = Runtime(backend)
+
+    print(f"machine: {machine.spec.name}, {machine.num_ves} VEs")
+    print(machine.topology.describe())
+    print(f"\n{N_TASKS} dgemm tasks, n={MATRIX_N} "
+          f"(host {t_vh * 1e6:.0f} us, VE {t_ve * 1e6:.0f} us per task)\n")
+
+    host_only = N_TASKS * t_vh
+    result = run_balanced(
+        runtime,
+        list(range(N_TASKS)),
+        make_functor=lambda t: f2f(cluster_dgemm, t, MATRIX_N),
+        host_execute=lambda t: backend._advance(t_vh) or t,
+        now=lambda: backend.sim.now,
+    )
+    runtime.shutdown()
+
+    print(f"host only            : {host_only * 1e3:9.3f} ms")
+    print(f"host + 8 VEs balanced: {result.makespan * 1e3:9.3f} ms "
+          f"(speedup {host_only / result.makespan:.2f}x)")
+    split = ", ".join(
+        f"ve{node - 1}={count}" for node, count in sorted(result.target_tasks.items())
+    )
+    print(f"task split           : host={result.host_tasks}, {split}")
+    print(f"\n(the VEs behind socket 1's PCIe switch pay the ~{machine.timing.upi_penalty * 1e6:.2f} us/"
+          "transaction UPI penalty the paper measured — negligible at this "
+          "granularity)")
+
+
+if __name__ == "__main__":
+    main()

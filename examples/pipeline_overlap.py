@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Communication/computation overlap with a double-buffered pipeline.
+
+The paper's one-sided protocols let the VH stage the next message while
+the VE executes the previous one (Sec. III-D). This example streams data
+chunks through an offloaded reduction with pipeline depths 1 (serial)
+and 2 (double buffering) on both simulated protocols, showing
+
+* the overlap win of depth 2 over depth 1, and
+* how the DMA protocol's small overhead keeps fine-grained streaming
+  efficient where the VEO protocol drowns in per-offload cost.
+
+Run::
+
+    python examples/pipeline_overlap.py
+"""
+
+import numpy as np
+
+from repro.backends import DmaCommBackend, VeoCommBackend
+from repro.offload import Runtime, f2f, offloadable
+from repro.workloads import pipelined_map
+
+KERNEL_TIME = 150e-6  # modeled VE compute per chunk
+N_CHUNKS = 16
+CHUNK_LEN = 2048
+
+
+@offloadable
+def chunk_norm(buf, n: int) -> float:
+    """Kernel applied to each staged chunk."""
+    view = np.asarray(buf)[:n]
+    return float(np.sqrt(np.dot(view, view)))
+
+
+def run(backend_cls, depth: int) -> float:
+    backend = backend_cls()
+    backend.kernel_cost_fn = lambda functor: KERNEL_TIME
+    runtime = Runtime(backend)
+    chunks = [np.full(CHUNK_LEN, float(i)) for i in range(N_CHUNKS)]
+    result = pipelined_map(
+        runtime, 1, chunks,
+        lambda ptr, n: f2f(chunk_norm, ptr, n),
+        now=lambda: backend.sim.now,
+        depth=depth,
+    )
+    runtime.shutdown()
+    expected = [float(np.sqrt(CHUNK_LEN) * i) for i in range(N_CHUNKS)]
+    assert np.allclose(result.results, expected), "wrong results!"
+    return result.elapsed
+
+
+def main() -> None:
+    print(f"{N_CHUNKS} chunks x {CHUNK_LEN} doubles, "
+          f"{KERNEL_TIME * 1e6:.0f} us VE kernel per chunk\n")
+    print(f"{'protocol':10} | {'serial (depth 1)':>18} | {'pipelined (depth 2)':>20} | overlap gain")
+    print("-" * 72)
+    for name, backend_cls in (("VEO", VeoCommBackend), ("DMA", DmaCommBackend)):
+        serial = run(backend_cls, depth=1)
+        pipelined = run(backend_cls, depth=2)
+        print(f"{name:10} | {serial * 1e3:15.3f} ms | {pipelined * 1e3:17.3f} ms "
+              f"| {serial / pipelined:.2f}x")
+    print("\nLower bound (pure compute): "
+          f"{N_CHUNKS * KERNEL_TIME * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

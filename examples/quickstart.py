@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart — the paper's Fig. 2 program, ported to the Python API.
+
+Computes the inner product of two vectors on a (simulated) NEC Vector
+Engine through HAM-Offload: allocate target memory, ``put`` the data,
+offload the kernel with ``f2f`` + ``async``, and synchronize on a future.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.backends import DmaCommBackend
+from repro.offload import Runtime, f2f, offloadable
+
+
+@offloadable
+def inner_prod(a, b, n: int) -> float:
+    """The offloaded kernel (paper Fig. 2): dot product of two buffers.
+
+    On the target, ``a`` and ``b`` arrive as live views of VE memory.
+    """
+    return float(np.dot(np.asarray(a)[:n], np.asarray(b)[:n]))
+
+
+def main() -> None:
+    # One simulated SX-Aurora node, offloading via the paper's fast
+    # user-DMA protocol (Sec. IV-B). Swap in LocalBackend() or
+    # VeoCommBackend() — the application code below stays identical.
+    backend = DmaCommBackend()
+    runtime = Runtime(backend)
+    sim = backend.sim
+
+    # Host memory.
+    n = 1024
+    a = np.random.default_rng(1).random(n)
+    b = np.random.default_rng(2).random(n)
+
+    # Target memory (node 1 = the VE).
+    target = 1
+    a_target = runtime.allocate(target, n)
+    b_target = runtime.allocate(target, n)
+
+    # Transfer memory.
+    runtime.put(a, a_target)
+    runtime.put(b, b_target)
+
+    # Asynchronous offload; returns a future.
+    start = sim.now
+    result = runtime.async_(target, f2f(inner_prod, a_target, b_target, n))
+
+    # ... do something in parallel on the host ...
+
+    # Synchronize on the result future.
+    value = result.get()
+    elapsed = sim.now - start
+
+    expected = float(np.dot(a, b))
+    print(f"offloaded inner product : {value:.6f}")
+    print(f"numpy reference         : {expected:.6f}")
+    print(f"match                   : {np.isclose(value, expected)}")
+    print(f"simulated offload time  : {elapsed * 1e6:.2f} us "
+          f"(paper Fig. 9: ~6.1 us framework cost + kernel)")
+    desc = runtime.get_node_descriptor(target)
+    print(f"offload target          : {desc.name} ({desc.description})")
+
+    runtime.free(a_target)
+    runtime.free(b_target)
+    runtime.shutdown()
+
+
+if __name__ == "__main__":
+    main()

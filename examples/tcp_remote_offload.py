@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Real remote offloading over TCP/IP.
+
+The functional counterpart of the paper's generic TCP backend: a target
+server process is forked, the host connects over a real socket, and the
+same HAM-Offload application code used on the simulated VE runs against
+it — active messages genuinely serialized, shipped and executed in
+another process.
+
+Run::
+
+    python examples/tcp_remote_offload.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.backends import TcpBackend, spawn_local_server
+from repro.offload import Runtime, f2f, offloadable
+
+
+@offloadable
+def monte_carlo_pi(samples: int, seed: int) -> float:
+    """Estimate pi on the target — a compute kernel with tiny arguments."""
+    rng = np.random.default_rng(seed)
+    xy = rng.random((samples, 2))
+    return 4.0 * float((np.hypot(xy[:, 0], xy[:, 1]) <= 1.0).mean())
+
+
+@offloadable
+def normalize(buf) -> float:
+    """Normalize a target-resident vector in place; returns its old norm."""
+    view = np.asarray(buf)
+    norm = float(np.sqrt(np.dot(view, view)))
+    if norm:
+        view /= norm
+    return norm
+
+
+def main() -> None:
+    process, address = spawn_local_server()
+    runtime = Runtime(TcpBackend(address, on_shutdown=lambda: process.join(timeout=5)))
+    print(f"target server: pid={process.pid}, address={address[0]}:{address[1]}")
+
+    # Fan out asynchronous offloads (they pipeline on the socket).
+    t0 = time.perf_counter()
+    futures = [
+        runtime.async_(1, f2f(monte_carlo_pi, 200_000, seed)) for seed in range(8)
+    ]
+    estimates = [f.get() for f in futures]
+    elapsed = time.perf_counter() - t0
+    print(f"pi estimates (8 async offloads, {elapsed * 1e3:.1f} ms): "
+          f"mean = {np.mean(estimates):.5f}")
+
+    # Buffer management on the remote target.
+    n = 4096
+    data = np.random.default_rng(0).random(n)
+    ptr = runtime.allocate(1, n)
+    runtime.put(data, ptr)
+    old_norm = runtime.sync(1, f2f(normalize, ptr))
+    back = np.zeros(n)
+    runtime.get(ptr, back)
+    print(f"remote normalize: previous norm = {old_norm:.4f}, "
+          f"new norm = {np.linalg.norm(back):.6f}")
+    runtime.free(ptr)
+
+    runtime.shutdown()
+    print("server shut down cleanly:", not process.is_alive())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Communication backends (paper Fig. 1, bottom row).
+
+HAM combines its active-message infrastructure with an *abstract
+communication backend*; this package provides four:
+
+``local``
+    Functional in-process backend (wall clock). The target is a separate
+    :class:`~repro.ham.registry.ProcessImage` executed synchronously —
+    useful for testing, debugging and as the portability baseline.
+``tcp``
+    Functional TCP/IP backend (wall clock): real sockets, real processes.
+    Plays the role of the paper's generic TCP backend ("interoperability
+    rather than performance").
+``veo``
+    The paper's Sec. III-D protocol on the simulated SX-Aurora: VH-managed
+    message buffers in VE memory, accessed through VEO read/write over the
+    privileged DMA. Timed in simulated seconds.
+``dma``
+    The paper's Sec. IV-B protocol: all communication memory in a SysV
+    shared-memory segment on the VH, registered in the VE's DMAATB; the VE
+    polls flags with LHM, fetches messages with user DMA and returns
+    results with SHM stores. Timed in simulated seconds.
+"""
+
+from repro.backends.base import Backend, InvokeHandle
+from repro.backends.local import LocalBackend
+from repro.backends.tcp import TcpBackend, TcpTargetServer, spawn_local_server
+from repro.backends.veo_backend import VeoCommBackend
+from repro.backends.dma_backend import DmaCommBackend
+from repro.backends.cluster_backend import ClusterBackend
+
+__all__ = [
+    "Backend",
+    "ClusterBackend",
+    "DmaCommBackend",
+    "InvokeHandle",
+    "LocalBackend",
+    "TcpBackend",
+    "TcpTargetServer",
+    "VeoCommBackend",
+    "spawn_local_server",
+]

@@ -1,0 +1,123 @@
+"""Shared machinery of the simulated (timed) protocol backends.
+
+Both paper protocols (Sec. III-D over VEO, Sec. IV-B over user DMA) share
+structure:
+
+* a set of **message slots**, each a 64-bit notification flag plus a
+  message area;
+* flags that piggyback metadata ("the information which buffer to receive
+  from next, and where to send the result is piggybacked through the
+  flags", Sec. III-D) — here encoded as *marker | length | sequence
+  number*, the sequence number removing any need for expensive flag
+  resets;
+* a host-driven setup phase through the VEO API, and a VE-side message
+  loop started as the ``ham_main`` server.
+
+The :class:`Doorbell` is a simulation shortcut for polling loops: instead
+of firing millions of sub-microsecond poll events while idle, a waiting
+process sleeps on an event that the writer rings right after the flag
+write lands; the woken process still *pays the full cost of the observing
+poll operation*, so protocol timing is preserved to well under the cost
+of one poll iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BackendError
+from repro.sim import Event, Simulator
+
+__all__ = ["Doorbell", "SlotLayout", "encode_flag", "decode_flag", "FLAG_EMPTY"]
+
+FLAG_EMPTY = 0
+
+_MARKER_BITS = 8
+_LENGTH_BITS = 32
+_MARKER_MASK = (1 << _MARKER_BITS) - 1
+_LENGTH_MASK = (1 << _LENGTH_BITS) - 1
+_SEQ_MASK = (1 << (64 - _MARKER_BITS - _LENGTH_BITS)) - 1
+
+
+def encode_flag(marker: int, length: int, seq: int) -> int:
+    """Pack a notification flag: marker (≠0), message length, sequence."""
+    if not 0 < marker <= _MARKER_MASK:
+        raise BackendError(f"flag marker {marker} out of range 1..{_MARKER_MASK}")
+    if not 0 <= length <= _LENGTH_MASK:
+        raise BackendError(f"flag length {length} out of range")
+    return (
+        (seq & _SEQ_MASK) << (_MARKER_BITS + _LENGTH_BITS)
+        | (length & _LENGTH_MASK) << _MARKER_BITS
+        | marker
+    )
+
+
+def decode_flag(value: int) -> tuple[int, int, int]:
+    """Unpack a flag into ``(marker, length, seq)``; marker 0 = empty."""
+    marker = value & _MARKER_MASK
+    length = (value >> _MARKER_BITS) & _LENGTH_MASK
+    seq = (value >> (_MARKER_BITS + _LENGTH_BITS)) & _SEQ_MASK
+    return marker, length, seq
+
+
+@dataclass(frozen=True)
+class SlotLayout:
+    """Layout of a communication area: ``num_slots`` × (flag + message).
+
+    Two such areas exist per connection: one for offload messages
+    (host→target) and one for result messages (target→host). ``base`` is
+    the area's start address in whatever memory holds it (VE HBM for the
+    VEO protocol, the VH shared segment for the DMA protocol).
+    """
+
+    base: int
+    num_slots: int
+    msg_size: int
+
+    @property
+    def slot_stride(self) -> int:
+        """Bytes per slot (flag word + message area)."""
+        return 8 + self.msg_size
+
+    @property
+    def total_size(self) -> int:
+        """Bytes of the whole area."""
+        return self.num_slots * self.slot_stride
+
+    def flag_addr(self, slot: int) -> int:
+        """Address of a slot's notification flag."""
+        self._check(slot)
+        return self.base + slot * self.slot_stride
+
+    def msg_addr(self, slot: int) -> int:
+        """Address of a slot's message area."""
+        self._check(slot)
+        return self.base + slot * self.slot_stride + 8
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise BackendError(f"slot {slot} outside 0..{self.num_slots - 1}")
+
+
+class Doorbell:
+    """Wakes simulated pollers when a flag may have changed."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._waiters: list[Event] = []
+
+    def wait(self):
+        """Generator: suspend until the next :meth:`ring`.
+
+        Callers must re-check their condition after waking (rings can be
+        spurious from the waiter's perspective).
+        """
+        event = self.sim.event()
+        self._waiters.append(event)
+        yield event
+
+    def ring(self) -> None:
+        """Wake all current waiters."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()

@@ -1,0 +1,173 @@
+"""Abstract communication backend.
+
+A backend connects the host process to one or more offload targets. The
+runtime (:class:`repro.offload.runtime.Runtime`) delegates every remote
+operation here; the backend owns transport, timing domain (wall clock or
+simulated clock) and the target-side message loop.
+
+Message-level contract: the host posts serialized HAM invoke messages;
+the target executes them through :func:`repro.ham.execution.execute_message`
+and returns reply bytes; the backend matches replies to
+:class:`InvokeHandle` objects wrapped into futures by the runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any
+
+import numpy as np
+
+from repro.errors import BackendError, NoSuchNodeError
+from repro.ham.execution import unpack_result
+from repro.offload.buffer import BufferPtr
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+
+__all__ = ["Backend", "InvokeHandle"]
+
+
+class InvokeHandle:
+    """Pending remote invocation; satisfies the future's handle protocol.
+
+    Backends complete it by calling :meth:`complete_with_reply` (raw HAM
+    reply bytes) or :meth:`complete_with_error`. ``wait`` delegates to the
+    backend's :meth:`Backend.drive` so each backend decides how to make
+    progress (drain a socket, advance the simulator, ...).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, backend: "Backend", label: str = "") -> None:
+        self.backend = backend
+        self.handle_id = next(self._ids)
+        self.label = label
+        self._reply: bytes | None = None
+        self._error: BaseException | None = None
+
+    # -- backend side --------------------------------------------------------
+    def complete_with_reply(self, reply: bytes) -> None:
+        """Deliver the raw reply message."""
+        self._reply = reply
+
+    def complete_with_error(self, error: BaseException) -> None:
+        """Deliver a transport-level failure."""
+        self._error = error
+
+    # -- future side ------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        """Whether a reply or error has been delivered."""
+        return self._reply is not None or self._error is not None
+
+    def test(self) -> bool:
+        """Non-blocking probe; lets the backend poll without blocking."""
+        if not self.completed:
+            self.backend.drive(self, blocking=False)
+        return self.completed
+
+    def wait(self) -> Any:
+        """Block until complete; decode and return the remote value."""
+        if not self.completed:
+            self.backend.drive(self, blocking=True)
+        if self._error is not None:
+            raise self._error
+        assert self._reply is not None
+        _msg_id, value = unpack_result(self._reply)
+        return value
+
+
+class Backend(abc.ABC):
+    """Base class of all communication backends."""
+
+    #: Backend name used in node descriptors and reports.
+    name: str = "abstract"
+
+    # -- topology ---------------------------------------------------------
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of processes in the application (host + targets)."""
+
+    @abc.abstractmethod
+    def descriptor(self, node: NodeId) -> NodeDescriptor:
+        """Descriptor of ``node``."""
+
+    def check_target(self, node: NodeId) -> None:
+        """Validate that ``node`` names an offload target."""
+        if node == HOST_NODE:
+            raise NoSuchNodeError("node 0 is the host, not an offload target")
+        if not 0 < node < self.num_nodes():
+            raise NoSuchNodeError(
+                f"node {node} outside application of {self.num_nodes()} processes"
+            )
+
+    # -- invocation -----------------------------------------------------------
+    @abc.abstractmethod
+    def post_invoke(self, node: NodeId, functor: Any) -> InvokeHandle:
+        """Send a functor to ``node`` for execution; returns a handle."""
+
+    @abc.abstractmethod
+    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
+        """Make progress toward completing ``handle``.
+
+        Non-blocking calls must return promptly; blocking calls must not
+        return before the handle completes (or raise
+        :class:`BackendError` if that is impossible).
+        """
+
+    # -- memory ------------------------------------------------------------------
+    @abc.abstractmethod
+    def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
+        """Allocate ``nbytes`` on ``node``; returns the target address."""
+
+    @abc.abstractmethod
+    def free_buffer(self, node: NodeId, addr: int) -> None:
+        """Free a target allocation."""
+
+    @abc.abstractmethod
+    def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
+        """Write host bytes into target memory (the ``put`` transport)."""
+
+    @abc.abstractmethod
+    def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
+        """Read target memory into host bytes (the ``get`` transport)."""
+
+    def copy_buffer(
+        self,
+        src_node: NodeId,
+        src_addr: int,
+        dst_node: NodeId,
+        dst_addr: int,
+        nbytes: int,
+    ) -> None:
+        """Target-to-target copy, orchestrated by the host (paper Table II).
+
+        The default stages through host memory; backends with direct
+        paths may override.
+        """
+        self.write_buffer(dst_node, dst_addr, self.read_buffer(src_node, src_addr, nbytes))
+
+    # -- target-side argument resolution ------------------------------------------
+    def resolve_buffer(self, node: NodeId, ptr: BufferPtr) -> np.ndarray:
+        """Turn a :class:`BufferPtr` into a live view on the target.
+
+        Called by the target-side message loop for every BufferPtr
+        argument. Backends owning real target memory override this;
+        the default refuses.
+        """
+        raise BackendError(f"backend {self.name!r} cannot resolve buffer pointers")
+
+    # -- introspection -------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Backend counters for monitoring/debugging.
+
+        The base implementation returns an empty dict; backends add
+        transport-specific counters (messages executed, bytes moved,
+        hardware-operation counts, simulated time).
+        """
+        return {}
+
+    # -- lifecycle -----------------------------------------------------------------
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Stop target message loops and release transport resources."""

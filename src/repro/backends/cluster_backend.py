@@ -1,0 +1,180 @@
+"""Remote offloading across an InfiniBand cluster (extension M4).
+
+The paper's outlook (Sec. VI): once heterogeneous MPI exists,
+"HAM-Offload applications will also benefit from remote offloading
+capabilities, again without changes in the application code". This
+backend realizes that promise on the simulated substrate:
+
+* the host application runs on the cluster's **origin node**;
+* every VE of every node is an offload target (node numbering:
+  origin VEs first, then the remote machines' VEs in cluster order);
+* offloads to **local** VEs use the Sec. IV-B DMA protocol unchanged;
+* offloads to **remote** VEs hop the IB fabric: the origin sends the
+  active message to a host *agent* on the remote node (the stand-in for
+  the MPI rank the paper anticipates), the agent plays the DMA
+  protocol's host role against its local VE and ships the result back.
+
+Application code stays byte-for-byte identical — the ``node_t`` just
+points further away, exactly the paper's portability story.
+"""
+
+from __future__ import annotations
+
+from repro.backends._sim_base import SimInvokeHandle, TargetChannel
+from repro.backends._sim_common import decode_flag, encode_flag
+from repro.backends.dma_backend import DmaCommBackend
+from repro.cluster import AuroraCluster
+from repro.errors import BackendError
+from repro.ham.registry import Catalog
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.sim import Store
+
+__all__ = ["ClusterBackend"]
+
+
+class ClusterBackend(DmaCommBackend):
+    """HAM-Offload backend spanning an :class:`AuroraCluster`."""
+
+    name = "cluster"
+    device_description = "simulated NEC VE (DMA protocol over IB)"
+
+    def __init__(
+        self,
+        cluster: AuroraCluster,
+        *,
+        num_slots: int = 8,
+        msg_size: int = 4096,
+        catalog: Catalog | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self._agents: dict[int, Store] = {}
+        self._mailbox: dict[tuple[int, int, int], bytes] = {}
+        super().__init__(
+            cluster.origin,
+            # Channel placement is overridden below; start with the
+            # origin's VEs for the base constructor...
+            ve_indices=list(range(cluster.origin.num_ves)),
+            num_slots=num_slots,
+            msg_size=msg_size,
+            catalog=catalog,
+        )
+        # ...then extend with one channel per remote VE, each with an
+        # IB-fed host agent on its machine.
+        node = len(self.channels) + 1
+        for machine in cluster.machines[1:]:
+            for ve_index in range(machine.num_ves):
+                channel = TargetChannel(self, node, ve_index, machine=machine)
+                channel.remote = True
+                self.channels.append(channel)
+                inbox = Store(self.sim)
+                self._agents[node] = inbox
+                self.sim.process(
+                    self._agent(channel, inbox),
+                    name=f"{machine.name}.agent.ve{ve_index}",
+                )
+                node += 1
+        for channel in self.channels:
+            if not hasattr(channel, "remote"):
+                channel.remote = False
+
+    # -- topology ---------------------------------------------------------------
+    def descriptor(self, node: NodeId) -> NodeDescriptor:
+        if node == HOST_NODE:
+            return NodeDescriptor(node, "vh", "host", "cluster origin host")
+        channel = self.channel(node)
+        return NodeDescriptor(
+            node,
+            f"{channel.machine.name}.ve{channel.ve_index}",
+            "ve",
+            "remote VE over InfiniBand" if channel.remote else "local VE",
+        )
+
+    # -- host side ------------------------------------------------------------------
+    def _host_send(self, channel: TargetChannel, slot: int, seq: int, message: bytes) -> None:
+        if not channel.remote:
+            super()._host_send(channel, slot, seq, message)
+            return
+        # Origin-side marshalling, then a one-sided IB send to the agent.
+        self._advance(self.timing.cpu_local_write)
+        inbox = self._agents[channel.node]
+        self.cluster.ib_send(
+            len(message), lambda: inbox.put((slot, seq, bytes(message)))
+        )
+
+    def _host_poll(self, handle: SimInvokeHandle) -> None:
+        channel = handle.channel
+        if not channel.remote:
+            super()._host_poll(handle)
+            return
+        channel.check_server()
+        self._advance(self.timing.cpu_local_poll)
+        reply = self._mailbox.pop((channel.node, handle.slot, handle.seq), None)
+        if reply is not None:
+            self._finish_handle(handle, reply)
+            return
+        next_event = self.sim.peek()
+        if next_event == float("inf"):
+            raise BackendError("cluster: remote node went silent (simulation ran dry)")
+        self.sim.run(until=next_event)
+
+    # -- the remote host agent ----------------------------------------------------------
+    def _agent(self, channel: TargetChannel, inbox: Store):
+        """Plays the DMA protocol's host role on a remote node.
+
+        A simulation process: receives active messages over IB, posts
+        them into its node-local shared segment, collects results and
+        ships them back to the origin.
+        """
+        timing = self.timing
+        while True:
+            slot, seq, message = yield inbox.get()
+            # Local writes into the remote node's shared segment.
+            yield self.sim.timeout(timing.cpu_local_write)
+            channel.segment.write(channel.recv.msg_addr(slot), message)
+            channel.segment.write_u64(
+                channel.recv.flag_addr(slot), encode_flag(1, len(message), seq)
+            )
+            channel.doorbell.ring()
+            # Wait for the result flag to become visible on this node.
+            while True:
+                yield self.sim.timeout(timing.cpu_local_poll)
+                value = channel.segment.read_u64(channel.send.flag_addr(slot))
+                marker, length, rseq = decode_flag(value)
+                if marker and rseq == seq:
+                    break
+                yield from channel.result_doorbell.wait()
+            reply = channel.segment.read(channel.send.msg_addr(slot), length)
+            # One-sided IB send of the reply back to the origin.
+            key = (channel.node, slot, seq)
+            self.cluster.ib_send(
+                len(reply),
+                lambda key=key, reply=reply: self._mailbox.__setitem__(key, reply),
+            )
+
+    # -- bulk data over IB -----------------------------------------------------------------
+    def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
+        channel = self.channel(node)
+        if channel.remote:
+            # Ship the payload over IB first, then the remote VEO write.
+            self._advance(self.timing.ib_transfer_time(len(data)))
+            self.cluster.ib_bytes_sent += len(data)
+            self.cluster.ib_messages += 1
+        super().write_buffer(node, addr, data)
+
+    def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
+        channel = self.channel(node)
+        data = super().read_buffer(node, addr, nbytes)
+        if channel.remote:
+            self._advance(self.timing.ib_transfer_time(nbytes))
+            self.cluster.ib_bytes_sent += nbytes
+            self.cluster.ib_messages += 1
+        return data
+
+    # -- introspection -------------------------------------------------------------------------
+    def stats(self) -> dict:
+        data = super().stats()
+        data["backend"] = self.name
+        data["ib_messages"] = self.cluster.ib_messages
+        data["ib_bytes_sent"] = self.cluster.ib_bytes_sent
+        data["remote_targets"] = sum(1 for c in self.channels if c.remote)
+        return data

@@ -1,0 +1,225 @@
+"""The DMA-based communication protocol (paper Sec. IV-B, Fig. 7/8).
+
+One-sided communication issued by the **VE**: *all* communication memory
+lives in a SystemV shared-memory segment on the **VH**, registered in the
+VE's DMAATB so VE code can reach it without any OS interaction:
+
+* the VH posts an offload by **local** memory writes (message + flag);
+* the VE polls the flag with an **LHM** word load (≈ one PCIe round
+  trip), fetches the message with **user DMA** into its registered HBM2
+  staging area, executes it, and returns the (small) result message and
+  flag with posted **SHM** stores;
+* the VH is a passive receiver: it finds the result in its local memory.
+
+No privileged DMA, no VEOS interaction, no virtual→physical translation
+on the critical path — total ≈ 6 µs per offload, the paper's Fig. 9
+"HAM-Offload (DMA)" bar (13.1× faster than a native VEO call).
+
+Bulk data transfers (``put``/``get``) still go through VEO, as in the
+paper ("data exchange [is] still performed through the VEO API"). With
+multiple target VEs, each channel gets its own shared-memory segment and
+DMAATB registration.
+"""
+
+from __future__ import annotations
+
+from repro.backends._sim_common import SlotLayout, decode_flag, encode_flag
+from repro.backends._sim_base import SimBackendBase, SimInvokeHandle, TargetChannel
+from repro.errors import BackendError
+from repro.veos.loader import VeLibrary
+
+__all__ = ["DmaCommBackend"]
+
+
+class DmaCommBackend(SimBackendBase):
+    """HAM-Offload communication backend using VE user DMA and LHM/SHM.
+
+    Parameters
+    ----------
+    result_path:
+        How the VE returns result messages: ``"shm"`` (default, the
+        paper's choice — posted stores win for small messages) or
+        ``"udma"`` (a user-DMA write; ablation A3 explores when that
+        would pay off). The notification flag always uses one SHM word.
+    """
+
+    name = "dma"
+    device_description = "simulated NEC VE (user-DMA protocol)"
+
+    def __init__(self, *args, result_path: str = "shm", **kwargs) -> None:
+        if result_path not in ("shm", "udma"):
+            raise BackendError(f"unknown result path {result_path!r}")
+        self.result_path = result_path
+        super().__init__(*args, **kwargs)
+
+    # -- setup (paper Fig. 7 memory layout) ----------------------------------
+    def _configure_library(self, library: VeLibrary) -> None:
+        library.add_function("ham_comm_init_dma", lambda *args: 0)
+
+    def _setup_channel(self, channel: TargetChannel) -> None:
+        slot_bytes = 8 + self.msg_size
+        recv_size = self.num_slots * slot_bytes
+        send_size = self.num_slots * slot_bytes
+        # SysV shared-memory segment on the VH *of the channel's machine*
+        # (huge pages as the paper recommends); both areas live inside it.
+        channel.segment = channel.machine.vh.shmget(
+            recv_size + send_size, huge_pages=True
+        )
+        channel.recv = SlotLayout(0, self.num_slots, self.msg_size)
+        channel.send = SlotLayout(recv_size, self.num_slots, self.msg_size)
+        # VE side: attach the segment by key and register it in the
+        # DMAATB; register an HBM staging area for incoming messages.
+        segment = channel.machine.vh.segment_by_key(channel.segment.key)
+        channel.atb_entry = channel.ve.dmaatb.register(segment, 0, segment.size)
+        channel.staging = channel.ve.hbm.allocate(self.msg_size)
+        channel.ve.udma.validate_local(
+            channel.ve.hbm, channel.staging.addr, self.msg_size
+        )
+        # Publish the segment key and layout through one (paid) VEO call.
+        channel.ctx.call_sync(
+            channel.lib_handle.get_symbol("ham_comm_init_dma"),
+            channel.segment.key,
+            self.num_slots,
+            self.msg_size,
+        )
+
+    @staticmethod
+    def _vehva(channel: TargetChannel, segment_addr: int) -> int:
+        """VEHVA of an address inside the channel's shared segment."""
+        return channel.atb_entry.vehva + segment_addr
+
+    # -- direct VE-to-VE copies (extension M3) --------------------------------
+    def copy_buffer(
+        self,
+        src_node: int,
+        src_addr: int,
+        dst_node: int,
+        dst_addr: int,
+        nbytes: int,
+    ) -> None:
+        """Target-to-target copy.
+
+        The paper notes that VE user DMA can reach *other VEs'* memory
+        once registered in the DMAATB (Sec. I-B). For distinct VEs on
+        this machine we register the source range in the destination
+        VE's DMAATB and issue one peer user-DMA read — one PCIe transit
+        instead of the host-staged read+write of the base implementation
+        (two privileged-DMA operations, ~200 µs of latency).
+        """
+        if src_node == dst_node:
+            # Same-VE copy: local HBM-to-HBM move.
+            channel = self.channel(src_node)
+            channel.ve.hbm.write(dst_addr, channel.ve.hbm.read(src_addr, nbytes))
+            self._advance(self.timing.memcpy_time(nbytes, device="ve"))
+            return
+        src_channel = self.channel(src_node)
+        dst_channel = self.channel(dst_node)
+        if src_channel.machine is not dst_channel.machine:
+            # Different cluster nodes: no peer DMA across the IB fabric;
+            # fall back to the host-staged path.
+            super().copy_buffer(src_node, src_addr, dst_node, dst_addr, nbytes)
+            return
+        entry = dst_channel.ve.dmaatb.register(
+            src_channel.ve.hbm, src_addr, nbytes
+        )
+        try:
+            self.sim.run(
+                until=self.sim.process(
+                    dst_channel.ve.udma.read_host(
+                        entry.vehva, dst_channel.ve.hbm, dst_addr, nbytes
+                    ),
+                    name=f"peer-copy.ve{src_channel.ve_index}->ve{dst_channel.ve_index}",
+                )
+            )
+        finally:
+            dst_channel.ve.dmaatb.unregister(entry)
+
+    # -- host side ----------------------------------------------------------------
+    def _host_send(
+        self, channel: TargetChannel, slot: int, seq: int, message: bytes
+    ) -> None:
+        # Purely local memory writes on the VH.
+        channel.segment.write(channel.recv.msg_addr(slot), message)
+        channel.segment.write_u64(
+            channel.recv.flag_addr(slot), encode_flag(1, len(message), seq)
+        )
+        self._advance(self.timing.cpu_local_write)
+        channel.doorbell.ring()
+
+    def _host_poll(self, handle: SimInvokeHandle) -> None:
+        channel = handle.channel
+        channel.check_server()
+        # Local poll of the result flag in the shared segment.
+        self._advance(self.timing.cpu_local_poll)
+        value = channel.segment.read_u64(channel.send.flag_addr(handle.slot))
+        marker, length, seq = decode_flag(value)
+        if marker and seq == handle.seq:
+            reply = channel.segment.read(channel.send.msg_addr(handle.slot), length)
+            self._finish_handle(handle, reply)
+            return
+        # Nothing yet: skip ahead to the next simulation event (the host
+        # keeps polling; we just don't simulate every idle iteration).
+        next_event = self.sim.peek()
+        if next_event == float("inf"):
+            raise BackendError(
+                "DMA protocol: target went silent (simulation ran dry)"
+            )
+        self.sim.run(until=next_event)
+
+    # -- VE side --------------------------------------------------------------------
+    def _ve_main(self, channel: TargetChannel):
+        hbm = channel.ve.hbm
+        slot = 0
+        running = True
+        while running:
+            flag_vehva = self._vehva(channel, channel.recv.flag_addr(slot))
+            expected = channel.ve_expected_seq[slot] + 1
+            while True:
+                # Remote poll: one LHM word load ≈ one PCIe round trip.
+                poll_start = self.sim.now
+                value = yield from channel.ve.lhm_read_u64(flag_vehva)
+                self._span("ve.lhm_poll", poll_start)
+                marker, length, seq = decode_flag(value)
+                if marker and seq == expected:
+                    break
+                yield from channel.doorbell.wait()
+            channel.ve_expected_seq[slot] = expected
+            # Fetch the message with user DMA into the registered staging
+            # area (no translation: the segment is in the DMAATB).
+            fetch_start = self.sim.now
+            yield from channel.ve.udma.read_host(
+                self._vehva(channel, channel.recv.msg_addr(slot)),
+                hbm,
+                channel.staging.addr,
+                length,
+            )
+            message = hbm.read(channel.staging.addr, length)
+            self._span("ve.dma_fetch", fetch_start)
+            reply, running = yield from self._execute_on_ve(channel, slot, seq, message)
+            result_start = self.sim.now
+            if self.result_path == "shm":
+                # Result message as posted SHM stores into VH memory.
+                yield from channel.ve.shm_write(
+                    self._vehva(channel, channel.send.msg_addr(slot)), reply
+                )
+            else:
+                # Ablation A3: stage the reply in HBM and user-DMA it out.
+                hbm.write(channel.staging.addr, reply)
+                yield from channel.ve.udma.write_host(
+                    hbm, channel.staging.addr,
+                    self._vehva(channel, channel.send.msg_addr(slot)), len(reply),
+                )
+            yield from channel.ve.shm_write_u64(
+                self._vehva(channel, channel.send.flag_addr(slot)),
+                encode_flag(1, len(reply), seq),
+            )
+            self._span("ve.result_store", result_start)
+            # Ring once the posted flag store has become visible on the
+            # host side (for in-sim waiters like cluster agents).
+            visibility = self.timing.shm_visibility_delay(
+                upi_hops=channel.ve.link.upi_hops
+            )
+            self.sim.timeout(visibility).callbacks.append(
+                lambda _ev, ch=channel: ch.result_doorbell.ring()
+            )
+            slot = (slot + 1) % self.num_slots

@@ -1,0 +1,148 @@
+"""In-process communication backend.
+
+Targets are separate :class:`~repro.ham.registry.ProcessImage` instances
+living in the host process. Messages are *really* serialized, moved and
+deserialized — the full wire path is exercised — but execution happens
+synchronously at post time, so every handle completes immediately.
+
+This backend is the debugging/portability baseline: the same application
+runs here, over TCP, and on the simulated SX-Aurora protocols without
+modification (paper Sec. V end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends._target_memory import HostedBuffers
+from repro.backends.base import Backend, InvokeHandle
+from repro.errors import BackendError
+from repro.ham.execution import build_invoke, execute_message
+from repro.ham.functor import Functor
+from repro.ham.registry import Catalog, ProcessImage
+from repro.offload.buffer import BufferPtr
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+
+__all__ = ["LocalBackend"]
+
+
+class _Target:
+    """One in-process offload target: an image plus its buffer table."""
+
+    def __init__(self, node: NodeId, catalog: Catalog | None) -> None:
+        self.node = node
+        self.image = ProcessImage(f"local-target-{node}", catalog)
+        self.buffers = HostedBuffers()
+        self.messages_executed = 0
+
+
+class LocalBackend(Backend):
+    """Synchronous in-process backend with ``num_targets`` targets."""
+
+    name = "local"
+
+    def __init__(self, num_targets: int = 1, catalog: Catalog | None = None) -> None:
+        if num_targets < 1:
+            raise BackendError(f"need at least one target, got {num_targets}")
+        self.host_image = ProcessImage("local-host", catalog)
+        self._targets = {
+            node: _Target(node, catalog) for node in range(1, num_targets + 1)
+        }
+        self._msg_id = 0
+        self._alive = True
+
+    # -- topology ------------------------------------------------------------
+    def num_nodes(self) -> int:
+        return 1 + len(self._targets)
+
+    def descriptor(self, node: NodeId) -> NodeDescriptor:
+        if node == HOST_NODE:
+            return NodeDescriptor(node, "host", "host", "local backend host")
+        self.check_target(node)
+        return NodeDescriptor(node, f"local{node}", "cpu", "in-process target")
+
+    # -- invocation -----------------------------------------------------------
+    def post_invoke(self, node: NodeId, functor: Functor) -> InvokeHandle:
+        self._check_alive()
+        self.check_target(node)
+        target = self._targets[node]
+        self._msg_id += 1
+        invoke = build_invoke(self.host_image, functor, self._msg_id)
+        handle = InvokeHandle(self, label=functor.type_name)
+        reply, _keep_running = execute_message(
+            target.image,
+            invoke,
+            resolver=lambda arg: self._resolve(target, arg),
+        )
+        target.messages_executed += 1
+        handle.complete_with_reply(reply)
+        return handle
+
+    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
+        # Everything completes at post time.
+        if blocking and not handle.completed:  # pragma: no cover - defensive
+            raise BackendError("local backend handle left incomplete")
+
+    # -- memory ------------------------------------------------------------------
+    def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
+        self._check_alive()
+        self.check_target(node)
+        return self._targets[node].buffers.alloc(nbytes)
+
+    def free_buffer(self, node: NodeId, addr: int) -> None:
+        self._check_alive()
+        self.check_target(node)
+        self._targets[node].buffers.free(addr)
+
+    def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
+        self._check_alive()
+        self.check_target(node)
+        self._targets[node].buffers.write(addr, data)
+
+    def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
+        self._check_alive()
+        self.check_target(node)
+        return self._targets[node].buffers.read(addr, nbytes)
+
+    # -- target-side resolution ------------------------------------------------------
+    def _resolve(self, target: _Target, arg: object) -> object:
+        if isinstance(arg, BufferPtr):
+            if arg.node != target.node:
+                raise BackendError(
+                    f"buffer of node {arg.node} dereferenced on node {target.node}"
+                )
+            return target.buffers.view(arg)
+        return arg
+
+    def resolve_buffer(self, node: NodeId, ptr: BufferPtr) -> np.ndarray:
+        self.check_target(node)
+        return self._targets[node].buffers.view(ptr)
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def messages_executed(self, node: NodeId) -> int:
+        """Number of messages a target has executed (for tests)."""
+        self.check_target(node)
+        return self._targets[node].messages_executed
+
+    def stats(self) -> dict:
+        """Execution counters per in-process target."""
+        return {
+            "backend": self.name,
+            "messages_executed": sum(
+                t.messages_executed for t in self._targets.values()
+            ),
+            "targets": {
+                node: {
+                    "messages_executed": target.messages_executed,
+                    "live_buffers": target.buffers.live_count,
+                }
+                for node, target in self._targets.items()
+            },
+        }
+
+    def shutdown(self) -> None:
+        self._alive = False
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise BackendError("local backend is shut down")

@@ -1,0 +1,71 @@
+"""Standalone TCP offload target — ``python -m repro.backends.target_main``.
+
+Runs a :class:`~repro.backends.tcp.TcpTargetServer` in this process so a
+host on another machine (or another terminal) can offload to it with
+:class:`~repro.backends.tcp.TcpBackend`. The application modules named
+with ``--import`` are imported first so their ``@offloadable`` functions
+register — the runtime analogue of the paper's "build the whole
+application for both sides".
+
+Example::
+
+    # terminal 1 (target)
+    python -m repro.backends.target_main --port 7001 --import myapp.kernels
+
+    # terminal 2 (host)
+    from repro.backends import TcpBackend
+    from repro.offload import Runtime
+    runtime = Runtime(TcpBackend(("127.0.0.1", 7001)))
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.backends.tcp import TcpTargetServer
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-target",
+        description="Run a HAM-Offload TCP target server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=0, help="port (0 = ephemeral)")
+    parser.add_argument(
+        "--import",
+        dest="imports",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="application module to import (repeatable); its @offloadable "
+        "functions become callable by the host",
+    )
+    args = parser.parse_args(argv)
+
+    for module_name in args.imports:
+        try:
+            importlib.import_module(module_name)
+        except ImportError as exc:
+            print(f"error: cannot import {module_name!r}: {exc}", file=sys.stderr)
+            return 2
+
+    server = TcpTargetServer(host=args.host, port=args.port)
+    host, port = server.address
+    print(f"HAM-Offload target listening on {host}:{port}", flush=True)
+    print(
+        f"offloadable types registered: {server.image.catalog and len(server.image.catalog)}",
+        flush=True,
+    )
+    server.serve_forever()
+    print("client disconnected; target shutting down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    raise SystemExit(main())

@@ -1,0 +1,385 @@
+"""TCP/IP communication backend.
+
+The functional counterpart of the paper's generic TCP backend
+("interoperability rather than performance", Sec. I-A): real sockets,
+real processes, genuine asynchrony. The target runs
+:class:`TcpTargetServer` — either spawned in a forked child via
+:func:`spawn_local_server` (the fork inherits the application's
+offloadable catalog, mirroring "build the same application for both
+sides") or started manually on another machine.
+
+Wire protocol (all integers little-endian)::
+
+    frame   := length:u32 | op:u8 | body
+    op 0x01 INVOKE    body = HAM message          -> 0x81 body = HAM reply
+    op 0x02 ALLOC     body = nbytes:u64           -> 0x82 body = addr:u64
+    op 0x03 FREE      body = addr:u64             -> 0x83 body = ""
+    op 0x04 WRITE     body = addr:u64 | data      -> 0x84 body = ""
+    op 0x05 READ      body = addr:u64 | n:u64     -> 0x85 body = data
+    op 0x06 SHUTDOWN  body = ""                   -> 0x86 body = ""
+    op 0x07 PING      body = ""                   -> 0x87 body = ""
+    any failure                                    -> 0xFF body = pickled info
+
+Replies arrive strictly in request order, so the client matches them with
+a FIFO of expectations — which is what allows multiple INVOKEs to be in
+flight (asynchronous offloading) while memory operations stay
+synchronous.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import select
+import socket
+import struct
+import traceback
+from collections import deque
+from typing import Any, Callable
+
+from repro.backends._target_memory import HostedBuffers
+from repro.backends.base import Backend, InvokeHandle
+from repro.errors import BackendError, RemoteExecutionError
+from repro.ham.execution import build_invoke, execute_message
+from repro.ham.functor import Functor
+from repro.ham.registry import Catalog, ProcessImage
+from repro.offload.buffer import BufferPtr
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+
+__all__ = ["TcpBackend", "TcpTargetServer", "spawn_local_server"]
+
+OP_INVOKE = 0x01
+OP_ALLOC = 0x02
+OP_FREE = 0x03
+OP_WRITE = 0x04
+OP_READ = 0x05
+OP_SHUTDOWN = 0x06
+OP_PING = 0x07
+OP_REPLY_BIT = 0x80
+OP_FAILURE = 0xFF
+
+_LEN = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _send_frame(sock: socket.socket, op: int, body: bytes) -> None:
+    sock.sendall(_LEN.pack(1 + len(body)) + bytes([op]) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise BackendError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> tuple[int, bytes]:
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length < 1:
+        raise BackendError("empty frame")
+    payload = _recv_exact(sock, length)
+    return payload[0], payload[1:]
+
+
+class TcpTargetServer:
+    """The target-side message loop: one client, sequential requests."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        catalog: Catalog | None = None,
+    ) -> None:
+        self.image = ProcessImage("tcp-target", catalog)
+        self.buffers = HostedBuffers()
+        self._listener = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self.messages_executed = 0
+
+    def serve_forever(self) -> None:
+        """Accept one client and serve requests until SHUTDOWN/EOF."""
+        conn, _peer = self._listener.accept()
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while True:
+                    try:
+                        op, body = _recv_frame(conn)
+                    except BackendError:
+                        return  # client went away
+                    if not self._handle(conn, op, body):
+                        return
+        finally:
+            self._listener.close()
+
+    def _handle(self, conn: socket.socket, op: int, body: bytes) -> bool:
+        try:
+            if op == OP_INVOKE:
+                reply, _keep = execute_message(
+                    self.image, body, resolver=self._resolve
+                )
+                self.messages_executed += 1
+                _send_frame(conn, OP_INVOKE | OP_REPLY_BIT, reply)
+            elif op == OP_ALLOC:
+                (nbytes,) = _U64.unpack(body)
+                addr = self.buffers.alloc(nbytes)
+                _send_frame(conn, OP_ALLOC | OP_REPLY_BIT, _U64.pack(addr))
+            elif op == OP_FREE:
+                (addr,) = _U64.unpack(body)
+                self.buffers.free(addr)
+                _send_frame(conn, OP_FREE | OP_REPLY_BIT, b"")
+            elif op == OP_WRITE:
+                (addr,) = _U64.unpack(body[:8])
+                self.buffers.write(addr, body[8:])
+                _send_frame(conn, OP_WRITE | OP_REPLY_BIT, b"")
+            elif op == OP_READ:
+                addr, nbytes = _U64.unpack(body[:8])[0], _U64.unpack(body[8:16])[0]
+                _send_frame(conn, OP_READ | OP_REPLY_BIT, self.buffers.read(addr, nbytes))
+            elif op == OP_PING:
+                # Handshake: the body carries the client's catalog digest;
+                # a mismatch means host and target were "built" from
+                # different type sets and keys would not translate.
+                digest = self.image.digest()
+                if body and body != digest:
+                    raise BackendError(
+                        "offloadable catalogs differ between host and target "
+                        "(both sides must import the same application modules)"
+                    )
+                _send_frame(conn, OP_PING | OP_REPLY_BIT, digest)
+            elif op == OP_SHUTDOWN:
+                _send_frame(conn, OP_SHUTDOWN | OP_REPLY_BIT, b"")
+                return False
+            else:
+                raise BackendError(f"unknown op {op:#x}")
+        except Exception as exc:  # noqa: BLE001 - shipped to the client
+            info = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            _send_frame(conn, OP_FAILURE, pickle.dumps(info))
+        return True
+
+    def _resolve(self, arg: Any) -> Any:
+        if isinstance(arg, BufferPtr):
+            return self.buffers.view(arg)
+        return arg
+
+
+def _server_entry(port_pipe: Any, catalog: Catalog | None) -> None:
+    server = TcpTargetServer(catalog=catalog)
+    port_pipe.send(server.address)
+    port_pipe.close()
+    server.serve_forever()
+
+
+def spawn_local_server(
+    catalog: Catalog | None = None,
+) -> tuple[multiprocessing.Process, tuple[str, int]]:
+    """Fork a target-server child process; returns ``(process, address)``.
+
+    Forking inherits the parent's imported modules and offloadable
+    catalog — the moral equivalent of building host and target binaries
+    from the same source.
+    """
+    ctx = multiprocessing.get_context("fork")
+    parent_pipe, child_pipe = ctx.Pipe()
+    process = ctx.Process(
+        target=_server_entry, args=(child_pipe, catalog), daemon=True
+    )
+    process.start()
+    child_pipe.close()
+    if not parent_pipe.poll(10.0):
+        process.terminate()
+        raise BackendError("TCP target server did not start within 10 s")
+    address = parent_pipe.recv()
+    parent_pipe.close()
+    return process, address
+
+
+class TcpBackend(Backend):
+    """Client side of the TCP backend (one target).
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of a running :class:`TcpTargetServer`.
+    catalog:
+        The offloadable catalog (defaults to the global one).
+    on_shutdown:
+        Optional callable invoked after the connection closes (used to
+        join a spawned server process).
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        catalog: Catalog | None = None,
+        on_shutdown: Callable[[], None] | None = None,
+    ) -> None:
+        self.host_image = ProcessImage("tcp-host", catalog)
+        self.address = address
+        self._on_shutdown = on_shutdown
+        self._sock = socket.create_connection(address, timeout=10.0)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)
+        #: FIFO of reply consumers: ("invoke", handle) or ("sync", op, box).
+        self._pending: deque[tuple[str, Any]] = deque()
+        self._msg_id = 0
+        self._alive = True
+        self.invokes_posted = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        # Handshake: fetch the server's catalog digest and compare, to
+        # fail fast when host and target registered different offloadable
+        # sets. (An empty body asks without asserting, so the comparison
+        # happens client-side with a precise error.)
+        server_digest = self._roundtrip(OP_PING, b"")
+        if server_digest and server_digest != self.host_image.digest():
+            self._sock.close()
+            self._alive = False
+            raise BackendError(
+                "offloadable catalogs differ between host and target "
+                "(both sides must import the same application modules)"
+            )
+
+    # -- topology -------------------------------------------------------------
+    def num_nodes(self) -> int:
+        return 2
+
+    def descriptor(self, node: NodeId) -> NodeDescriptor:
+        if node == HOST_NODE:
+            return NodeDescriptor(node, "host", "host", "tcp backend host")
+        self.check_target(node)
+        return NodeDescriptor(
+            node, f"tcp:{self.address[0]}:{self.address[1]}", "cpu", "tcp target"
+        )
+
+    # -- reply plumbing -----------------------------------------------------------
+    def _send(self, op: int, body: bytes) -> None:
+        """Send one frame, translating socket failures into BackendError."""
+        try:
+            _send_frame(self._sock, op, body)
+            self.bytes_sent += len(body) + 5
+        except OSError as exc:
+            self._alive = False
+            raise BackendError(f"tcp send failed: {exc}") from exc
+
+    def _dispatch_one_reply(self) -> None:
+        """Read exactly one frame and hand it to the oldest expectation."""
+        try:
+            op, body = _recv_frame(self._sock)
+            self.bytes_received += len(body) + 5
+        except OSError as exc:
+            self._alive = False
+            raise BackendError(f"tcp receive failed: {exc}") from exc
+        if not self._pending:
+            raise BackendError(f"unsolicited reply frame op={op:#x}")
+        kind, sink = self._pending.popleft()
+        if op == OP_FAILURE:
+            info = pickle.loads(body)
+            error: BaseException = RemoteExecutionError(
+                f"remote {info['type']}: {info['message']}",
+                remote_traceback=info.get("traceback", ""),
+            )
+            if kind == "invoke":
+                sink.complete_with_error(error)
+            else:
+                sink["error"] = error
+            return
+        if kind == "invoke":
+            if op != (OP_INVOKE | OP_REPLY_BIT):
+                raise BackendError(f"expected invoke reply, got op {op:#x}")
+            sink.complete_with_reply(body)
+        else:
+            expected_op, box = sink["op"], sink
+            if op != (expected_op | OP_REPLY_BIT):
+                raise BackendError(
+                    f"expected reply to op {expected_op:#x}, got {op:#x}"
+                )
+            box["body"] = body
+
+    def _roundtrip(self, op: int, body: bytes) -> bytes:
+        """Synchronous request: send, then drain replies until ours."""
+        self._check_alive()
+        box: dict[str, Any] = {"op": op}
+        self._pending.append(("sync", box))
+        self._send(op, body)
+        while "body" not in box and "error" not in box:
+            self._dispatch_one_reply()
+        if "error" in box:
+            raise box["error"]
+        return box["body"]
+
+    # -- invocation --------------------------------------------------------------
+    def post_invoke(self, node: NodeId, functor: Functor) -> InvokeHandle:
+        self._check_alive()
+        self.check_target(node)
+        self._msg_id += 1
+        invoke = build_invoke(self.host_image, functor, self._msg_id)
+        handle = InvokeHandle(self, label=functor.type_name)
+        self._pending.append(("invoke", handle))
+        self._send(OP_INVOKE, invoke)
+        self.invokes_posted += 1
+        return handle
+
+    def stats(self) -> dict:
+        """Transport counters of this connection."""
+        return {
+            "backend": self.name,
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "invokes_posted": self.invokes_posted,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
+        self._check_alive()
+        while not handle.completed:
+            if not blocking:
+                readable, _, _ = select.select([self._sock], [], [], 0)
+                if not readable:
+                    return
+            self._dispatch_one_reply()
+
+    # -- memory ----------------------------------------------------------------------
+    def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
+        self.check_target(node)
+        return _U64.unpack(self._roundtrip(OP_ALLOC, _U64.pack(nbytes)))[0]
+
+    def free_buffer(self, node: NodeId, addr: int) -> None:
+        self.check_target(node)
+        self._roundtrip(OP_FREE, _U64.pack(addr))
+
+    def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
+        self.check_target(node)
+        self._roundtrip(OP_WRITE, _U64.pack(addr) + data)
+
+    def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
+        self.check_target(node)
+        return self._roundtrip(OP_READ, _U64.pack(addr) + _U64.pack(nbytes))
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._alive:
+            try:
+                self._roundtrip(OP_SHUTDOWN, b"")
+            except BackendError:
+                pass  # server already gone
+            finally:
+                self._alive = False
+                self._sock.close()
+                if self._on_shutdown is not None:
+                    self._on_shutdown()
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise BackendError("tcp backend is shut down")

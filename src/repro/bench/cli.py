@@ -1,0 +1,174 @@
+"""Command-line reproduction runner — ``python -m repro.bench.cli``.
+
+Regenerates the paper's tables and figures without pytest::
+
+    python -m repro.bench.cli fig9
+    python -m repro.bench.cli fig10 --quick
+    python -m repro.bench.cli all
+
+Each experiment prints a paper-style report; ``all`` runs everything.
+The same measurement code backs the pytest benchmarks (see
+:mod:`repro.bench.experiments`).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import experiments as exp
+from repro.bench.calibration import PAPER
+from repro.bench.figures import ascii_chart, render_series
+from repro.bench.tables import (
+    format_bandwidth,
+    format_size,
+    format_time,
+    render_table,
+)
+from repro.hw.specs import GIB, MIB
+
+__all__ = ["main"]
+
+
+def report_fig9(quick: bool) -> str:
+    data = exp.measure_fig9(reps=15 if quick else 60)
+    rows = [
+        {"method": "VEO (native)", "measured": format_time(data["veo_native"]),
+         "paper": format_time(PAPER.fig9_veo_native)},
+        {"method": "HAM-Offload (VEO)", "measured": format_time(data["ham_veo"]),
+         "paper": format_time(PAPER.fig9_ham_veo)},
+        {"method": "HAM-Offload (DMA)", "measured": format_time(data["ham_dma"]),
+         "paper": format_time(PAPER.fig9_ham_dma)},
+    ]
+    ratios = render_table(
+        [
+            {"ratio": "HAM-VEO / VEO",
+             "measured": f"{data['ham_veo'] / data['veo_native']:.1f}x", "paper": "5.4x"},
+            {"ratio": "VEO / HAM-DMA",
+             "measured": f"{data['veo_native'] / data['ham_dma']:.1f}x", "paper": "13.1x"},
+            {"ratio": "HAM-VEO / HAM-DMA",
+             "measured": f"{data['ham_veo'] / data['ham_dma']:.1f}x", "paper": "70.8x"},
+        ],
+        title="Fig. 9 — speedup ratios",
+    )
+    return render_table(rows, title="Fig. 9 — empty-kernel offload cost") + "\n\n" + ratios
+
+
+def report_fig10(quick: bool) -> str:
+    sizes = exp.fig10_sizes(16 * MIB if quick else exp.FIG10_MAX_SIZE)
+    data = exp.measure_fig10(sizes, rep_base=3 if quick else 8)
+    sections = []
+    for direction, label in (("vh_to_ve", "VH => VE"), ("ve_to_vh", "VE => VH")):
+        series = {
+            name: [v / GIB for v in values] for name, values in data[direction].items()
+        }
+        sections.append(render_series(
+            sizes, series, title=f"Fig. 10 ({label}) [GiB/s]"
+        ))
+        sections.append(ascii_chart(sizes, series, title=f"Fig. 10 ({label}) log-log"))
+    return "\n\n".join(sections)
+
+
+def report_table4(quick: bool) -> str:
+    peaks = exp.measure_table4([64 * MIB] if quick else None)
+    rows = [
+        {"Transfer Method": "VEO Read/Write",
+         "VH => VE": format_bandwidth(peaks["veo_write"]),
+         "VE => VH": format_bandwidth(peaks["veo_read"]),
+         "paper": "9.9 / 10.4 GiB/s"},
+        {"Transfer Method": "VE User DMA",
+         "VH => VE": format_bandwidth(peaks["udma_read"]),
+         "VE => VH": format_bandwidth(peaks["udma_write"]),
+         "paper": "10.6 / 11.1 GiB/s"},
+        {"Transfer Method": "VE SHM/LHM",
+         "VH => VE": format_bandwidth(peaks["lhm"]),
+         "VE => VH": format_bandwidth(peaks["shm"]),
+         "paper": "0.01 / 0.06 GiB/s"},
+    ]
+    return render_table(rows, title="Table IV — max PCIe bandwidths")
+
+
+def report_numa(quick: bool) -> str:
+    data = exp.measure_numa_penalty(reps=10 if quick else 40)
+    rows = [
+        {"protocol": name.upper(),
+         "socket 0": format_time(data[f"{name}_socket0"]),
+         "socket 1 (UPI)": format_time(data[f"{name}_socket1"]),
+         "added": format_time(data[f"{name}_socket1"] - data[f"{name}_socket0"])}
+        for name in ("dma", "veo")
+    ]
+    return render_table(rows, title="Sec. V-A — second-socket offload cost")
+
+
+def report_ablations(quick: bool) -> str:
+    a1 = exp.measure_dma_manager_ablation()
+    a2 = exp.measure_hugepages_ablation()
+    rows1 = [
+        {"size": format_size(size), "classic": format_bandwidth(a1["classic"][size]),
+         "4dma": format_bandwidth(a1["4dma"][size])}
+        for size in sorted(a1["classic"])
+    ]
+    rows2 = [
+        {"size": format_size(size), "huge pages": format_bandwidth(a2["huge"][size]),
+         "4 KiB pages": format_bandwidth(a2["small"][size])}
+        for size in sorted(a2["huge"])
+    ]
+    return (
+        render_table(rows1, title="A1 — DMA manager generations")
+        + "\n\n"
+        + render_table(rows2, title="A2 — page sizes")
+    )
+
+
+def report_scaling(quick: bool) -> str:
+    m1 = exp.measure_multi_ve_scaling(rounds=4 if quick else 12)
+    m2 = exp.measure_switch_contention(4 * MIB if quick else 16 * MIB)
+    rows1 = [
+        {"VEs": n, "offloads/s": f"{rate:,.0f}", "speedup": f"{rate / m1[1]:.2f}x"}
+        for n, rate in sorted(m1.items())
+    ]
+    rows2 = [
+        {"placement": key.replace("_", " "), "aggregate": format_bandwidth(value)}
+        for key, value in m2.items()
+    ]
+    return (
+        render_table(rows1, title="M1 — multi-VE offload throughput")
+        + "\n\n"
+        + render_table(rows2, title="M2 — switch uplink contention")
+    )
+
+
+EXPERIMENTS: dict[str, callable] = {
+    "fig9": report_fig9,
+    "fig10": report_fig10,
+    "table4": report_table4,
+    "numa": report_numa,
+    "ablations": report_ablations,
+    "scaling": report_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweeps / fewer repetitions (same shapes, faster)",
+    )
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""ASCII rendering of figure data (bandwidth curves &c.).
+
+``render_series`` prints a figure's data as aligned columns — the exact
+numbers behind a plot, paper-appendix style. ``ascii_chart`` additionally
+draws a rough log-log terminal chart, which is enough to eyeball the
+crossovers the paper discusses (LHM vs user DMA, SHM vs user DMA).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.bench.tables import format_size
+
+__all__ = ["ascii_chart", "render_series"]
+
+
+def render_series(
+    x_values: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "size",
+    value_format: str = "{:.4g}",
+) -> str:
+    """Tabulate several named series over shared x values."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    rows = []
+    for i, x in enumerate(x_values):
+        row = {x_label: format_size(int(x))}
+        for name in names:
+            value = series[name][i]
+            row[name] = value_format.format(value) if value == value else "-"
+        rows.append(row)
+    from repro.bench.tables import render_table
+
+    return render_table(rows, title=title, columns=[x_label, *names])
+
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Draw a coarse ASCII chart of several series.
+
+    NaN values are skipped (series measured over fewer sizes, like
+    SHM/LHM capped at 4 MiB in the paper).
+    """
+    points: list[tuple[float, float, int]] = []
+    for index, name in enumerate(series):
+        for x, y in zip(x_values, series[name]):
+            if y != y or y <= 0 or x <= 0:  # NaN / non-positive on log axes
+                continue
+            px = math.log10(x) if log_x else x
+            py = math.log10(y) if log_y else y
+            points.append((px, py, index))
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for px, py, index in points:
+        col = round((px - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((py - y_lo) / y_span * (height - 1))
+        grid[row][col] = _MARKS[index % len(_MARKS)]
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)

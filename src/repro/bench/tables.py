@@ -1,0 +1,68 @@
+"""Paper-style table rendering (ASCII)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.hw.specs import GIB, KIB, MIB
+
+__all__ = ["format_bandwidth", "format_size", "format_time", "render_table"]
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration (µs/ms/s as appropriate)."""
+    if seconds < 0:
+        return f"-{format_time(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Bandwidth in GiB/s (the paper's unit for Table IV / Fig. 10)."""
+    return f"{bytes_per_second / GIB:.2f} GiB/s"
+
+
+def format_size(nbytes: int) -> str:
+    """Size with binary units (8 B, 4 KiB, 2 MiB, ...)."""
+    if nbytes >= GIB and nbytes % GIB == 0:
+        return f"{nbytes // GIB} GiB"
+    if nbytes >= MIB and nbytes % MIB == 0:
+        return f"{nbytes // MIB} MiB"
+    if nbytes >= KIB and nbytes % KIB == 0:
+        return f"{nbytes // KIB} KiB"
+    return f"{nbytes} B"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order follows ``columns`` if given, otherwise the key order of
+    the first row. Values are stringified as-is; use the ``format_*``
+    helpers when building rows.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [[str(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

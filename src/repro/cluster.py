@@ -1,0 +1,96 @@
+"""A cluster of SX-Aurora nodes connected by InfiniBand.
+
+The paper's Fig. 3 shows optional IB HCA cards, and its outlook (Sec. VI)
+anticipates *remote offloading*: "As soon as NEC's MPI will support
+heterogeneous jobs ... HAM-Offload applications will also benefit from
+remote offloading capabilities, again without changes in the application
+code." This module provides the multi-node substrate for that extension:
+several :class:`~repro.machine.AuroraMachine` instances sharing one
+simulator, joined by point-to-point IB links
+(:class:`~repro.backends.cluster_backend.ClusterBackend` builds on it).
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import DEFAULT_TIMING, TimingModel
+from repro.hw.specs import MIB
+from repro.machine import AuroraMachine
+from repro.sim import Simulator
+
+__all__ = ["AuroraCluster"]
+
+
+class AuroraCluster:
+    """``num_nodes`` Aurora machines on one simulated IB fabric.
+
+    Node 0 is the *origin* node (where the host application runs); the
+    others are remote. All machines share one simulator, so cross-node
+    protocols interleave on a single virtual clock.
+
+    Parameters
+    ----------
+    num_nodes:
+        Machines in the cluster (≥ 1).
+    ves_per_node:
+        Vector Engines instantiated per machine.
+    timing:
+        Timing model (shared; includes the IB constants).
+    ve_memory_bytes / vh_memory_bytes:
+        Per-machine simulated memory capacities.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 2,
+        *,
+        ves_per_node: int = 1,
+        timing: TimingModel = DEFAULT_TIMING,
+        ve_memory_bytes: int = 64 * MIB,
+        vh_memory_bytes: int = 64 * MIB,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.timing = timing
+        self.sim = Simulator()
+        self.machines = [
+            AuroraMachine(
+                num_ves=ves_per_node,
+                timing=timing,
+                sim=self.sim,
+                name=f"node{index}",
+                ve_memory_bytes=ve_memory_bytes,
+                vh_memory_bytes=vh_memory_bytes,
+            )
+            for index in range(num_nodes)
+        ]
+        self.ib_bytes_sent = 0
+        self.ib_messages = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of machines in the cluster."""
+        return len(self.machines)
+
+    @property
+    def origin(self) -> AuroraMachine:
+        """The machine the host application runs on."""
+        return self.machines[0]
+
+    def machine(self, index: int) -> AuroraMachine:
+        """The ``index``-th machine."""
+        return self.machines[index]
+
+    def ib_send(self, payload_len: int, deliver) -> None:
+        """Model one IB message: call ``deliver()`` after the transit time.
+
+        ``deliver`` runs as a simulator callback at arrival time; senders
+        do not block (one-sided semantics, like the RDMA transports the
+        paper's MPI backend would ride on).
+        """
+        self.ib_bytes_sent += payload_len
+        self.ib_messages += 1
+        delay = self.timing.ib_transfer_time(payload_len)
+        self.sim.timeout(delay).callbacks.append(lambda _ev: deliver())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AuroraCluster {self.num_nodes} nodes, t={self.sim.now * 1e6:.1f}us>"

@@ -1,0 +1,144 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. Sub-hierarchies mirror the
+package layout: simulation-kernel errors, hardware-model errors, VEO API
+errors (mirroring the C API's negative return codes), HAM messaging errors
+and offload-runtime errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# --------------------------------------------------------------------------
+# simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulation kernel errors."""
+
+
+class SimTimeError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class DeadlockError(SimulationError):
+    """``run_until`` could not make progress: no runnable events remain."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process misbehaved (e.g. yielded a non-event)."""
+
+
+# --------------------------------------------------------------------------
+# hardware models
+# --------------------------------------------------------------------------
+
+
+class HardwareError(ReproError):
+    """Base class for hardware-model errors."""
+
+
+class MemoryError_(HardwareError):
+    """Base class for simulated-memory errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class OutOfMemoryError(MemoryError_):
+    """An allocation request could not be satisfied."""
+
+
+class BadAddressError(MemoryError_):
+    """An access touched memory outside any live allocation."""
+
+
+class DoubleFreeError(MemoryError_):
+    """``free`` was called twice for the same allocation."""
+
+
+class TranslationError(HardwareError):
+    """A virtual address could not be translated (page not mapped)."""
+
+
+class DmaError(HardwareError):
+    """A DMA descriptor was invalid or referenced unregistered memory."""
+
+
+class DmaatbError(DmaError):
+    """DMAATB registration failed (exhausted entries, bad segment, ...)."""
+
+
+# --------------------------------------------------------------------------
+# VEOS / VEO substrate
+# --------------------------------------------------------------------------
+
+
+class VeosError(ReproError):
+    """Base class for VEOS substrate errors."""
+
+
+class VeoError(ReproError):
+    """Base class for VEO API errors (mirrors ``VEO_COMMAND_ERROR`` &c.)."""
+
+
+class VeoProcError(VeoError):
+    """VE process creation/teardown failed or handle is stale."""
+
+
+class VeoSymbolError(VeoError):
+    """``veo_get_sym`` could not resolve a symbol in the loaded library."""
+
+
+class VeoCommandError(VeoError):
+    """An asynchronous VEO command failed on the VE side."""
+
+
+# --------------------------------------------------------------------------
+# HAM / offload
+# --------------------------------------------------------------------------
+
+
+class HamError(ReproError):
+    """Base class for Heterogeneous-Active-Message errors."""
+
+
+class HandlerKeyError(HamError):
+    """A handler key received over the wire has no local registration."""
+
+
+class SerializationError(HamError):
+    """A functor or argument could not be (de)serialized."""
+
+
+class OffloadError(ReproError):
+    """Base class for HAM-Offload runtime errors."""
+
+
+class NoSuchNodeError(OffloadError):
+    """A ``node_t`` does not name a process of the running application."""
+
+
+class BackendError(OffloadError):
+    """A communication backend failed (disconnect, truncated frame, ...)."""
+
+
+class RemoteExecutionError(OffloadError):
+    """The offloaded function raised on the target.
+
+    The remote traceback string is carried in :attr:`remote_traceback`.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class FutureError(OffloadError):
+    """Misuse of a future (e.g. ``get()`` after the runtime shut down)."""

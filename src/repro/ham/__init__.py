@@ -1,0 +1,64 @@
+"""HAM — Heterogeneous Active Messages.
+
+The messaging layer underneath HAM-Offload (paper Sec. I-A and Fig. 6).
+An *active message* carries an action: a **handler key** that is valid
+across heterogeneous process images, plus a serialized functor (function +
+bound arguments). The core trick reproduced here is the paper's
+translation scheme:
+
+1. every process image registers the same set of message types (because
+   the whole application is built for both sides);
+2. each image records its *local* handler addresses, which differ between
+   images;
+3. sorting the type-name table lexicographically yields the same order in
+   every image **without any communication**, so the sorted index is a
+   globally valid handler key translatable to a local address in O(1).
+
+Public surface:
+
+* :func:`offloadable` — decorator marking a function as remotely callable;
+* :class:`ProcessImage` — one "binary": the registered types and their
+  translation tables;
+* :func:`f2f` / :class:`Functor` — bind a function and arguments into an
+  offloadable functor (paper Table II);
+* :class:`Migratable` — the type wrapper with (de)serialization hooks;
+* :mod:`~repro.ham.execution` — the generic handler turning received
+  bytes back into a typed call.
+"""
+
+from repro.ham.functor import Functor, f2f
+from repro.ham.message import (
+    MSG_ERROR,
+    MSG_INVOKE,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MessageHeader,
+    build_message,
+    parse_message,
+)
+from repro.ham.registry import ProcessImage, global_catalog, offloadable
+from repro.ham.serialization import (
+    Migratable,
+    deserialize,
+    register_serializer,
+    serialize,
+)
+
+__all__ = [
+    "Functor",
+    "MSG_ERROR",
+    "MSG_INVOKE",
+    "MSG_RESULT",
+    "MSG_SHUTDOWN",
+    "MessageHeader",
+    "Migratable",
+    "ProcessImage",
+    "build_message",
+    "deserialize",
+    "f2f",
+    "global_catalog",
+    "offloadable",
+    "parse_message",
+    "register_serializer",
+    "serialize",
+]

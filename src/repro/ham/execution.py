@@ -1,0 +1,99 @@
+"""The generic message handler — receive side of Fig. 6.
+
+``execute_message`` is what every HAM-Offload target runs when a message
+buffer is handed to it: parse the header, translate the globally valid
+handler key into the local handler through the image's O(1) table, decode
+the typed arguments ("the way for the typeless bytes of the receive
+buffer back into the typesafe world", paper Sec. III-E), resolve
+target-local argument kinds (buffer pointers), call the function, and
+build the result (or error) message.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable
+
+from repro.errors import RemoteExecutionError, SerializationError
+from repro.ham.functor import Functor
+from repro.ham.message import (
+    MSG_ERROR,
+    MSG_INVOKE,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    build_message,
+    parse_message,
+)
+from repro.ham.registry import ProcessImage
+from repro.ham.serialization import deserialize, serialize
+
+__all__ = ["build_invoke", "execute_message", "unpack_result"]
+
+#: Resolver hook: maps wire-level arguments (e.g. buffer_ptr) to
+#: target-local values (e.g. memory views). Identity by default.
+Resolver = Callable[[Any], Any]
+
+
+def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
+    """Serialize a functor into an INVOKE message (send side)."""
+    key = image.key_for(functor.type_name)
+    return build_message(MSG_INVOKE, key, msg_id, functor.serialize_args())
+
+
+def execute_message(
+    image: ProcessImage, data: bytes, resolver: Resolver | None = None
+) -> tuple[bytes, bool]:
+    """Execute one received message; returns ``(reply_bytes, keep_running)``.
+
+    ``keep_running`` is ``False`` for a SHUTDOWN message (its reply is an
+    empty RESULT acknowledging termination).
+
+    VE-side failures never crash the message loop: they are captured into
+    an ERROR reply carrying the remote traceback.
+    """
+    header, payload = parse_message(data)
+    if header.kind == MSG_SHUTDOWN:
+        return build_message(MSG_RESULT, 0, header.msg_id, serialize(None)), False
+    if header.kind != MSG_INVOKE:
+        raise SerializationError(
+            f"target received non-invoke message kind {header.kind}"
+        )
+    try:
+        entry = image.entry_for_key(header.handler_key)
+        args, kwargs = Functor.deserialize_args(payload)
+        if resolver is not None:
+            args = tuple(resolver(arg) for arg in args)
+            kwargs = {name: resolver(value) for name, value in kwargs.items()}
+        value = entry.handler(*args, **kwargs)
+        reply_payload = serialize(value)
+    except Exception as exc:  # noqa: BLE001 - shipped back to the host
+        info = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        return build_message(MSG_ERROR, 0, header.msg_id, serialize(info)), True
+    return build_message(MSG_RESULT, 0, header.msg_id, reply_payload), True
+
+
+def unpack_result(data: bytes) -> tuple[int, Any]:
+    """Decode a RESULT/ERROR message on the host; returns ``(msg_id, value)``.
+
+    Raises
+    ------
+    RemoteExecutionError
+        If the message is an ERROR reply — the remote traceback is
+        attached.
+    SerializationError
+        If the message is not a result at all.
+    """
+    header, payload = parse_message(data)
+    if header.kind == MSG_ERROR:
+        info = deserialize(payload)
+        raise RemoteExecutionError(
+            f"remote {info['type']}: {info['message']}",
+            remote_traceback=info.get("traceback", ""),
+        )
+    if header.kind != MSG_RESULT:
+        raise SerializationError(f"expected a result message, got kind {header.kind}")
+    return header.msg_id, deserialize(payload)

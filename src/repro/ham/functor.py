@@ -1,0 +1,125 @@
+"""Functor binding — the ``f2f()`` construct of the HAM-Offload API.
+
+``f2f(function, args...)`` (paper Table II: "function to functor
+conversion") binds arguments to an *offloadable* function and yields a
+:class:`Functor` the runtime can serialize into an active message. The
+function must have been registered (decorated with
+:func:`~repro.ham.registry.offloadable`) so that every process image knows
+its message type.
+
+Beyond the C++ original, keyword arguments are supported (``f2f(fn, x,
+scale=2.0)``) — they serialize alongside the positional ones and are
+applied on the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import HamError
+from repro.ham.registry import Catalog, global_catalog, type_name_of
+from repro.ham.serialization import deserialize, serialize
+
+__all__ = ["Functor", "f2f"]
+
+
+@dataclass(frozen=True)
+class Functor:
+    """An offloadable closure: a message type plus bound arguments.
+
+    Attributes
+    ----------
+    type_name:
+        The globally comparable message-type name.
+    args:
+        The bound positional arguments.
+    kwargs:
+        The bound keyword arguments as a sorted tuple of ``(name, value)``
+        pairs (kept as a tuple so the functor stays a frozen value type).
+    """
+
+    type_name: str
+    args: tuple[Any, ...]
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def serialize_args(self) -> bytes:
+        """Encode the bound arguments for the wire.
+
+        Each argument is encoded independently (so numpy arrays use the
+        raw fast path even when mixed with scalars), with a small count +
+        length framing; keyword arguments follow as name/value pairs.
+        """
+        out = [len(self.args).to_bytes(2, "little")]
+        for arg in self.args:
+            part = serialize(arg)
+            out.append(len(part).to_bytes(4, "little"))
+            out.append(part)
+        out.append(len(self.kwargs).to_bytes(2, "little"))
+        for name, value in self.kwargs:
+            name_bytes = name.encode()
+            part = serialize(value)
+            out.append(len(name_bytes).to_bytes(2, "little"))
+            out.append(name_bytes)
+            out.append(len(part).to_bytes(4, "little"))
+            out.append(part)
+        return b"".join(out)
+
+    @staticmethod
+    def deserialize_args(data: bytes) -> tuple[tuple[Any, ...], dict[str, Any]]:
+        """Decode bound arguments produced by :meth:`serialize_args`.
+
+        Returns ``(args, kwargs)``.
+        """
+        count = int.from_bytes(data[:2], "little")
+        offset = 2
+        args = []
+        for _ in range(count):
+            length = int.from_bytes(data[offset : offset + 4], "little")
+            offset += 4
+            args.append(deserialize(data[offset : offset + length]))
+            offset += length
+        kwargs: dict[str, Any] = {}
+        kw_count = int.from_bytes(data[offset : offset + 2], "little")
+        offset += 2
+        for _ in range(kw_count):
+            name_len = int.from_bytes(data[offset : offset + 2], "little")
+            offset += 2
+            name = data[offset : offset + name_len].decode()
+            offset += name_len
+            length = int.from_bytes(data[offset : offset + 4], "little")
+            offset += 4
+            kwargs[name] = deserialize(data[offset : offset + length])
+            offset += length
+        return tuple(args), kwargs
+
+    def execute(self, catalog: Catalog | None = None) -> Any:
+        """Run the functor locally (host fallback / testing)."""
+        cat = catalog if catalog is not None else global_catalog()
+        return cat.function(self.type_name)(*self.args, **dict(self.kwargs))
+
+
+def f2f(
+    fn: Callable[..., Any], *args: Any, catalog: Catalog | None = None, **kwargs: Any
+) -> Functor:
+    """Bind ``args``/``kwargs`` to ``fn``, returning an offloadable functor.
+
+    Raises
+    ------
+    HamError
+        If ``fn`` is not registered as offloadable — mirroring the C++
+        design where only functions going through the template machinery
+        get an active-message type.
+    """
+    cat = catalog if catalog is not None else global_catalog()
+    type_name = type_name_of(fn)
+    if type_name not in cat:
+        raise HamError(
+            f"{type_name!r} is not offloadable; decorate it with "
+            "@offloadable (it must be importable on every process image)"
+        )
+    return Functor(
+        type_name=type_name,
+        args=args,
+        kwargs=tuple(sorted(kwargs.items())),
+    )

@@ -1,0 +1,96 @@
+"""Active-message wire format.
+
+Fixed little-endian header followed by the payload::
+
+    offset  size  field
+    0       2     magic 0x48 0x4D ("HM")
+    2       1     version (1)
+    3       1     kind (INVOKE / RESULT / ERROR / SHUTDOWN)
+    4       8     handler key (INVOKE) or 0
+    12      8     message id (matches results to futures)
+    20      4     payload length
+    24      ...   payload
+
+The header is what the paper's protocols move through message buffers;
+the handler key field is the "globally valid handler key" of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import SerializationError
+
+__all__ = [
+    "HEADER_SIZE",
+    "MAGIC",
+    "MSG_ERROR",
+    "MSG_INVOKE",
+    "MSG_RESULT",
+    "MSG_SHUTDOWN",
+    "MessageHeader",
+    "build_message",
+    "parse_message",
+]
+
+MAGIC = b"HM"
+_VERSION = 1
+_HEADER = struct.Struct("<2sBBQQI")
+HEADER_SIZE = _HEADER.size
+
+MSG_INVOKE = 1
+MSG_RESULT = 2
+MSG_ERROR = 3
+MSG_SHUTDOWN = 4
+
+_KINDS = {MSG_INVOKE, MSG_RESULT, MSG_ERROR, MSG_SHUTDOWN}
+
+
+@dataclass(frozen=True)
+class MessageHeader:
+    """Parsed header of one active message."""
+
+    kind: int
+    handler_key: int
+    msg_id: int
+    payload_len: int
+
+
+def build_message(kind: int, handler_key: int, msg_id: int, payload: bytes) -> bytes:
+    """Assemble one wire message."""
+    if kind not in _KINDS:
+        raise SerializationError(f"invalid message kind {kind}")
+    if handler_key < 0 or msg_id < 0:
+        raise SerializationError("handler key and message id must be non-negative")
+    return _HEADER.pack(MAGIC, _VERSION, kind, handler_key, msg_id, len(payload)) + payload
+
+
+def parse_message(data: bytes) -> tuple[MessageHeader, bytes]:
+    """Split wire bytes into ``(header, payload)``.
+
+    Raises
+    ------
+    SerializationError
+        On bad magic, unsupported version, truncation or trailing bytes.
+    """
+    if len(data) < HEADER_SIZE:
+        raise SerializationError(
+            f"message truncated: {len(data)} bytes < header size {HEADER_SIZE}"
+        )
+    magic, version, kind, handler_key, msg_id, payload_len = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise SerializationError(f"bad message magic {magic!r}")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported message version {version}")
+    if kind not in _KINDS:
+        raise SerializationError(f"invalid message kind {kind}")
+    payload = data[HEADER_SIZE : HEADER_SIZE + payload_len]
+    if len(payload) != payload_len:
+        raise SerializationError(
+            f"message truncated: payload {len(payload)} bytes < declared {payload_len}"
+        )
+    header = MessageHeader(
+        kind=kind, handler_key=handler_key, msg_id=msg_id, payload_len=payload_len
+    )
+    return header, payload

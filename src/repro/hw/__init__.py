@@ -1,0 +1,63 @@
+"""Hardware models of the NEC SX-Aurora TSUBASA A300-8 platform.
+
+This subpackage provides the *substrate* the reproduced paper's protocols
+run on. Since the physical machine is unavailable, every protocol-visible
+hardware property is modeled:
+
+``specs``
+    The specification database (paper Tables I and III).
+``params``
+    The calibrated :class:`TimingModel` — every latency/bandwidth constant
+    used by the simulation, with provenance notes tying it to paper anchors.
+``memory``
+    Byte-addressable simulated memories backed by real numpy buffers, with
+    a first-fit allocator and page-granularity bookkeeping (4 KiB vs 2 MiB
+    huge pages).
+``pcie``
+    The PCIe Gen3 x16 link model.
+``dma``
+    DMA engines: the VE user DMA and the VEOS-controlled privileged DMA.
+``vector_engine`` / ``vector_host``
+    Device models exposing exactly the primitives the paper's protocols
+    compose: DMAATB registration, VEHVA mappings, LHM/SHM instructions,
+    SysV shared-memory segments, NUMA sockets.
+``topology``
+    The A300-8 block diagram (paper Fig. 3) as a graph, used to derive
+    per-path latency penalties (UPI hop from the second socket).
+``roofline``
+    A roofline execution-time model for offloaded kernels.
+"""
+
+from repro.hw.memory import Allocation, MemoryRegion, PAGE_4K, PAGE_HUGE_2M
+from repro.hw.params import TimingModel, DEFAULT_TIMING
+from repro.hw.pcie import PcieLink
+from repro.hw.specs import (
+    A300_8,
+    CpuSpec,
+    SystemSpec,
+    VeSpec,
+    VH_XEON_GOLD_6126,
+    VE_TYPE_10B,
+)
+from repro.hw.topology import SystemTopology
+from repro.hw.vector_engine import VectorEngine
+from repro.hw.vector_host import VectorHost
+
+__all__ = [
+    "A300_8",
+    "Allocation",
+    "CpuSpec",
+    "DEFAULT_TIMING",
+    "MemoryRegion",
+    "PAGE_4K",
+    "PAGE_HUGE_2M",
+    "PcieLink",
+    "SystemSpec",
+    "SystemTopology",
+    "TimingModel",
+    "VE_TYPE_10B",
+    "VH_XEON_GOLD_6126",
+    "VeSpec",
+    "VectorEngine",
+    "VectorHost",
+]

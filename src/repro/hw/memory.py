@@ -1,0 +1,245 @@
+"""Simulated byte-addressable memories.
+
+A :class:`MemoryRegion` models one physical memory (the VE's HBM2, the
+VH's DDR4, or a SysV shared segment) as a real ``numpy`` byte buffer plus
+an allocator. Data written through the simulated protocols really lands in
+these buffers and is really read back — the functional correctness of the
+offloading framework is exercised end-to-end, while the *time* each access
+costs is charged separately by the protocol code.
+
+The allocator is a first-fit free-list allocator with page-aligned
+allocations. Page size is tracked per allocation because the privileged
+DMA manager charges translation per page, and the paper notes that huge
+pages (≥ 2 MiB) are required to reach peak bandwidth (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import BadAddressError, DoubleFreeError, OutOfMemoryError
+
+__all__ = ["PAGE_4K", "PAGE_HUGE_2M", "Allocation", "MemoryRegion"]
+
+#: Default small-page size.
+PAGE_4K = 4 * 1024
+#: Huge-page size the paper recommends for peak bandwidth.
+PAGE_HUGE_2M = 2 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live allocation inside a :class:`MemoryRegion`.
+
+    Attributes
+    ----------
+    addr:
+        Start address (offset into the region).
+    size:
+        Requested size in bytes.
+    page_size:
+        Page size backing this allocation (4 KiB or 2 MiB huge pages).
+    """
+
+    addr: int
+    size: int
+    page_size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the allocation."""
+        return self.addr + self.size
+
+    def pages(self) -> int:
+        """Number of pages the allocation spans."""
+        return max(1, -(-self.size // self.page_size))
+
+
+class MemoryRegion:
+    """One simulated physical memory with an allocator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (``"ve0.hbm2"``, ``"vh.ddr4"``, ...).
+    size:
+        Capacity in bytes. The backing numpy buffer is allocated lazily in
+        chunks? No — eagerly; keep regions modest in tests.
+    default_page_size:
+        Page size used by :meth:`allocate` unless overridden.
+    """
+
+    def __init__(
+        self, name: str, size: int, *, default_page_size: int = PAGE_HUGE_2M
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        if default_page_size <= 0:
+            raise ValueError(f"page size must be positive, got {default_page_size}")
+        self.name = name
+        self.size = size
+        self.default_page_size = default_page_size
+        self._buf = np.zeros(size, dtype=np.uint8)
+        #: addr -> Allocation for live allocations.
+        self._allocations: dict[int, Allocation] = {}
+        #: Sorted list of (start, length) free extents.
+        self._free: list[tuple[int, int]] = [(0, size)]
+        self.bytes_allocated = 0
+        self.peak_allocated = 0
+        self.total_allocations = 0
+
+    # -- allocation -----------------------------------------------------------
+    def allocate(self, size: int, *, page_size: int | None = None) -> Allocation:
+        """Allocate ``size`` bytes, page-aligned; first-fit.
+
+        Raises
+        ------
+        OutOfMemoryError
+            If no free extent can hold the padded request.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        page = page_size or self.default_page_size
+        # Round the reserved extent up to whole pages so distinct
+        # allocations never share a page (matches hugetlbfs behaviour).
+        padded = -(-size // page) * page
+        for index, (start, length) in enumerate(self._free):
+            # Align start up to the page boundary.
+            aligned = -(-start // page) * page
+            waste = aligned - start
+            if length >= waste + padded:
+                # Carve [aligned, aligned+padded) out of this extent.
+                remnants = []
+                if waste:
+                    remnants.append((start, waste))
+                tail = length - waste - padded
+                if tail:
+                    remnants.append((aligned + padded, tail))
+                self._free[index : index + 1] = remnants
+                alloc = Allocation(addr=aligned, size=size, page_size=page)
+                self._allocations[aligned] = alloc
+                self.bytes_allocated += padded
+                self.peak_allocated = max(self.peak_allocated, self.bytes_allocated)
+                self.total_allocations += 1
+                return alloc
+        raise OutOfMemoryError(
+            f"{self.name}: cannot allocate {size} bytes "
+            f"({padded} padded to {page}-byte pages); "
+            f"{self.free_bytes} bytes free (fragmented into {len(self._free)} extents)"
+        )
+
+    def free(self, alloc: Allocation) -> None:
+        """Free a previously-returned allocation.
+
+        Raises
+        ------
+        DoubleFreeError
+            If the allocation is not live (freed before, or foreign).
+        """
+        live = self._allocations.pop(alloc.addr, None)
+        if live is None or live != alloc:
+            if live is not None:  # restore: it was a different allocation
+                self._allocations[alloc.addr] = live
+            raise DoubleFreeError(
+                f"{self.name}: free of non-live allocation at {alloc.addr:#x}"
+            )
+        padded = -(-alloc.size // alloc.page_size) * alloc.page_size
+        self.bytes_allocated -= padded
+        self._insert_free(alloc.addr, padded)
+
+    def _insert_free(self, start: int, length: int) -> None:
+        """Insert a free extent, coalescing with neighbours."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, (start, length))
+        # Coalesce with successor then predecessor.
+        if lo + 1 < len(free) and free[lo][0] + free[lo][1] == free[lo + 1][0]:
+            free[lo] = (free[lo][0], free[lo][1] + free[lo + 1][1])
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == free[lo][0]:
+            free[lo - 1] = (free[lo - 1][0], free[lo - 1][1] + free[lo][1])
+            del free[lo]
+
+    @property
+    def free_bytes(self) -> int:
+        """Total bytes in free extents."""
+        return sum(length for _start, length in self._free)
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of currently-live allocations."""
+        return len(self._allocations)
+
+    def allocations(self) -> Iterator[Allocation]:
+        """Iterate over live allocations (unspecified order)."""
+        return iter(self._allocations.values())
+
+    def allocation_at(self, addr: int) -> Allocation:
+        """The live allocation containing ``addr``.
+
+        Raises :class:`BadAddressError` if ``addr`` is not inside any live
+        allocation.
+        """
+        alloc = self._allocations.get(addr)
+        if alloc is not None:
+            return alloc
+        for candidate in self._allocations.values():
+            if candidate.addr <= addr < candidate.end:
+                return candidate
+        raise BadAddressError(f"{self.name}: address {addr:#x} is not allocated")
+
+    # -- raw access -----------------------------------------------------------
+    def _check_range(self, addr: int, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"negative access size {size}")
+        if addr < 0 or addr + size > self.size:
+            raise BadAddressError(
+                f"{self.name}: access [{addr:#x}, {addr + size:#x}) outside "
+                f"region of {self.size} bytes"
+            )
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview | np.ndarray) -> None:
+        """Copy ``data`` into the region at ``addr``."""
+        view = np.frombuffer(data, dtype=np.uint8) if not isinstance(data, np.ndarray) else (
+            data.view(np.uint8).reshape(-1)
+        )
+        self._check_range(addr, view.size)
+        self._buf[addr : addr + view.size] = view
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Copy ``size`` bytes out of the region starting at ``addr``."""
+        self._check_range(addr, size)
+        return self._buf[addr : addr + size].tobytes()
+
+    def view(self, addr: int, size: int) -> np.ndarray:
+        """Zero-copy ``uint8`` view of ``[addr, addr+size)``."""
+        self._check_range(addr, size)
+        return self._buf[addr : addr + size]
+
+    # word access used by flag protocols ------------------------------------------
+    def read_u64(self, addr: int) -> int:
+        """Read one little-endian 64-bit word."""
+        self._check_range(addr, 8)
+        return int.from_bytes(self._buf[addr : addr + 8].tobytes(), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write one little-endian 64-bit word."""
+        self._check_range(addr, 8)
+        self._buf[addr : addr + 8] = np.frombuffer(
+            value.to_bytes(8, "little"), dtype=np.uint8
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemoryRegion {self.name!r} {self.size} B, "
+            f"{self.bytes_allocated} allocated in {self.live_allocations} blocks>"
+        )

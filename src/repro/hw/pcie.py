@@ -1,0 +1,111 @@
+"""PCIe link model.
+
+The link is modeled as a shared, FIFO-arbitrated resource: only one bulk
+transfer occupies the wire at a time (the paper's system has a single PCIe
+Gen3 x16 connection per VE; both the privileged and the user DMA engine
+ultimately share it). Transfer *durations* are computed by the
+:class:`~repro.hw.params.TimingModel`; the link adds arbitration and
+accounting.
+
+Word-granular LHM/SHM accesses bypass arbitration (they are independent
+bus transactions interleaving freely with DMA bursts) but are still
+counted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.sim import Event, Resource, Simulator
+
+__all__ = ["PcieLink"]
+
+
+class PcieLink:
+    """One PCIe connection between the VH and a VE.
+
+    Parameters
+    ----------
+    sim:
+        The simulator the link lives in.
+    name:
+        Label used in traces.
+    upi_hops:
+        UPI crossings between the issuing CPU socket and this link's PCIe
+        switch (0 when the VH process runs on the locally attached socket,
+        1 from the remote socket — paper Sec. V-A).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "pcie",
+        upi_hops: int = 0,
+        uplink: Resource | None = None,
+    ) -> None:
+        if upi_hops < 0:
+            raise ValueError(f"upi_hops must be >= 0, got {upi_hops}")
+        self.sim = sim
+        self.name = name
+        self.upi_hops = upi_hops
+        self._wire = Resource(sim, capacity=1)
+        #: Shared PCIe-switch uplink (paper Fig. 3: one x16 uplink feeds
+        #: four VE slots). Bulk transfers of same-switch VEs contend here.
+        self.uplink = uplink
+        self.bytes_vh_to_ve = 0
+        self.bytes_ve_to_vh = 0
+        self.transfer_count = 0
+        self.word_op_count = 0
+        self.busy_time = 0.0
+
+    def transfer(
+        self, duration: float, size: int, direction: str
+    ) -> Generator[Event, Any, None]:
+        """Occupy the wire for ``duration`` moving ``size`` bytes.
+
+        Use as ``yield from link.transfer(...)`` inside a simulation
+        process. Arbitration is FIFO: concurrent bulk transfers serialize.
+        """
+        if duration < 0:
+            raise ValueError(f"negative transfer duration {duration}")
+        yield self._wire.request()
+        try:
+            if self.uplink is not None:
+                yield self.uplink.request()
+            try:
+                start = self.sim.now
+                yield self.sim.timeout(duration)
+                self.busy_time += self.sim.now - start
+                self._account(size, direction)
+                self.transfer_count += 1
+            finally:
+                if self.uplink is not None:
+                    self.uplink.release()
+        finally:
+            self._wire.release()
+
+    def word_op(self, direction: str, size: int = 8) -> None:
+        """Account one LHM/SHM word transaction (no arbitration)."""
+        self._account(size, direction)
+        self.word_op_count += 1
+
+    def _account(self, size: int, direction: str) -> None:
+        if direction == "vh_to_ve":
+            self.bytes_vh_to_ve += size
+        elif direction == "ve_to_vh":
+            self.bytes_ve_to_vh += size
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers currently waiting for the wire."""
+        return self._wire.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PcieLink {self.name!r} upi_hops={self.upi_hops} "
+            f"{self.transfer_count} transfers, "
+            f"{self.bytes_vh_to_ve}B down / {self.bytes_ve_to_vh}B up>"
+        )

@@ -1,0 +1,110 @@
+"""Roofline execution-time model for offloaded kernels.
+
+The paper offloads *empty* kernels to isolate framework overhead, but its
+motivation (Sec. V-A last paragraph) is that lower offload cost lets
+finer-grained kernels profit — in the Xeon Phi study a 13.7× overhead
+reduction translated into up to 2.6× application speedup. To reproduce
+that *granularity* experiment (bench G1) we need kernel runtimes on both
+devices, which this classic roofline model provides:
+
+``time = startup + max(flops / peak_flops_eff, bytes / mem_bandwidth)``
+
+with a device-specific *efficiency* factor standing in for how well the
+code vectorises (the paper: scalar code runs "rather slow" on the VE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceModel", "KernelCost", "VH_DEVICE", "VE_DEVICE", "VE_SCALAR_DEVICE"]
+
+from repro.hw.specs import VE_TYPE_10B, VH_XEON_GOLD_6126
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Abstract cost of one kernel invocation.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations performed.
+    bytes_moved:
+        Bytes read + written from/to device memory.
+    """
+
+    flops: float
+    bytes_moved: float
+
+    def scaled(self, factor: float) -> "KernelCost":
+        """Cost of the same kernel on a ``factor``× larger problem."""
+        return KernelCost(self.flops * factor, self.bytes_moved * factor)
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Roofline parameters of one execution device.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    peak_flops:
+        Peak double-precision FLOP/s.
+    mem_bandwidth:
+        Memory bandwidth in bytes/s.
+    efficiency:
+        Fraction of peak the workload's code achieves (vectorisation /
+        pipeline quality).
+    startup:
+        Fixed per-invocation cost (loop setup, cache warm).
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    efficiency: float = 0.8
+    startup: float = 0.0
+
+    def kernel_time(self, cost: KernelCost) -> float:
+        """Roofline execution time of ``cost`` on this device."""
+        if cost.flops < 0 or cost.bytes_moved < 0:
+            raise ValueError("kernel cost components must be non-negative")
+        compute = cost.flops / (self.peak_flops * self.efficiency)
+        memory = cost.bytes_moved / self.mem_bandwidth
+        return self.startup + max(compute, memory)
+
+    def arithmetic_balance(self) -> float:
+        """FLOP/byte at which the device turns compute-bound."""
+        return self.peak_flops * self.efficiency / self.mem_bandwidth
+
+
+#: The Vector Host CPU running well-optimised (AVX-512) code.
+VH_DEVICE = DeviceModel(
+    name="VH (Xeon Gold 6126)",
+    peak_flops=VH_XEON_GOLD_6126.peak_flops,
+    mem_bandwidth=VH_XEON_GOLD_6126.memory_bandwidth_bytes_s,
+    efficiency=0.75,
+    startup=0.2e-6,
+)
+
+#: The Vector Engine running well-vectorised code.
+VE_DEVICE = DeviceModel(
+    name="VE (Type 10B, vectorised)",
+    peak_flops=VE_TYPE_10B.peak_flops,
+    mem_bandwidth=VE_TYPE_10B.memory_bandwidth_bytes_s,
+    efficiency=0.8,
+    startup=0.5e-6,
+)
+
+#: The Vector Engine running *scalar* code — the paper stresses that
+#: non-data-parallel code executes in "a rather slow scalar execution
+#: mode" on the VE, which motivates offloading instead of native runs.
+VE_SCALAR_DEVICE = DeviceModel(
+    name="VE (Type 10B, scalar)",
+    peak_flops=VE_TYPE_10B.peak_flops / VE_TYPE_10B.vector_width_double,
+    mem_bandwidth=VE_TYPE_10B.memory_bandwidth_bytes_s / 8,
+    efficiency=0.5,
+    startup=0.5e-6,
+)

@@ -1,0 +1,162 @@
+"""Specification database for the benchmark platform.
+
+Encodes paper **Table I** (single VH CPU and VE specifications) and
+**Table III** (benchmark system configuration) as frozen dataclasses. The
+benchmark targets ``bench_table1_specs`` / ``bench_table3_system``
+regenerate the paper's tables from these objects, and the timing model and
+roofline use them as ground truth.
+
+Units follow the paper: ``GiB`` is 2**30 bytes, ``GB`` is 10**9 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GIB",
+    "MIB",
+    "KIB",
+    "CpuSpec",
+    "VeSpec",
+    "SystemSpec",
+    "VH_XEON_GOLD_6126",
+    "VE_TYPE_10B",
+    "A300_8",
+]
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Specification of one Vector Host CPU socket (paper Table I, left)."""
+
+    name: str
+    cores: int
+    threads: int
+    vector_width_double: int
+    clock_ghz: float
+    peak_gflops: float
+    max_memory_bytes: int
+    memory_bandwidth_gb_s: float  #: GB/s (10**9 bytes per second)
+    llc_bytes: int
+    tdp_watts: int
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def memory_bandwidth_bytes_s(self) -> float:
+        """Memory bandwidth in bytes/s."""
+        return self.memory_bandwidth_gb_s * 1e9
+
+
+@dataclass(frozen=True)
+class VeSpec:
+    """Specification of one NEC Vector Engine (paper Table I, right)."""
+
+    name: str
+    cores: int
+    threads: int
+    vector_width_double: int
+    clock_ghz: float
+    peak_gflops: float
+    max_memory_bytes: int
+    memory_bandwidth_gb_s: float
+    llc_bytes: int
+    tdp_watts: int
+    #: Number of 64-bit words in one vector register (ISA property).
+    vector_length_words: int = 256
+    #: Vector registers per core.
+    vector_registers: int = 64
+    #: FMA vector units per core.
+    fma_units: int = 3
+    #: Maximum PCIe payload size in bytes (Sec. V: 256 B for the VE).
+    pcie_max_payload: int = 256
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def memory_bandwidth_bytes_s(self) -> float:
+        """Memory bandwidth in bytes/s."""
+        return self.memory_bandwidth_gb_s * 1e9
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Configuration of the benchmark system (paper Table III + Fig. 3)."""
+
+    name: str
+    cpu: CpuSpec
+    ve: VeSpec
+    num_cpu_sockets: int
+    num_ves: int
+    vh_memory_bytes: int
+    #: VEs per PCIe switch (Fig. 3: two switches with four VEs each).
+    ves_per_switch: int
+    vh_os: str = "CentOS Linux release 7.6.1810, kernel 3.10.0-693"
+    vh_compiler: str = "GCC 4.8.5"
+    veos_version: str = "1.3.2-4dma"
+    veo_version: str = "1.3.2a"
+    ve_compiler: str = "NEC NCC 1.6.0"
+    #: PCIe generation and lane count of the VE cards.
+    pcie_gen: int = 3
+    pcie_lanes: int = 16
+
+    def socket_of_ve(self, ve_index: int) -> int:
+        """CPU socket a VE is locally attached to (via its PCIe switch).
+
+        In the A300-8 block diagram each PCIe switch hangs off one CPU
+        socket; VEs 0..3 are local to socket 0, VEs 4..7 to socket 1.
+        """
+        if not 0 <= ve_index < self.num_ves:
+            raise ValueError(f"VE index {ve_index} out of range 0..{self.num_ves - 1}")
+        return min(ve_index // self.ves_per_switch, self.num_cpu_sockets - 1)
+
+
+#: Intel Xeon Gold 6126 — the Vector Host CPU (paper Table I).
+VH_XEON_GOLD_6126 = CpuSpec(
+    name="Intel Xeon Gold 6126",
+    cores=12,
+    threads=24,
+    vector_width_double=8,
+    clock_ghz=2.6,
+    peak_gflops=998.4,
+    max_memory_bytes=384 * GIB,
+    memory_bandwidth_gb_s=128.0,
+    llc_bytes=int(19.25 * MIB),
+    tdp_watts=125,
+)
+
+#: NEC Vector Engine Type 10B (paper Table I).
+VE_TYPE_10B = VeSpec(
+    name="NEC VE Type 10B",
+    cores=8,
+    threads=8,
+    vector_width_double=256,
+    clock_ghz=1.4,
+    peak_gflops=2150.4,
+    max_memory_bytes=48 * GIB,
+    memory_bandwidth_gb_s=1228.8,
+    llc_bytes=16 * MIB,
+    tdp_watts=300,
+)
+
+#: The NEC SX-Aurora TSUBASA A300-8 benchmark system (paper Table III).
+A300_8 = SystemSpec(
+    name="NEC SX-Aurora TSUBASA A300-8",
+    cpu=VH_XEON_GOLD_6126,
+    ve=VE_TYPE_10B,
+    num_cpu_sockets=2,
+    num_ves=8,
+    vh_memory_bytes=192 * GIB,
+    ves_per_switch=4,
+)

@@ -1,0 +1,78 @@
+"""System topology — paper Fig. 3 as a graph.
+
+The A300-8 block diagram: two Xeon sockets joined by UPI; each socket
+feeds one PCIe switch; each switch connects four Vector Engines. The
+topology answers one question the evaluation cares about (Sec. V-A):
+*how many UPI hops lie between the CPU socket a process runs on and a
+given VE?* — offloading from the second socket "adds up to 1 µs".
+
+Built on :mod:`networkx` so it can be queried, extended (e.g. with the
+optional InfiniBand cards) and visualised.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.hw.specs import A300_8, SystemSpec
+
+__all__ = ["SystemTopology"]
+
+
+class SystemTopology:
+    """Graph model of the host/VE interconnect.
+
+    Node names: ``socket0``, ``socket1``, ``pcie_switch0``, ...,
+    ``ve0`` ... ``ve7``. Edge attribute ``kind`` is ``"upi"`` or
+    ``"pcie"``.
+    """
+
+    def __init__(self, spec: SystemSpec = A300_8) -> None:
+        self.spec = spec
+        graph = nx.Graph()
+        for socket in range(spec.num_cpu_sockets):
+            graph.add_node(f"socket{socket}", kind="cpu")
+        for a in range(spec.num_cpu_sockets):
+            for b in range(a + 1, spec.num_cpu_sockets):
+                graph.add_edge(f"socket{a}", f"socket{b}", kind="upi")
+        num_switches = max(1, spec.num_ves // spec.ves_per_switch)
+        for switch in range(num_switches):
+            socket = min(switch, spec.num_cpu_sockets - 1)
+            graph.add_node(f"pcie_switch{switch}", kind="switch")
+            graph.add_edge(f"socket{socket}", f"pcie_switch{switch}", kind="pcie")
+        for ve in range(spec.num_ves):
+            switch = min(ve // spec.ves_per_switch, num_switches - 1)
+            graph.add_node(f"ve{ve}", kind="ve")
+            graph.add_edge(f"pcie_switch{switch}", f"ve{ve}", kind="pcie")
+        self.graph = graph
+
+    def upi_hops(self, socket: int, ve_index: int) -> int:
+        """UPI crossings between ``socket`` and ``ve_index``.
+
+        0 when the VE hangs off the given socket's PCIe switch, 1 when the
+        path crosses the socket interconnect.
+        """
+        path = nx.shortest_path(self.graph, f"socket{socket}", f"ve{ve_index}")
+        hops = 0
+        for a, b in zip(path, path[1:]):
+            if self.graph.edges[a, b]["kind"] == "upi":
+                hops += 1
+        return hops
+
+    def local_socket(self, ve_index: int) -> int:
+        """The socket with a UPI-free path to ``ve_index``."""
+        return self.spec.socket_of_ve(ve_index)
+
+    def ves_of_socket(self, socket: int) -> list[int]:
+        """Indices of VEs locally attached to ``socket``."""
+        return [
+            ve for ve in range(self.spec.num_ves) if self.local_socket(ve) == socket
+        ]
+
+    def describe(self) -> str:
+        """One-line-per-node description (used by example scripts)."""
+        lines = []
+        for socket in range(self.spec.num_cpu_sockets):
+            ves = ", ".join(f"ve{i}" for i in self.ves_of_socket(socket))
+            lines.append(f"socket{socket} ({self.spec.cpu.name}): {ves}")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Model of one NEC Vector Engine card.
+
+Exposes exactly the facilities the paper's protocols use:
+
+* the local HBM2 memory (a real byte buffer with an allocator);
+* the DMAATB and a user DMA engine (:mod:`repro.hw.dma`);
+* the **LHM**/**SHM** instructions — word-wise loads/stores of host
+  memory through VEHVA mappings (Sec. IV-A).
+
+The VE runs no OS: process management, syscalls and the privileged DMA
+all live host-side in :mod:`repro.veos`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import DmaError
+from repro.hw.dma import Dmaatb, UserDmaEngine
+from repro.hw.memory import MemoryRegion, PAGE_HUGE_2M
+from repro.hw.params import TimingModel, WORD
+from repro.hw.pcie import PcieLink
+from repro.hw.specs import MIB, VE_TYPE_10B, VeSpec
+from repro.sim import Event, Simulator
+
+__all__ = ["VectorEngine"]
+
+
+class VectorEngine:
+    """One Vector Engine: HBM2 memory, DMAATB, user DMA, LHM/SHM.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    index:
+        Card index in the system (0..7 on the A300-8).
+    timing:
+        The platform timing model.
+    link:
+        The PCIe link connecting this VE to the VH.
+    spec:
+        Hardware specification (defaults to the VE Type 10B).
+    memory_bytes:
+        *Simulated* HBM2 capacity. Defaults to 512 MiB — enough for the
+        paper's largest transfers — rather than the spec'd 48 GiB, to keep
+        host RAM usage reasonable; the spec value is still reported by
+        :mod:`repro.hw.specs`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        timing: TimingModel,
+        link: PcieLink,
+        *,
+        spec: VeSpec = VE_TYPE_10B,
+        memory_bytes: int = 512 * MIB,
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.timing = timing
+        self.link = link
+        self.spec = spec
+        self.hbm = MemoryRegion(
+            f"ve{index}.hbm2", memory_bytes, default_page_size=PAGE_HUGE_2M
+        )
+        self.dmaatb = Dmaatb()
+        self.udma = UserDmaEngine(sim, timing, self.dmaatb, link, name=f"ve{index}.udma")
+        self.lhm_ops = 0
+        self.shm_ops = 0
+
+    # -- LHM: load host memory ------------------------------------------------
+    def lhm_read(self, vehva: int, size: int) -> Generator[Event, Any, bytes]:
+        """Load ``size`` bytes from a VEHVA range word-by-word.
+
+        Each word is a blocking PCIe read (~the 1.2 µs round trip), which
+        is why LHM only beats user DMA for one or two words (Sec. V-B).
+        Generator — returns the bytes via ``yield from``.
+        """
+        region, addr = self.dmaatb.translate(vehva, size)
+        duration = self.timing.lhm_time(size, upi_hops=self.link.upi_hops)
+        yield self.sim.timeout(duration)
+        words = max(1, -(-size // WORD))
+        self.lhm_ops += words
+        self.link.word_op("vh_to_ve", size)
+        return region.read(addr, size)
+
+    def lhm_read_u64(self, vehva: int) -> Generator[Event, Any, int]:
+        """Load one 64-bit word from a VEHVA address (flag polling)."""
+        region, addr = self.dmaatb.translate(vehva, WORD)
+        yield self.sim.timeout(
+            self.timing.lhm_time(WORD, upi_hops=self.link.upi_hops)
+        )
+        self.lhm_ops += 1
+        self.link.word_op("vh_to_ve", WORD)
+        return region.read_u64(addr)
+
+    # -- SHM: store host memory --------------------------------------------------
+    def shm_write(self, vehva: int, data: bytes) -> Generator[Event, Any, None]:
+        """Store ``data`` to a VEHVA range word-by-word (posted).
+
+        The generator completes when the VE core has *issued* all stores
+        (store-queue model: fast burst, then sustained rate). The data
+        becomes visible in host memory one PCIe one-way latency later.
+        """
+        size = len(data)
+        if size == 0:
+            raise DmaError("SHM store of zero bytes")
+        region, addr = self.dmaatb.translate(vehva, size)
+        busy = self.timing.shm_time(size)
+        visibility = self.timing.shm_visibility_delay(upi_hops=self.link.upi_hops)
+        yield self.sim.timeout(busy)
+        self.shm_ops += max(1, -(-size // WORD))
+        self.link.word_op("ve_to_vh", size)
+
+        def land(_ev: Event) -> None:
+            region.write(addr, data)
+
+        self.sim.timeout(visibility).callbacks.append(land)  # type: ignore[union-attr]
+
+    def shm_write_u64(self, vehva: int, value: int) -> Generator[Event, Any, None]:
+        """Store one 64-bit word to a VEHVA address (flag signalling)."""
+        yield from self.shm_write(vehva, value.to_bytes(WORD, "little"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VectorEngine #{self.index} {self.spec.name}>"

@@ -1,0 +1,115 @@
+"""Model of the Vector Host (the x86 server the VE cards plug into).
+
+The VH contributes three things to the paper's protocols:
+
+* ordinary process memory (DDR4) where VEO stages transfers;
+* **SystemV shared-memory segments** — the DMA protocol (Sec. IV-A) maps
+  one into the VH process and registers it in the VE's DMAATB so that the
+  VE can access it with user DMA and LHM/SHM;
+* the NUMA layout: a VH process may run on the socket the VE's PCIe
+  switch is attached to, or on the other socket behind a UPI hop
+  (Sec. V-A measures the difference).
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hw.memory import MemoryRegion, PAGE_4K, PAGE_HUGE_2M
+from repro.hw.params import TimingModel
+from repro.hw.specs import MIB, VH_XEON_GOLD_6126, CpuSpec
+from repro.sim import Simulator
+
+__all__ = ["VectorHost", "ShmSegment"]
+
+
+class ShmSegment(MemoryRegion):
+    """A SystemV shared-memory segment of the VH.
+
+    It is a plain :class:`MemoryRegion` plus the SysV ``key`` used by the
+    VE side to attach it (paper Fig. 7), and a flag recording whether it
+    is backed by huge pages (``SHM_HUGETLB``), which the paper found
+    essential for peak bandwidth.
+    """
+
+    def __init__(self, key: int, size: int, *, huge_pages: bool = True) -> None:
+        super().__init__(
+            f"vh.shm[{key:#x}]",
+            size,
+            default_page_size=PAGE_HUGE_2M if huge_pages else PAGE_4K,
+        )
+        self.key = key
+        self.huge_pages = huge_pages
+
+
+class VectorHost:
+    """The Vector Host: CPU sockets, DDR4 memory, SysV shm segments.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    timing:
+        The platform timing model.
+    spec:
+        CPU specification (defaults to the Xeon Gold 6126 of Table I).
+    num_sockets:
+        Number of CPU sockets (2 on the A300-8).
+    memory_bytes:
+        *Simulated* DDR4 capacity (default 512 MiB; the spec'd 192 GiB is
+        reported by :mod:`repro.hw.specs`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: TimingModel,
+        *,
+        spec: CpuSpec = VH_XEON_GOLD_6126,
+        num_sockets: int = 2,
+        memory_bytes: int = 512 * MIB,
+    ) -> None:
+        if num_sockets < 1:
+            raise ValueError(f"num_sockets must be >= 1, got {num_sockets}")
+        self.sim = sim
+        self.timing = timing
+        self.spec = spec
+        self.num_sockets = num_sockets
+        self.ddr = MemoryRegion("vh.ddr4", memory_bytes, default_page_size=PAGE_HUGE_2M)
+        self._segments: dict[int, ShmSegment] = {}
+        self._next_key = 0x5EC0_0000
+
+    # -- SysV shared memory -----------------------------------------------------
+    def shmget(self, size: int, *, huge_pages: bool = True) -> ShmSegment:
+        """Create a shared-memory segment (``shmget`` + ``shmat``).
+
+        The returned segment is immediately usable by the VH process; the
+        VE side attaches via :meth:`segment_by_key` and registers it in
+        its DMAATB.
+        """
+        if size <= 0:
+            raise HardwareError(f"shm segment size must be positive, got {size}")
+        key = self._next_key
+        self._next_key += 1
+        segment = ShmSegment(key, size, huge_pages=huge_pages)
+        self._segments[key] = segment
+        return segment
+
+    def segment_by_key(self, key: int) -> ShmSegment:
+        """Look up a segment by its SysV key (the VE-side ``shmget``)."""
+        try:
+            return self._segments[key]
+        except KeyError:
+            raise HardwareError(f"no shared-memory segment with key {key:#x}") from None
+
+    def shmrm(self, segment: ShmSegment) -> None:
+        """Remove a segment (``shmctl(IPC_RMID)``)."""
+        if self._segments.pop(segment.key, None) is None:
+            raise HardwareError(f"segment {segment.key:#x} not live")
+
+    @property
+    def live_segments(self) -> int:
+        """Number of live shared-memory segments."""
+        return len(self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VectorHost {self.spec.name} x{self.num_sockets}>"

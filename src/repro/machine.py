@@ -1,0 +1,129 @@
+"""Assembly of one simulated SX-Aurora machine.
+
+:class:`AuroraMachine` wires together the simulator, the Vector Host, the
+Vector Engines with their PCIe links, and one VEOS daemon per VE — the
+configuration of paper Fig. 3 / Table III. It is the root object the VEO
+API, the timed communication backends and the benchmarks build on.
+
+The ``socket`` parameter selects which CPU socket the VH process runs on;
+links to VEs hanging off the *other* socket's PCIe switch are charged UPI
+penalties (the paper's Sec. V-A second-socket experiment).
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import MemoryRegion
+from repro.hw.params import DEFAULT_TIMING, TimingModel
+from repro.hw.pcie import PcieLink
+from repro.hw.specs import A300_8, MIB, SystemSpec
+from repro.hw.topology import SystemTopology
+from repro.hw.vector_engine import VectorEngine
+from repro.hw.vector_host import VectorHost
+from repro.sim import Resource, Simulator, Tracer
+from repro.veos.daemon import VeosDaemon
+
+__all__ = ["AuroraMachine"]
+
+
+class AuroraMachine:
+    """One simulated NEC SX-Aurora TSUBASA node.
+
+    Parameters
+    ----------
+    num_ves:
+        Number of Vector Engines to instantiate (≤ the spec's count).
+    socket:
+        CPU socket the VH process is pinned to (0 or 1 on the A300-8).
+    timing:
+        The timing model; override for ablations.
+    four_dma:
+        Whether VEOS runs the improved ``1.3.2-4dma`` DMA manager.
+    spec:
+        System specification (defaults to the paper's A300-8).
+    ve_memory_bytes / vh_memory_bytes:
+        Simulated memory capacities (kept far below the spec'd sizes so
+        the host machine running the simulation stays comfortable).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_ves: int = 1,
+        socket: int = 0,
+        timing: TimingModel = DEFAULT_TIMING,
+        four_dma: bool = True,
+        spec: SystemSpec = A300_8,
+        ve_memory_bytes: int = 64 * MIB,
+        vh_memory_bytes: int = 64 * MIB,
+        sim: Simulator | None = None,
+        name: str = "node0",
+    ) -> None:
+        if not 1 <= num_ves <= spec.num_ves:
+            raise ValueError(f"num_ves must be in 1..{spec.num_ves}, got {num_ves}")
+        if not 0 <= socket < spec.num_cpu_sockets:
+            raise ValueError(f"socket must be in 0..{spec.num_cpu_sockets - 1}")
+        self.spec = spec
+        self.socket = socket
+        self.timing = timing
+        self.name = name
+        self.topology = SystemTopology(spec)
+        # Several machines may share one simulator (cluster operation);
+        # only the first owner attaches a tracer.
+        self.sim = sim if sim is not None else Simulator()
+        if self.sim.tracer is None:
+            self.tracer = Tracer().attach(self.sim)
+        else:
+            self.tracer = self.sim.tracer
+        self.vh = VectorHost(
+            self.sim, timing, spec=spec.cpu, num_sockets=spec.num_cpu_sockets,
+            memory_bytes=vh_memory_bytes,
+        )
+        self.links: list[PcieLink] = []
+        self.ves: list[VectorEngine] = []
+        self.daemons: list[VeosDaemon] = []
+        # One shared uplink per PCIe switch (Fig. 3: two switches with
+        # four VE slots each) — bulk transfers of same-switch VEs contend.
+        num_switches = max(1, spec.num_ves // spec.ves_per_switch)
+        self.switch_uplinks = [Resource(self.sim) for _ in range(num_switches)]
+        for index in range(num_ves):
+            switch = min(index // spec.ves_per_switch, num_switches - 1)
+            link = PcieLink(
+                self.sim,
+                name=f"pcie.ve{index}",
+                upi_hops=self.topology.upi_hops(socket, index),
+                uplink=self.switch_uplinks[switch],
+            )
+            ve = VectorEngine(
+                self.sim, index, timing, link, spec=spec.ve,
+                memory_bytes=ve_memory_bytes,
+            )
+            self.links.append(link)
+            self.ves.append(ve)
+            self.daemons.append(VeosDaemon(self.sim, timing, ve, four_dma=four_dma))
+
+    @property
+    def num_ves(self) -> int:
+        """Number of instantiated Vector Engines."""
+        return len(self.ves)
+
+    def ve(self, index: int = 0) -> VectorEngine:
+        """The ``index``-th Vector Engine."""
+        return self.ves[index]
+
+    def daemon(self, index: int = 0) -> VeosDaemon:
+        """The VEOS daemon of the ``index``-th VE."""
+        return self.daemons[index]
+
+    def link(self, index: int = 0) -> PcieLink:
+        """The PCIe link of the ``index``-th VE."""
+        return self.links[index]
+
+    def scratch_region(self) -> MemoryRegion:
+        """The VH's DDR4 region (staging area for VEO transfers)."""
+        return self.vh.ddr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AuroraMachine {self.spec.name!r} socket={self.socket} "
+            f"ves={self.num_ves} t={self.sim.now * 1e6:.1f}us>"
+        )

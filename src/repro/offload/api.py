@@ -1,0 +1,148 @@
+"""Free-function offload API — the exact shape of paper Table II.
+
+The C++ original exposes ``offload::sync(...)``, ``offload::async(...)``,
+``offload::allocate<T>(...)`` as free functions against a process-global
+runtime. This module mirrors that: :func:`init` binds a backend to the
+module-global runtime, after which the Table II operations are plain
+functions::
+
+    from repro.offload import api as offload
+
+    offload.init(DmaCommBackend())
+    target = 1
+    a = offload.allocate(target, 1024)
+    offload.put(host_array, a)
+    future = offload.async_(target, f2f(kernel, a, 1024))
+    print(future.get())
+    offload.finalize()
+
+Object-oriented use (multiple runtimes in one process) goes through
+:class:`repro.offload.runtime.Runtime` directly; this module is a thin
+veneer for application code that wants the paper's look and feel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import OffloadError
+from repro.ham.functor import Functor
+from repro.offload.buffer import BufferPtr
+from repro.offload.future import Future
+from repro.offload.node import NodeDescriptor, NodeId
+from repro.offload.runtime import Runtime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backends.base import Backend
+
+__all__ = [
+    "init",
+    "finalize",
+    "is_initialized",
+    "runtime",
+    "sync",
+    "async_",
+    "allocate",
+    "free",
+    "put",
+    "get",
+    "copy",
+    "num_nodes",
+    "this_node",
+    "get_node_descriptor",
+]
+
+_runtime: Runtime | None = None
+
+
+def init(backend: "Backend") -> Runtime:
+    """Initialize the process-global runtime with ``backend``.
+
+    Raises
+    ------
+    OffloadError
+        If a runtime is already initialized (call :func:`finalize` first).
+    """
+    global _runtime
+    if _runtime is not None:
+        raise OffloadError("offload API already initialized; call finalize() first")
+    _runtime = Runtime(backend)
+    return _runtime
+
+
+def finalize() -> None:
+    """Shut the global runtime down (idempotent)."""
+    global _runtime
+    if _runtime is not None:
+        _runtime.shutdown()
+        _runtime = None
+
+
+def is_initialized() -> bool:
+    """Whether :func:`init` has been called (and not yet finalized)."""
+    return _runtime is not None
+
+
+def runtime() -> Runtime:
+    """The global runtime.
+
+    Raises
+    ------
+    OffloadError
+        If :func:`init` has not been called.
+    """
+    if _runtime is None:
+        raise OffloadError("offload API not initialized; call init(backend) first")
+    return _runtime
+
+
+def sync(node: NodeId, functor: Functor) -> Any:
+    """Synchronous offload of ``functor`` to ``node`` (Table II ``sync``)."""
+    return runtime().sync(node, functor)
+
+
+def async_(node: NodeId, functor: Functor) -> Future:
+    """Asynchronous offload; returns a future (Table II ``async``)."""
+    return runtime().async_(node, functor)
+
+
+def allocate(node: NodeId, count: int, dtype: Any = np.float64) -> BufferPtr:
+    """Allocate ``count`` elements on ``node`` (Table II ``allocate<T>``)."""
+    return runtime().allocate(node, count, dtype)
+
+
+def free(ptr: BufferPtr) -> None:
+    """Free target memory (Table II ``free``)."""
+    runtime().free(ptr)
+
+
+def put(src: np.ndarray, dst: BufferPtr, count: int | None = None) -> Future:
+    """Write host data into target memory (Table II ``put``)."""
+    return runtime().put(src, dst, count)
+
+
+def get(src: BufferPtr, dst: np.ndarray, count: int | None = None) -> Future:
+    """Read target memory into host data (Table II ``get``)."""
+    return runtime().get(src, dst, count)
+
+
+def copy(src: BufferPtr, dst: BufferPtr, count: int | None = None) -> Future:
+    """Direct target-to-target copy (Table II ``copy``)."""
+    return runtime().copy(src, dst, count)
+
+
+def num_nodes() -> int:
+    """Number of processes of the running application (Table II)."""
+    return runtime().num_nodes()
+
+
+def this_node() -> NodeId:
+    """Address of the current process (Table II)."""
+    return runtime().this_node()
+
+
+def get_node_descriptor(node: NodeId) -> NodeDescriptor:
+    """Descriptor of ``node`` (Table II)."""
+    return runtime().get_node_descriptor(node)

@@ -1,0 +1,89 @@
+"""Futures (paper Table II: ``future<T>``).
+
+"Lazy synchronization to an asynchronous offload operation ... provides
+non-blocking ``test()`` and blocking ``get()`` accessors." A future wraps
+a backend-specific handle; calling :meth:`get` repeatedly returns the
+cached value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.errors import FutureError
+
+__all__ = ["Future", "OperationHandle", "CompletedHandle"]
+
+
+class OperationHandle(Protocol):
+    """What backends hand to futures: a pollable pending operation."""
+
+    def test(self) -> bool:
+        """Non-blocking completion probe."""
+        ...
+
+    def wait(self) -> Any:
+        """Block until complete; return the value (raising on failure)."""
+        ...
+
+
+class CompletedHandle:
+    """A trivially complete handle (synchronous backends)."""
+
+    def __init__(self, value: Any = None, error: BaseException | None = None) -> None:
+        self._value = value
+        self._error = error
+
+    def test(self) -> bool:
+        return True
+
+    def wait(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class Future:
+    """Handle to an asynchronous offload operation's result."""
+
+    def __init__(self, handle: OperationHandle, label: str = "") -> None:
+        self._handle: OperationHandle | None = handle
+        self._label = label
+        self._done = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def test(self) -> bool:
+        """Whether the result is available (non-blocking)."""
+        if self._done:
+            return True
+        assert self._handle is not None
+        if self._handle.test():
+            self._settle()
+            return True
+        return False
+
+    def get(self) -> Any:
+        """Block until the result is available and return it.
+
+        Re-raises the remote exception if the offloaded function failed.
+        """
+        if not self._done:
+            self._settle()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _settle(self) -> None:
+        if self._handle is None:
+            raise FutureError(f"future {self._label!r} detached from its backend")
+        try:
+            self._value = self._handle.wait()
+        except BaseException as exc:  # noqa: BLE001 - stored for re-raise
+            self._error = exc
+        self._done = True
+        self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<Future {self._label!r} {state}>"

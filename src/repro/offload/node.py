@@ -1,0 +1,45 @@
+"""Node addressing (paper Table II: ``node_t`` / ``node_descriptor``).
+
+A HAM-Offload application is a set of processes, each performing either
+the host or an offload-target role. Node 0 is the host by convention;
+targets are numbered from 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodeId", "HOST_NODE", "NodeDescriptor"]
+
+#: Address type of a process (an offload host or target).
+NodeId = int
+
+#: The host process address.
+HOST_NODE: NodeId = 0
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """Information on a node (paper: "e.g. name or device-type").
+
+    Attributes
+    ----------
+    node:
+        The node address.
+    name:
+        Human-readable name (``"vh"``, ``"ve0"``, ``"tcp:localhost:7001"``).
+    device_type:
+        Coarse device class: ``"host"``, ``"ve"``, ``"cpu"``, ...
+    description:
+        Free-form detail (backend, hardware model, ...).
+    """
+
+    node: NodeId
+    name: str
+    device_type: str
+    description: str = ""
+
+    @property
+    def is_host(self) -> bool:
+        """Whether this node performs the host role."""
+        return self.node == HOST_NODE

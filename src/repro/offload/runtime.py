@@ -1,0 +1,185 @@
+"""The HAM-Offload runtime: public API bound to one backend.
+
+One :class:`Runtime` instance per application role. The host-side runtime
+exposes the paper's Table II API; the target-side message loop lives in
+the backends (an in-process image, a TCP server process, or a simulated
+VE process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import OffloadError
+from repro.ham.functor import Functor
+from repro.offload.buffer import BufferPtr
+from repro.offload.future import CompletedHandle, Future
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backends.base import Backend
+
+__all__ = ["Runtime"]
+
+
+class Runtime:
+    """Host-side HAM-Offload runtime (paper Table II operations).
+
+    Parameters
+    ----------
+    backend:
+        The communication backend connecting this process to its targets.
+    """
+
+    def __init__(self, backend: "Backend") -> None:
+        self.backend = backend
+        self._live_buffers: dict[tuple[NodeId, int], BufferPtr] = {}
+        self._shutdown = False
+        self._offloads_posted = 0
+        self._puts = 0
+        self._gets = 0
+        self._copies = 0
+
+    # -- topology ------------------------------------------------------------
+    def num_nodes(self) -> int:
+        """Number of processes of the running application."""
+        return self.backend.num_nodes()
+
+    def this_node(self) -> NodeId:
+        """Address of the current process (the host)."""
+        return HOST_NODE
+
+    def get_node_descriptor(self, node: NodeId) -> NodeDescriptor:
+        """Descriptor of ``node``."""
+        return self.backend.descriptor(node)
+
+    def targets(self) -> list[NodeId]:
+        """All offload-target node addresses."""
+        return list(range(1, self.num_nodes()))
+
+    # -- offloading --------------------------------------------------------------
+    def async_(self, node: NodeId, functor: Functor) -> Future:
+        """Asynchronous offload of ``functor`` to ``node`` (paper ``async``)."""
+        self._check_running()
+        self.backend.check_target(node)
+        if not isinstance(functor, Functor):
+            raise OffloadError(
+                "async_/sync expect a Functor; build one with f2f(fn, args...)"
+            )
+        handle = self.backend.post_invoke(node, functor)
+        self._offloads_posted += 1
+        return Future(handle, label=functor.type_name)
+
+    def sync(self, node: NodeId, functor: Functor) -> Any:
+        """Synchronous offload: ``async_`` + ``get``."""
+        return self.async_(node, functor).get()
+
+    # -- memory management -----------------------------------------------------------
+    def allocate(self, node: NodeId, count: int, dtype: Any = np.float64) -> BufferPtr:
+        """Allocate ``count`` elements of ``dtype`` on target ``node``."""
+        self._check_running()
+        self.backend.check_target(node)
+        if count <= 0:
+            raise OffloadError(f"allocation count must be positive, got {count}")
+        dt = np.dtype(dtype)
+        addr = self.backend.alloc_buffer(node, count * dt.itemsize)
+        ptr = BufferPtr(node=node, addr=addr, dtype_str=dt.str, count=count)
+        self._live_buffers[(node, addr)] = ptr
+        return ptr
+
+    def free(self, ptr: BufferPtr) -> None:
+        """Free a buffer allocated with :meth:`allocate`."""
+        self._check_running()
+        if self._live_buffers.pop((ptr.node, ptr.addr), None) is None:
+            raise OffloadError(
+                f"free of unknown or already-freed buffer {ptr!r} "
+                "(freeing an offset pointer is not allowed)"
+            )
+        self.backend.free_buffer(ptr.node, ptr.addr)
+
+    # -- data transfer -----------------------------------------------------------------
+    def put(self, src: np.ndarray, dst: BufferPtr, count: int | None = None) -> Future:
+        """Write host data into target memory (paper ``put``).
+
+        Returns a future for API parity; current backends complete the
+        transfer before returning.
+        """
+        self._check_running()
+        data, n = self._coerce(src, dst, count)
+        self.backend.write_buffer(dst.node, dst.addr, data[:n].tobytes())
+        self._puts += 1
+        return Future(CompletedHandle(None), label="put")
+
+    def get(self, src: BufferPtr, dst: np.ndarray, count: int | None = None) -> Future:
+        """Read target memory into host data (paper ``get``)."""
+        self._check_running()
+        data, n = self._coerce(dst, src, count)
+        raw = self.backend.read_buffer(src.node, src.addr, n * src.itemsize)
+        data[:n] = np.frombuffer(raw, dtype=src.dtype)[:n]
+        self._gets += 1
+        return Future(CompletedHandle(None), label="get")
+
+    def copy(self, src: BufferPtr, dst: BufferPtr, count: int | None = None) -> Future:
+        """Direct copy between two targets, orchestrated by the host."""
+        self._check_running()
+        n = min(src.count, dst.count) if count is None else count
+        if n > src.count or n > dst.count:
+            raise OffloadError(f"copy of {n} elements exceeds a buffer bound")
+        if src.dtype != dst.dtype:
+            raise OffloadError(f"copy dtype mismatch: {src.dtype_str} vs {dst.dtype_str}")
+        self.backend.copy_buffer(
+            src.node, src.addr, dst.node, dst.addr, n * src.itemsize
+        )
+        self._copies += 1
+        return Future(CompletedHandle(None), label="copy")
+
+    def _coerce(
+        self, host_array: np.ndarray, ptr: BufferPtr, count: int | None
+    ) -> tuple[np.ndarray, int]:
+        array = np.ascontiguousarray(host_array)
+        if array.dtype != ptr.dtype:
+            raise OffloadError(
+                f"dtype mismatch: host {array.dtype} vs buffer {ptr.dtype_str}"
+            )
+        n = count if count is not None else min(array.size, ptr.count)
+        if n > array.size or n > ptr.count:
+            raise OffloadError(
+                f"transfer of {n} elements exceeds host ({array.size}) or "
+                f"target ({ptr.count}) extent"
+            )
+        return array.reshape(-1), n
+
+    # -- introspection ---------------------------------------------------------------------
+    @property
+    def live_buffer_count(self) -> int:
+        """Number of target buffers not yet freed."""
+        return len(self._live_buffers)
+
+    def stats(self) -> dict[str, Any]:
+        """Runtime counters plus the backend's transport statistics."""
+        return {
+            "offloads_posted": self._offloads_posted,
+            "puts": self._puts,
+            "gets": self._gets,
+            "copies": self._copies,
+            "live_buffers": self.live_buffer_count,
+            "backend": self.backend.stats(),
+        }
+
+    def shutdown(self) -> None:
+        """Terminate target message loops and the backend (idempotent)."""
+        if not self._shutdown:
+            self._shutdown = True
+            self.backend.shutdown()
+
+    def _check_running(self) -> None:
+        if self._shutdown:
+            raise OffloadError("runtime already shut down")
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free discrete-event simulator in the style of SimPy,
+built from scratch because the evaluation platform of the reproduced paper
+(the NEC SX-Aurora TSUBASA) is not available as hardware. Simulation
+*processes* are Python generators that ``yield`` events; the
+:class:`~repro.sim.core.Simulator` advances virtual time from event to
+event.
+
+Public surface
+--------------
+:class:`Simulator`
+    The event loop: virtual clock, scheduling, ``run``/``run_until``.
+:class:`Event`, :class:`Timeout`, :class:`Process`
+    The event primitives processes are built from.
+:class:`AnyOf`, :class:`AllOf`
+    Composite condition events.
+:class:`Resource`, :class:`Store`, :class:`Channel`
+    Shared-resource primitives (mutex/server pool, FIFO store, rendezvous
+    channel) used to model DMA engines, command queues and link arbitration.
+:class:`Tracer`
+    Structured tracing of simulation events for statistics and debugging.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Channel, Resource, Store
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,449 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the classic event-loop architecture also used by SimPy:
+
+* an :class:`Event` is a one-shot occurrence with a value and a list of
+  callbacks;
+* a :class:`Process` wraps a Python generator; every ``yield``\\ ed event
+  suspends the process until the event fires, at which point the event's
+  value is sent back into the generator;
+* the :class:`Simulator` holds a priority queue of ``(time, priority, seq,
+  event)`` entries and advances virtual time by popping the earliest entry.
+
+Time is a ``float`` in **seconds**; the hardware models in :mod:`repro.hw`
+charge micro- and nanosecond costs onto this clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+from repro.errors import DeadlockError, ProcessError, SimTimeError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must run before same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot simulation event.
+
+    An event goes through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled to fire; has a value), and
+    *processed* (callbacks have run). Processes wait for events by
+    ``yield``-ing them.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event has fired and its callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """``False`` if the event carries a failure (an exception value)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if :attr:`ok` is false)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise ProcessError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exc: BaseException, *, delay: float = 0.0) -> "Event":
+        """Trigger the event as a failure carrying ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._triggered:
+            raise ProcessError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.sim._schedule(self, delay=delay)
+        return self
+
+    def _fire(self) -> None:
+        """Run callbacks; called by the simulator when the event is popped."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimTimeError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: starts a :class:`Process` on the next simulator step."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self._triggered = True
+        self.callbacks.append(process._resume)  # type: ignore[union-attr]
+        sim._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    The process itself is an event that fires when the generator returns
+    (value = the generator's return value) or raises (failure). This lets
+    processes wait for each other by ``yield``-ing another process.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator[Event, Any, Any], name: str = ""
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise ProcessError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process may only be interrupted while alive and suspended on an
+        event; interrupting a finished process is an error.
+        """
+        if self._triggered:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        event = Event(self.sim)
+        event._triggered = True
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        # The interrupt must win over the event the process is waiting on.
+        self.sim._schedule(event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired ``event``'s value."""
+        # If we were resumed by an interrupt while also registered on a
+        # regular event, deregister from that event.
+        waited = self._waiting_on
+        if waited is not None and waited is not event and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise ProcessError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately on the next step with
+            # the event's (possibly failed) value.
+            relay = Event(self.sim)
+            relay._triggered = True
+            relay._ok = target.ok
+            relay._value = target.value
+            relay.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.sim._schedule(relay, priority=URGENT)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base class for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires.
+
+    The value is a dict mapping the already-fired events to their values.
+    A failure of any constituent fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired.
+
+    The value is a dict mapping every event to its value. A failure of any
+    constituent fails the condition immediately.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed({ev: ev.value for ev in self._events})
+
+
+class Simulator:
+    """The discrete-event simulator: virtual clock plus event queue.
+
+    Notes
+    -----
+    The simulator is *host-drivable*: besides the classic ``run(until=...)``
+    it supports :meth:`run_until`, which advances the clock until an
+    arbitrary predicate over simulation state becomes true. The offload
+    backends use this to interleave imperative host-side API calls with the
+    simulated target-side message loop.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        self.tracer = None  # set by sim.trace.Tracer.attach
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a new process from ``generator``; returns its event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, *, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> None:
+        """Pop and fire the earliest scheduled event."""
+        if not self._queue:
+            raise DeadlockError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        assert when >= self._now, "event queue corrupted: time went backwards"
+        self._now = when
+        if self.tracer is not None:
+            self.tracer._on_fire(self._now, event)
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no events remain;
+            a ``float``
+                run until the clock reaches that time;
+            an :class:`Event`
+                run until that event has been processed and return its
+                value (re-raising if the event failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise DeadlockError(
+                        f"simulation ran dry before {until!r} fired"
+                    )
+                self.step()
+            if not until.ok:
+                raise until.value
+            return until.value
+        if until < self._now:
+            raise SimTimeError(f"cannot run until {until!r} < now={self._now!r}")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = max(self._now, until)
+        return None
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        limit: float = float("inf"),
+        max_steps: int = 50_000_000,
+    ) -> bool:
+        """Advance until ``predicate()`` is true.
+
+        Returns ``True`` if the predicate became true, ``False`` if the
+        event queue ran dry or virtual time exceeded ``limit`` first.
+
+        Raises
+        ------
+        DeadlockError
+            If ``max_steps`` events fire without the predicate becoming
+            true (guards against accidental infinite polling loops).
+        """
+        steps = 0
+        while not predicate():
+            if not self._queue or self.peek() > limit:
+                return False
+            self.step()
+            steps += 1
+            if steps >= max_steps:
+                raise DeadlockError(
+                    f"run_until exceeded {max_steps} steps at t={self._now}"
+                )
+        return True

@@ -1,0 +1,177 @@
+"""Shared-resource primitives for the simulation kernel.
+
+These model contention points of the simulated platform:
+
+* :class:`Resource` — a counted resource (mutex for ``capacity=1``); models
+  e.g. the single privileged DMA engine shared by all cores of a VE.
+* :class:`Store` — an unbounded (or bounded) FIFO of Python objects; models
+  command queues such as the VEO context queue.
+* :class:`Channel` — a rendezvous pipe with simulated transfer delay,
+  convenient for loosely modeled host<->daemon communication.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import ProcessError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Resource", "Store", "Channel"]
+
+
+class Resource:
+    """A counted, FIFO-fair resource.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # critical section
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held units."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires once a unit is granted."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held unit, handing it to the next waiter if any.
+
+        Waiters whose process was interrupted while queued are skipped
+        (their grant event has been deregistered); otherwise the unit
+        would be handed to a dead process and leak.
+        """
+        if self._in_use <= 0:
+            raise ProcessError("release() without matching request()")
+        while self._waiters:
+            event = self._waiters.popleft()
+            if event.callbacks:  # still awaited by a live process
+                event.succeed()
+                return
+        self._in_use -= 1
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """Generator helper: ``yield from resource.acquire()``."""
+        yield self.request()
+
+
+class Store:
+    """A FIFO store of items with blocking get and (optionally) put.
+
+    ``put`` returns an event that fires when the item has been accepted
+    (immediately unless the store is bounded and full); ``get`` returns an
+    event that fires with the next item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; the returned event fires on acceptance."""
+        event = self.sim.event()
+        if self._getters:
+            # Hand directly to a waiting getter.
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Request the next item; the returned event fires with it."""
+        event = self.sim.event()
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_event, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_event.succeed()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_event, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_event.succeed()
+            return True, item
+        return False, None
+
+
+class Channel:
+    """A unidirectional message channel with a fixed transfer delay.
+
+    ``send(msg)`` makes ``msg`` available to ``recv()`` after ``delay``
+    seconds of virtual time. Used for coarse models (e.g. VEOS daemon IPC)
+    where per-byte fidelity is not needed.
+    """
+
+    def __init__(self, sim: Simulator, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.sim = sim
+        self.delay = delay
+        self._store = Store(sim)
+
+    def send(self, message: Any) -> Event:
+        """Send ``message``; the returned event fires once it is en route."""
+        if self.delay == 0.0:
+            return self._store.put(message)
+        done = self.sim.event()
+
+        def deliver(_ev: Event) -> None:
+            self._store.put(message)
+            done.succeed()
+
+        self.sim.timeout(self.delay).callbacks.append(deliver)  # type: ignore[union-attr]
+        return done
+
+    def recv(self) -> Event:
+        """Receive the next message; the returned event fires with it."""
+        return self._store.get()

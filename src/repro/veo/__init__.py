@@ -1,0 +1,38 @@
+"""VEO — the Vector Engine Offloading API.
+
+A Python mirror of NEC's low-level VEO C library (version 1.3.2a, the one
+benchmarked in the paper), implemented on the simulated VEOS substrate.
+The API surface matches the C functions the paper's HAM-Offload backend
+composes:
+
+=====================  =============================================
+C API                   here
+=====================  =============================================
+``veo_proc_create``     :class:`VeoProc` constructor
+``veo_load_library``    :meth:`VeoProc.load_library`
+``veo_get_sym``         :meth:`VeoLibraryHandle.get_symbol`
+``veo_alloc_mem``       :meth:`VeoProc.alloc_mem`
+``veo_free_mem``        :meth:`VeoProc.free_mem`
+``veo_read_mem``        :meth:`VeoProc.read_mem`
+``veo_write_mem``       :meth:`VeoProc.write_mem`
+``veo_context_open``    :meth:`VeoProc.open_context`
+``veo_call_async``      :meth:`VeoContext.call_async`
+``veo_call_wait_result``:meth:`VeoRequest.wait_result`
+=====================  =============================================
+
+All blocking calls drive the machine's simulator forward, so host-side
+imperative code (the benchmarks, the HAM-Offload VH runtime) interleaves
+naturally with VE-side simulation processes.
+"""
+
+from repro.veo.api import VeoLibraryHandle, VeoProc
+from repro.veo.context import VeoContext
+from repro.veo.request import RequestState, VeoRequest
+
+__all__ = [
+    "RequestState",
+    "VeoContext",
+    "VeoLibraryHandle",
+    "VeoProc",
+    "VeoRequest",
+]

@@ -1,0 +1,209 @@
+"""The VEO process handle — top of the VEO API.
+
+:class:`VeoProc` mirrors ``veo_proc_create`` and the proc-scoped
+operations (library loading, memory management, synchronous memory
+transfers). Memory transfers go through the privileged DMA managed by
+VEOS (:mod:`repro.veos.dma_manager`) — the expensive path the paper's
+Sec. IV protocol works around.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import VeoProcError
+from repro.hw.memory import MemoryRegion, PAGE_4K, PAGE_HUGE_2M
+from repro.machine import AuroraMachine
+from repro.veo.context import VeoContext
+from repro.veos.loader import VeLibrary, VeSymbol
+
+__all__ = ["VeoProc", "VeoLibraryHandle"]
+
+
+class VeoLibraryHandle:
+    """Handle to a library loaded into a VE process (``veo_load_library``)."""
+
+    def __init__(self, proc: "VeoProc", library: VeLibrary) -> None:
+        self.proc = proc
+        self.library = library
+
+    def get_symbol(self, name: str) -> VeSymbol:
+        """Resolve a symbol by name (``veo_get_sym``)."""
+        return self.proc.ve_process.find_symbol(self.library.name, name)
+
+
+class VeoProc:
+    """A VE process created through VEO (``veo_proc_create``).
+
+    Creating the proc drives the simulation through the (large, one-off)
+    process-creation time; all further blocking calls advance simulated
+    time by their modeled cost.
+
+    Parameters
+    ----------
+    machine:
+        The simulated Aurora node.
+    ve_index:
+        Which VE to create the process on.
+    """
+
+    def __init__(self, machine: AuroraMachine, ve_index: int = 0) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.timing = machine.timing
+        self.ve = machine.ve(ve_index)
+        self.daemon = machine.daemon(ve_index)
+        self._advance(self.timing.veos_proc_create_time)
+        self.ve_process = self.daemon.create_process()
+        self._contexts: list[VeoContext] = []
+        self._alive = True
+
+    # -- helpers -------------------------------------------------------------
+    def _advance(self, duration: float) -> None:
+        """Drive the simulator ``duration`` seconds forward (blocking op)."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def _run(self, generator) -> Any:
+        """Run a generator as a sim process to completion (blocking op)."""
+        return self.sim.run(until=self.sim.process(generator))
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise VeoProcError("VEO proc handle is destroyed")
+
+    # -- libraries --------------------------------------------------------------
+    def load_library(self, library: VeLibrary) -> VeoLibraryHandle:
+        """Load a VE library image (``veo_load_library``)."""
+        self._check_alive()
+        self._advance(self.timing.veos_lib_load_time)
+        self.ve_process.load_library(library)
+        return VeoLibraryHandle(self, library)
+
+    # -- memory -----------------------------------------------------------------
+    def alloc_mem(self, size: int) -> int:
+        """Allocate VE memory; returns the VE address (``veo_alloc_mem``)."""
+        self._check_alive()
+        return self.ve_process.malloc(size)
+
+    def free_mem(self, addr: int) -> None:
+        """Free VE memory (``veo_free_mem``)."""
+        self._check_alive()
+        self.ve_process.free(addr)
+
+    def _transfer_proc(
+        self,
+        ve_addr: int,
+        *,
+        data: bytes | None = None,
+        size: int | None = None,
+        direction: str,
+        huge_pages: bool = True,
+    ):
+        """Generator implementing one staged VEO memory transfer.
+
+        Used by the blocking :meth:`write_mem`/:meth:`read_mem` and by the
+        context's asynchronous transfer commands. Returns the bytes read
+        for ``ve_to_vh``, ``None`` for ``vh_to_ve``.
+        """
+        page = PAGE_HUGE_2M if huge_pages else PAGE_4K
+        staging = self.machine.vh.ddr
+        nbytes = len(data) if direction == "vh_to_ve" else int(size or 0)
+        alloc = staging.allocate(max(1, nbytes), page_size=page)
+        try:
+            if direction == "vh_to_ve":
+                assert data is not None
+                staging.write(alloc.addr, data)
+                yield from self.daemon.dma_manager.transfer(
+                    staging, alloc.addr, self.ve.hbm, ve_addr, nbytes,
+                    direction="vh_to_ve", page_size=page,
+                )
+                return None
+            yield from self.daemon.dma_manager.transfer(
+                self.ve.hbm, ve_addr, staging, alloc.addr, nbytes,
+                direction="ve_to_vh", page_size=page,
+            )
+            return staging.read(alloc.addr, nbytes)
+        finally:
+            staging.free(alloc)
+
+    def write_mem(
+        self, ve_addr: int, data: bytes, *, huge_pages: bool = True
+    ) -> None:
+        """Write host bytes into VE memory (``veo_write_mem``; blocking).
+
+        The VH-side staging buffer's page size determines the DMA
+        manager's per-page translation cost (the paper: use huge pages).
+        """
+        self._check_alive()
+        self._run(
+            self._transfer_proc(
+                ve_addr, data=data, direction="vh_to_ve", huge_pages=huge_pages
+            )
+        )
+
+    def read_mem(self, ve_addr: int, size: int, *, huge_pages: bool = True) -> bytes:
+        """Read VE memory into host bytes (``veo_read_mem``; blocking)."""
+        self._check_alive()
+        return self._run(
+            self._transfer_proc(
+                ve_addr, size=size, direction="ve_to_vh", huge_pages=huge_pages
+            )
+        )
+
+    def transfer_region(
+        self,
+        vh_region: MemoryRegion,
+        vh_addr: int,
+        ve_addr: int,
+        size: int,
+        *,
+        direction: str,
+        page_size: int = PAGE_HUGE_2M,
+    ) -> None:
+        """Zero-staging transfer between a VH region and VE memory.
+
+        Used by benchmarks that reuse one persistent VH buffer (avoids
+        re-staging Python bytes on every repetition).
+        """
+        self._check_alive()
+        if direction == "vh_to_ve":
+            src, src_addr, dst, dst_addr = vh_region, vh_addr, self.ve.hbm, ve_addr
+        elif direction == "ve_to_vh":
+            src, src_addr, dst, dst_addr = self.ve.hbm, ve_addr, vh_region, vh_addr
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+        self._run(
+            self.daemon.dma_manager.transfer(
+                src, src_addr, dst, dst_addr, size,
+                direction=direction, page_size=page_size,
+            )
+        )
+
+    # -- execution -----------------------------------------------------------------
+    def open_context(self) -> VeoContext:
+        """Open a VEO thread context (``veo_context_open``)."""
+        self._check_alive()
+        self._advance(self.timing.veo_context_open_time)
+        context = VeoContext(self)
+        self._contexts.append(context)
+        return context
+
+    def start_server(self, symbol: VeSymbol, *args: Any):
+        """Start a server symbol (e.g. ``ham_main``) on the VE.
+
+        Returns the simulation process so callers can observe it; unlike
+        :meth:`VeoContext.call_async` this does not go through a command
+        queue — it models the asynchronous bootstrap call HAM-Offload
+        performs once at startup (paper Sec. III-C).
+        """
+        self._check_alive()
+        return self.ve_process.start_server(symbol, args)
+
+    # -- teardown --------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Terminate the VE process (``veo_proc_destroy``)."""
+        if self._alive:
+            self._alive = False
+            for context in self._contexts:
+                context.close()
+            self.ve_process.destroy()

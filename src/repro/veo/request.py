@@ -1,0 +1,78 @@
+"""VEO request handles.
+
+``veo_call_async`` returns a request id in the C API; here it returns a
+:class:`VeoRequest` whose :meth:`wait_result` drives the simulation until
+the VE has produced the result (``veo_call_wait_result``), and whose
+:meth:`peek_result` mirrors ``veo_call_peek_result``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import VeoCommandError
+from repro.sim import Simulator
+
+__all__ = ["RequestState", "VeoRequest"]
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a VEO command (mirrors ``VEO_COMMAND_*``)."""
+
+    PENDING = "pending"
+    DONE = "done"
+    ERROR = "error"
+
+
+class VeoRequest:
+    """Handle to one asynchronous VEO command."""
+
+    def __init__(self, sim: Simulator, reqid: int, label: str = "") -> None:
+        self.sim = sim
+        self.reqid = reqid
+        self.label = label
+        self._state = RequestState.PENDING
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    @property
+    def state(self) -> RequestState:
+        """Current command state."""
+        return self._state
+
+    def _complete(self, value: Any) -> None:
+        assert self._state is RequestState.PENDING
+        self._state = RequestState.DONE
+        self._value = value
+
+    def _fail(self, error: BaseException) -> None:
+        assert self._state is RequestState.PENDING
+        self._state = RequestState.ERROR
+        self._error = error
+
+    def peek_result(self) -> tuple[RequestState, Any]:
+        """Non-blocking probe (``veo_call_peek_result``)."""
+        return self._state, self._value
+
+    def wait_result(self) -> Any:
+        """Block (drive simulation) until the command completes.
+
+        Raises
+        ------
+        VeoCommandError
+            If the command failed on the VE; the VE-side exception is the
+            ``__cause__``.
+        """
+        done = self.sim.run_until(lambda: self._state is not RequestState.PENDING)
+        if not done and self._state is RequestState.PENDING:
+            raise VeoCommandError(
+                f"request {self.reqid} ({self.label}): simulation ran dry "
+                "before completion"
+            )
+        if self._state is RequestState.ERROR:
+            assert self._error is not None
+            raise VeoCommandError(
+                f"request {self.reqid} ({self.label}) failed on the VE"
+            ) from self._error
+        return self._value

@@ -1,0 +1,35 @@
+"""VEOS — the Vector Engine Operating System substrate.
+
+The VE runs **no operating system** (paper Sec. I-B): all OS functionality
+is offloaded to the Linux host. This subpackage models the three VEOS
+components the paper describes, to the fidelity the protocols observe:
+
+``daemon``
+    The per-VE ``veos`` daemon: process management and ownership of the
+    privileged DMA engine.
+``dma_manager``
+    The DMA manager inside VEOS that executes VEO's read/write transfers,
+    translating virtual to physical addresses *on the fly* — the very
+    overhead the paper's Sec. IV protocol avoids. Supports both the
+    classic manager and the improved ``1.3.2-4dma`` bulk-translation
+    manager (ablation A1).
+``pseudo_process``
+    The VH user process paired with every VE process; executes the VE's
+    system calls in the user's context (reverse offloading / VHcall).
+``loader``
+    VE program/library images and their symbol tables.
+"""
+
+from repro.veos.daemon import VeosDaemon, VeProcess
+from repro.veos.dma_manager import PrivilegedDmaManager
+from repro.veos.loader import VeLibrary, VeSymbol
+from repro.veos.pseudo_process import PseudoProcess
+
+__all__ = [
+    "PrivilegedDmaManager",
+    "PseudoProcess",
+    "VeLibrary",
+    "VeProcess",
+    "VeSymbol",
+    "VeosDaemon",
+]

@@ -1,0 +1,187 @@
+"""The per-VE ``veos`` daemon and VE processes.
+
+Each VE has its own VEOS instance (paper Sec. I-B) consisting of the
+user-space daemon (memory & process management, scheduling, DMA), the
+kernel modules and a per-process *pseudo process*. The daemon model here
+owns:
+
+* the VE **process table** — creation, lookup, teardown;
+* the **privileged DMA manager** (:mod:`repro.veos.dma_manager`);
+* per-process memory accounting in the VE's HBM2.
+
+A :class:`VeProcess` is the unit VEO talks to: it has loaded libraries, a
+heap in VE memory, and can run symbols either as timed function calls or
+as long-lived server processes (``ham_main``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import VeoProcError, VeosError
+from repro.hw.memory import Allocation
+from repro.hw.params import TimingModel
+from repro.hw.vector_engine import VectorEngine
+from repro.sim import Event, Process, Simulator
+from repro.veos.dma_manager import PrivilegedDmaManager
+from repro.veos.loader import VeLibrary, VeSymbol
+from repro.veos.pseudo_process import PseudoProcess
+
+__all__ = ["VeosDaemon", "VeProcess"]
+
+
+class VeProcess:
+    """One process running (OS-less) on a Vector Engine.
+
+    Created by :meth:`VeosDaemon.create_process`. Holds loaded libraries,
+    heap allocations in HBM2, and the paired host-side
+    :class:`~repro.veos.pseudo_process.PseudoProcess` executing its
+    system calls.
+    """
+
+    def __init__(self, daemon: "VeosDaemon", pid: int) -> None:
+        self.daemon = daemon
+        self.pid = pid
+        self.alive = True
+        self._libraries: dict[str, VeLibrary] = {}
+        self._heap: dict[int, Allocation] = {}
+        self.pseudo = PseudoProcess(daemon.sim, daemon.timing, self)
+        self._servers: list[Process] = []
+
+    # -- libraries -------------------------------------------------------
+    def load_library(self, library: VeLibrary) -> VeLibrary:
+        """Load a library image (idempotent per name)."""
+        self._check_alive()
+        self._libraries[library.name] = library
+        return library
+
+    def find_symbol(self, library_name: str, symbol: str) -> VeSymbol:
+        """Resolve ``symbol`` in a loaded library."""
+        self._check_alive()
+        try:
+            library = self._libraries[library_name]
+        except KeyError:
+            raise VeoProcError(
+                f"process {self.pid}: library {library_name!r} not loaded"
+            ) from None
+        return library.get_symbol(symbol)
+
+    # -- memory ---------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        """Allocate VE heap memory; returns the VE address."""
+        self._check_alive()
+        alloc = self.daemon.ve.hbm.allocate(size)
+        self._heap[alloc.addr] = alloc
+        return alloc.addr
+
+    def free(self, addr: int) -> None:
+        """Free a :meth:`malloc` allocation."""
+        self._check_alive()
+        alloc = self._heap.pop(addr, None)
+        if alloc is None:
+            raise VeoProcError(f"process {self.pid}: free of unknown address {addr:#x}")
+        self.daemon.ve.hbm.free(alloc)
+
+    @property
+    def heap_allocations(self) -> int:
+        """Number of live heap allocations."""
+        return len(self._heap)
+
+    # -- execution ----------------------------------------------------------
+    def run_function(
+        self, symbol: VeSymbol, args: tuple[Any, ...]
+    ) -> Generator[Event, Any, Any]:
+        """Run a plain symbol on the VE (generator; yields compute time)."""
+        self._check_alive()
+        if symbol.is_server:
+            raise VeosError(f"symbol {symbol.name!r} is a server entry point")
+        duration = symbol.compute_time(args)
+        if duration > 0:
+            yield self.daemon.sim.timeout(duration)
+        else:
+            # Even an empty kernel costs one scheduling step.
+            yield self.daemon.sim.timeout(0.0)
+        return symbol.fn(*args)
+
+    def start_server(self, symbol: VeSymbol, args: tuple[Any, ...]) -> Process:
+        """Start a server symbol as a long-lived simulation process."""
+        self._check_alive()
+        if not symbol.is_server:
+            raise VeosError(f"symbol {symbol.name!r} is not a server entry point")
+        process = self.daemon.sim.process(
+            symbol.fn(*args), name=f"ve{self.daemon.ve.index}.{symbol.name}"
+        )
+        self._servers.append(process)
+        return process
+
+    # -- teardown ----------------------------------------------------------
+    def destroy(self) -> None:
+        """Terminate the process and free its resources."""
+        self._check_alive()
+        self.alive = False
+        for process in self._servers:
+            if process.is_alive:
+                process.interrupt("process destroyed")
+        for alloc in list(self._heap.values()):
+            self.daemon.ve.hbm.free(alloc)
+        self._heap.clear()
+        self.daemon._reap(self.pid)
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise VeoProcError(f"VE process {self.pid} is dead")
+
+
+class VeosDaemon:
+    """The VEOS daemon instance of one Vector Engine.
+
+    Parameters
+    ----------
+    sim, timing:
+        Simulator and timing model.
+    ve:
+        The Vector Engine this daemon manages.
+    four_dma:
+        DMA-manager generation (see :class:`PrivilegedDmaManager`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: TimingModel,
+        ve: VectorEngine,
+        *,
+        four_dma: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.timing = timing
+        self.ve = ve
+        self.dma_manager = PrivilegedDmaManager(
+            sim, timing, ve.link, four_dma=four_dma, name=f"ve{ve.index}.pdma"
+        )
+        self._processes: dict[int, VeProcess] = {}
+        self._next_pid = 1
+
+    def create_process(self) -> VeProcess:
+        """Create a VE process (the slow path behind ``veo_proc_create``)."""
+        pid = self._next_pid
+        self._next_pid += 1
+        process = VeProcess(self, pid)
+        self._processes[pid] = process
+        return process
+
+    def process_by_pid(self, pid: int) -> VeProcess:
+        """Look up a live process."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise VeoProcError(f"no VE process with pid {pid}") from None
+
+    @property
+    def num_processes(self) -> int:
+        """Number of live VE processes."""
+        return len(self._processes)
+
+    def _reap(self, pid: int) -> None:
+        self._processes.pop(pid, None)

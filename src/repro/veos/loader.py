@@ -1,0 +1,111 @@
+"""VE program images: libraries and symbols.
+
+A real VE library is an ELF file compiled with NEC's NCC; VEO loads it
+into the VE process and resolves C symbols by name. Here, a
+:class:`VeLibrary` maps symbol names onto Python callables, with two
+flavours mirroring what the paper's setup needs:
+
+* **plain functions** — called with the VEO arguments; an optional
+  ``duration`` (seconds or a callable of the args) charges VE compute
+  time. This models normal VEO kernels, including the *empty kernel* of
+  Fig. 9.
+* **server functions** — generator functions that run as long-lived
+  simulation processes on the VE. ``ham_main`` is one: VEO starts it
+  asynchronously and it then polls for active messages forever
+  (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import VeoSymbolError
+
+__all__ = ["VeSymbol", "VeLibrary"]
+
+
+@dataclass(frozen=True)
+class VeSymbol:
+    """One resolvable symbol of a VE library.
+
+    Attributes
+    ----------
+    name:
+        The C symbol name.
+    fn:
+        The Python callable standing in for the VE machine code. If
+        ``is_server`` it must be a generator function (run as a sim
+        process); otherwise a plain callable returning the result.
+    duration:
+        VE compute time per call: a constant in seconds, or a callable
+        ``duration(*args) -> seconds``. Ignored for server symbols.
+    is_server:
+        Whether the symbol is a long-lived server entry point.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    duration: float | Callable[..., float] = 0.0
+    is_server: bool = False
+
+    def compute_time(self, args: tuple[Any, ...]) -> float:
+        """VE execution time for ``args``."""
+        if callable(self.duration):
+            return float(self.duration(*args))
+        return float(self.duration)
+
+
+class VeLibrary:
+    """A loadable VE library: a named collection of symbols.
+
+    The HAM-Offload model of "compile the whole application for both
+    sides" (Sec. III-C) corresponds to building one :class:`VeLibrary`
+    from the application's offloadable functions; ``main`` is renamed to
+    ``ham_main`` transparently, which :meth:`add_server` mirrors.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._symbols: dict[str, VeSymbol] = {}
+
+    def add_function(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        *,
+        duration: float | Callable[..., float] = 0.0,
+    ) -> VeSymbol:
+        """Register a plain VE function under ``name``."""
+        symbol = VeSymbol(name=name, fn=fn, duration=duration)
+        self._symbols[name] = symbol
+        return symbol
+
+    def add_server(self, name: str, generator_fn: Callable[..., Any]) -> VeSymbol:
+        """Register a long-lived server entry point (e.g. ``ham_main``)."""
+        symbol = VeSymbol(name=name, fn=generator_fn, is_server=True)
+        self._symbols[name] = symbol
+        return symbol
+
+    def get_symbol(self, name: str) -> VeSymbol:
+        """Resolve a symbol by name.
+
+        Raises
+        ------
+        VeoSymbolError
+            If the library exports no such symbol.
+        """
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise VeoSymbolError(
+                f"library {self.name!r} has no symbol {name!r} "
+                f"(exports: {sorted(self._symbols)})"
+            ) from None
+
+    def symbols(self) -> list[str]:
+        """Sorted list of exported symbol names."""
+        return sorted(self._symbols)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols

@@ -1,0 +1,94 @@
+"""The VH-side pseudo process paired with every VE process.
+
+Paper Sec. I-B: "*a user process corresponding to each VE process ...
+is executing the VE syscalls in the user's context and under Linux*".
+This reverse offloading (the VHcall mechanism exposes the same path to
+applications) gives VE programs a Linux look-and-feel at the price of a
+host round trip per system call.
+
+The model registers named syscall handlers (host-side Python callables)
+and charges :attr:`~repro.hw.params.TimingModel.veos_syscall_latency` per
+invocation. It is exercised by the VHcall example and by tests; the
+paper's offload protocols themselves avoid syscalls on the fast path —
+precisely the point of Sec. IV.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import VeosError
+from repro.hw.params import TimingModel
+from repro.sim import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.veos.daemon import VeProcess
+
+__all__ = ["PseudoProcess"]
+
+
+class PseudoProcess:
+    """Host-side agent executing a VE process's system calls."""
+
+    def __init__(self, sim: Simulator, timing: TimingModel, ve_process: "VeProcess") -> None:
+        self.sim = sim
+        self.timing = timing
+        self.ve_process = ve_process
+        self._handlers: dict[str, Callable[..., Any]] = {}
+        self.syscall_count = 0
+        self._install_defaults()
+
+    def _install_defaults(self) -> None:
+        clock = {"value": 0}
+
+        def sys_getpid() -> int:
+            return self.ve_process.pid
+
+        def sys_write(fd: int, data: bytes) -> int:
+            # Modeled stdout/stderr: captured, not printed.
+            self.captured_output.append((fd, bytes(data)))
+            return len(data)
+
+        def sys_time() -> float:
+            return self.sim.now
+
+        def sys_monotonic_counter() -> int:
+            clock["value"] += 1
+            return clock["value"]
+
+        self.captured_output: list[tuple[int, bytes]] = []
+        self._handlers.update(
+            {
+                "getpid": sys_getpid,
+                "write": sys_write,
+                "time": sys_time,
+                "counter": sys_monotonic_counter,
+            }
+        )
+
+    def register(self, name: str, handler: Callable[..., Any]) -> None:
+        """Register (or replace) a syscall/VHcall handler."""
+        self._handlers[name] = handler
+
+    def syscall(self, name: str, *args: Any) -> Generator[Event, Any, Any]:
+        """Reverse-offload one system call (generator; returns the result).
+
+        Raises
+        ------
+        VeosError
+            If no handler is registered under ``name``.
+        """
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise VeosError(
+                f"pseudo process of pid {self.ve_process.pid}: "
+                f"unknown syscall {name!r}"
+            )
+        yield self.sim.timeout(self.timing.veos_syscall_latency)
+        self.syscall_count += 1
+        return handler(*args)
+
+    def known_syscalls(self) -> list[str]:
+        """Sorted names of registered handlers."""
+        return sorted(self._handlers)

@@ -1,0 +1,38 @@
+"""Example workloads built on the HAM-Offload API.
+
+``kernels``
+    Offloadable numerical kernels (inner product, daxpy, dgemm, Jacobi)
+    with both real numpy implementations and roofline cost descriptors
+    for the timed backends.
+``loadbalance``
+    Dynamic host+target load balancing in the style the paper cites for
+    HAM-Offload applications (Malý et al.: FETI solvers keeping both the
+    CPU and the coprocessors busy).
+``pipeline``
+    Double-buffered offloading: overlap of communication and computation,
+    the property the paper's one-sided protocols enable (Sec. III-D).
+"""
+
+from repro.workloads.kernels import (
+    KERNELS,
+    OffloadKernel,
+    daxpy,
+    dgemm,
+    inner_product,
+    jacobi_sweep,
+)
+from repro.workloads.loadbalance import BalanceResult, run_balanced
+from repro.workloads.pipeline import PipelineResult, pipelined_map
+
+__all__ = [
+    "BalanceResult",
+    "KERNELS",
+    "PipelineResult",
+    "OffloadKernel",
+    "daxpy",
+    "dgemm",
+    "inner_product",
+    "jacobi_sweep",
+    "pipelined_map",
+    "run_balanced",
+]

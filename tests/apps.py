@@ -1,0 +1,58 @@
+"""Shared offloadable functions used by backend and integration tests.
+
+They live in an importable module (not inside test functions) because the
+TCP backend executes them in a forked server process, and because every
+process image must derive identical type names from them — the same rule
+the paper imposes on C++ sources ("build the whole application for both
+sides").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ham import offloadable
+
+
+@offloadable
+def empty_kernel() -> None:
+    """The empty kernel of the paper's Fig. 9."""
+    return None
+
+
+@offloadable
+def add(a, b):
+    """Tiny scalar kernel."""
+    return a + b
+
+
+@offloadable
+def echo(value):
+    """Returns its argument (serialization round trip through the wire)."""
+    return value
+
+
+@offloadable
+def inner_product(a, b, n: int) -> float:
+    """The paper's Fig. 2 example kernel: dot product of two buffers."""
+    return float(np.dot(np.asarray(a)[:n], np.asarray(b)[:n]))
+
+
+@offloadable
+def scale_buffer(buf, factor: float) -> int:
+    """Mutates target memory in place; returns the element count."""
+    array = np.asarray(buf)
+    array *= factor
+    return int(array.size)
+
+
+@offloadable
+def raise_value_error(message: str):
+    """Always fails — exercises remote error propagation."""
+    raise ValueError(message)
+
+
+@offloadable
+def sum_buffer(buf) -> float:
+    """Reduces a target buffer."""
+    return float(np.asarray(buf).sum())

@@ -1,0 +1,65 @@
+"""Cluster with multiple VEs per node: addressing, balancing, overlap."""
+
+import numpy as np
+import pytest
+
+from repro.backends import ClusterBackend
+from repro.cluster import AuroraCluster
+from repro.ham import f2f
+from repro.offload import Runtime
+from repro.workloads import run_balanced
+
+from tests import apps
+
+
+@pytest.fixture()
+def rt():
+    cluster = AuroraCluster(num_nodes=2, ves_per_node=2)
+    runtime = Runtime(ClusterBackend(cluster))
+    yield runtime
+    runtime.shutdown()
+
+
+class TestMultiVePerNode:
+    def test_enumeration(self, rt):
+        names = [rt.get_node_descriptor(n).name for n in rt.targets()]
+        assert names == ["node0.ve0", "node0.ve1", "node1.ve0", "node1.ve1"]
+
+    def test_all_targets_execute(self, rt):
+        for node in rt.targets():
+            assert rt.sync(node, f2f(apps.add, node, 0)) == node
+
+    def test_remote_kernels_overlap_with_local(self, rt):
+        backend = rt.backend
+        backend.kernel_cost_fn = lambda functor: 500e-6
+        sim = backend.sim
+        start = sim.now
+        futures = [rt.async_(n, f2f(apps.empty_kernel)) for n in rt.targets()]
+        for future in futures:
+            future.get()
+        elapsed = sim.now - start
+        # Four 500 µs kernels across four VEs on two nodes: parallel.
+        assert elapsed < 1.2e-3
+
+    def test_load_balancing_across_the_cluster(self, rt):
+        backend = rt.backend
+        backend.kernel_cost_fn = lambda functor: 100e-6
+        result = run_balanced(
+            rt,
+            list(range(24)),
+            make_functor=lambda t: f2f(apps.add, t, 0),
+            host_execute=lambda t: backend._advance(150e-6) or t,
+            now=lambda: backend.sim.now,
+        )
+        assert result.total_tasks == 24
+        # Every VE (local and remote) took part.
+        assert all(count > 0 for count in result.target_tasks.values())
+
+    def test_buffers_stay_node_local(self, rt):
+        pointers = {}
+        for node in rt.targets():
+            ptr = rt.allocate(node, 8)
+            rt.put(np.full(8, float(node)), ptr)
+            pointers[node] = ptr
+        for node, ptr in pointers.items():
+            assert rt.sync(node, f2f(apps.sum_buffer, ptr)) == pytest.approx(8.0 * node)

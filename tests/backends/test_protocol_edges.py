@@ -1,0 +1,99 @@
+"""Protocol edge cases: non-blocking probes, determinism, slack parsing."""
+
+import pytest
+
+from repro.backends import DmaCommBackend, VeoCommBackend
+from repro.ham import f2f
+from repro.offload import Runtime
+
+from tests import apps
+
+
+class TestNonBlockingProbe:
+    def test_veo_test_costs_a_privileged_read(self):
+        """future.test() on the VEO protocol performs one VEO flag read —
+        the honest cost of polling through the privileged DMA."""
+        backend = VeoCommBackend()
+        backend.kernel_cost_fn = lambda functor: 5e-3  # long kernel
+        runtime = Runtime(backend)
+        sim = backend.sim
+        future = runtime.async_(1, f2f(apps.empty_kernel))
+        before = sim.now
+        assert not future.test()
+        elapsed = sim.now - before
+        assert elapsed >= backend.timing.veo_read_base_latency * 0.9
+        future.get()
+        runtime.shutdown()
+
+    def test_dma_test_is_cheap(self):
+        backend = DmaCommBackend()
+        backend.kernel_cost_fn = lambda functor: 5e-3
+        runtime = Runtime(backend)
+        sim = backend.sim
+        future = runtime.async_(1, f2f(apps.empty_kernel))
+        before = sim.now
+        future.test()
+        elapsed = sim.now - before
+        # A local poll plus a jump to the next event — microseconds, not
+        # the 100 µs a VEO-protocol probe costs.
+        assert elapsed < 50e-6
+        future.get()
+        runtime.shutdown()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend_cls", [VeoCommBackend, DmaCommBackend])
+    def test_offload_cost_is_repeatable(self, backend_cls):
+        """The simulator is deterministic: identical runs, identical times."""
+
+        def run_once():
+            runtime = Runtime(backend_cls())
+            sim = runtime.backend.sim
+            for _ in range(3):
+                runtime.sync(1, f2f(apps.empty_kernel))
+            start = sim.now
+            for _ in range(5):
+                runtime.sync(1, f2f(apps.add, 7, 8))
+            elapsed = sim.now - start
+            runtime.shutdown()
+            return elapsed
+
+        assert run_once() == run_once()
+
+    def test_cost_independent_of_payload_content(self):
+        """Equal-size messages cost equal time (content never leaks into
+        timing)."""
+        def cost(value):
+            runtime = Runtime(DmaCommBackend())
+            sim = runtime.backend.sim
+            runtime.sync(1, f2f(apps.echo, value))
+            start = sim.now
+            runtime.sync(1, f2f(apps.echo, value))
+            elapsed = sim.now - start
+            runtime.shutdown()
+            return elapsed
+
+        assert cost(b"\x00" * 100) == cost(b"\xff" * 100)
+
+
+class TestSlotSlackParsing:
+    @pytest.mark.parametrize("backend_cls", [VeoCommBackend, DmaCommBackend])
+    def test_short_message_after_long_one_in_same_slot(self, backend_cls):
+        """Slot buffers retain stale bytes from longer earlier messages;
+        length-prefixed parsing must never read the slack."""
+        runtime = Runtime(backend_cls(num_slots=1))
+        long_payload = b"x" * 900
+        assert runtime.sync(1, f2f(apps.echo, long_payload)) == long_payload
+        # Now a much shorter message through the same (dirty) slot.
+        assert runtime.sync(1, f2f(apps.add, 2, 3)) == 5
+        assert runtime.sync(1, f2f(apps.echo, b"y")) == b"y"
+        runtime.shutdown()
+
+    @pytest.mark.parametrize("backend_cls", [VeoCommBackend, DmaCommBackend])
+    def test_alternating_sizes_many_rounds(self, backend_cls):
+        runtime = Runtime(backend_cls(num_slots=2))
+        for round_index in range(10):
+            big = bytes([round_index]) * (500 + 37 * round_index)
+            assert runtime.sync(1, f2f(apps.echo, big)) == big
+            assert runtime.sync(1, f2f(apps.add, round_index, 1)) == round_index + 1
+        runtime.shutdown()

@@ -1,0 +1,81 @@
+"""Tests for the standalone TCP target CLI."""
+
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.backends import TcpBackend
+from repro.ham import f2f
+from repro.offload import Runtime
+
+
+@pytest.fixture()
+def server_process():
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.backends.target_main",
+            "--port",
+            "0",
+            "--import",
+            "tests.apps",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=".",
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"unexpected banner: {line!r}"
+    yield process, (match.group(1), int(match.group(2)))
+    if process.poll() is None:
+        process.terminate()
+    process.wait(timeout=10)
+
+
+class TestTargetMain:
+    def test_offload_against_cli_server(self, server_process):
+        process, address = server_process
+        # The CLI server only imported tests.apps, so its handler-key
+        # table covers exactly those types. The host must use a matching
+        # catalog — the paper's "same application on both sides" rule
+        # (the test suite's global catalog has many more offloadables).
+        from repro.ham.registry import Catalog, type_name_of
+        from tests import apps
+
+        catalog = Catalog()
+        for fn in (
+            apps.empty_kernel,
+            apps.add,
+            apps.echo,
+            apps.inner_product,
+            apps.scale_buffer,
+            apps.raise_value_error,
+            apps.sum_buffer,
+        ):
+            catalog.register(fn, name=type_name_of(fn))
+        runtime = Runtime(TcpBackend(address, catalog=catalog))
+        assert runtime.sync(1, f2f(apps.add, 20, 22, catalog=catalog)) == 42
+        runtime.shutdown()
+        assert process.wait(timeout=10) == 0
+
+    def test_bad_import_exits_nonzero(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.backends.target_main",
+                "--import",
+                "no.such.module.exists",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 2
+        assert "cannot import" in result.stderr

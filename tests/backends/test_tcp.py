@@ -1,0 +1,105 @@
+"""Tests for the TCP/IP backend (real sockets, forked target process)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import TcpBackend, spawn_local_server
+from repro.errors import RemoteExecutionError
+from repro.ham import f2f
+from repro.offload import Runtime
+
+from tests import apps
+
+
+@pytest.fixture()
+def rt():
+    process, address = spawn_local_server()
+    backend = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+    runtime = Runtime(backend)
+    yield runtime
+    runtime.shutdown()
+    if process.is_alive():  # pragma: no cover - cleanup safety
+        process.terminate()
+
+
+class TestTcpOffload:
+    def test_sync_roundtrip(self, rt):
+        assert rt.sync(1, f2f(apps.add, 40, 2)) == 42
+
+    def test_many_sequential_offloads(self, rt):
+        for i in range(50):
+            assert rt.sync(1, f2f(apps.add, i, 1)) == i + 1
+
+    def test_async_pipeline(self, rt):
+        futures = [rt.async_(1, f2f(apps.add, i, i)) for i in range(10)]
+        assert [f.get() for f in futures] == [2 * i for i in range(10)]
+
+    def test_async_out_of_order_get(self, rt):
+        f1 = rt.async_(1, f2f(apps.add, 1, 0))
+        f2 = rt.async_(1, f2f(apps.add, 2, 0))
+        assert f2.get() == 2  # consuming the later future first
+        assert f1.get() == 1
+
+    def test_future_test_nonblocking(self, rt):
+        future = rt.async_(1, f2f(apps.empty_kernel))
+        # Must eventually turn true without calling get().
+        for _ in range(10_000):
+            if future.test():
+                break
+        assert future.test()
+
+    def test_remote_exception(self, rt):
+        with pytest.raises(RemoteExecutionError, match="tcp boom"):
+            rt.sync(1, f2f(apps.raise_value_error, "tcp boom"))
+        # Connection survives the error.
+        assert rt.sync(1, f2f(apps.add, 1, 1)) == 2
+
+    def test_numpy_payload(self, rt):
+        arr = np.arange(1000.0)
+        back = rt.sync(1, f2f(apps.echo, arr))
+        np.testing.assert_array_equal(back, arr)
+
+
+class TestTcpMemory:
+    def test_put_get_roundtrip(self, rt):
+        data = np.random.default_rng(3).random(256)
+        ptr = rt.allocate(1, 256)
+        rt.put(data, ptr)
+        back = np.zeros(256)
+        rt.get(ptr, back)
+        np.testing.assert_array_equal(back, data)
+
+    def test_buffer_argument_lives_on_server(self, rt):
+        ptr = rt.allocate(1, 32)
+        rt.put(np.full(32, 2.0), ptr)
+        rt.sync(1, f2f(apps.scale_buffer, ptr, 10.0))
+        assert rt.sync(1, f2f(apps.sum_buffer, ptr)) == pytest.approx(32 * 20.0)
+
+    def test_free_then_use_fails_remotely(self, rt):
+        ptr = rt.allocate(1, 8)
+        rt.free(ptr)
+        with pytest.raises(RemoteExecutionError):
+            rt.sync(1, f2f(apps.sum_buffer, ptr))
+
+    def test_interleaved_async_and_memory_ops(self, rt):
+        # Memory ops while invokes are in flight must not desync replies.
+        ptr = rt.allocate(1, 16)
+        future = rt.async_(1, f2f(apps.add, 5, 5))
+        rt.put(np.ones(16), ptr)
+        assert rt.sync(1, f2f(apps.sum_buffer, ptr)) == pytest.approx(16.0)
+        assert future.get() == 10
+
+
+class TestTcpLifecycle:
+    def test_descriptor(self, rt):
+        desc = rt.get_node_descriptor(1)
+        assert desc.device_type == "cpu"
+        assert desc.name.startswith("tcp:")
+
+    def test_shutdown_joins_server(self):
+        process, address = spawn_local_server()
+        backend = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+        runtime = Runtime(backend)
+        runtime.sync(1, f2f(apps.empty_kernel))
+        runtime.shutdown()
+        assert not process.is_alive()

@@ -1,0 +1,98 @@
+"""Every calibration anchor must hold for the default timing model."""
+
+import pytest
+
+from repro.bench.calibration import PAPER, bandwidth_curve, check_timing_model, transfer_time
+from repro.hw.params import DEFAULT_TIMING
+from repro.hw.specs import GIB, KIB, MIB
+
+
+class TestAnchors:
+    def test_all_checks_pass(self):
+        checks = check_timing_model(DEFAULT_TIMING)
+        failures = [
+            f"{c.name}: expected {c.expected:.4g}, got {c.actual:.4g} "
+            f"({c.deviation:+.1%}) {c.note}"
+            for c in checks
+            if not c.passed
+        ]
+        assert not failures, "\n".join(failures)
+
+    def test_check_count_is_substantial(self):
+        # Guards against accidentally dropping anchors.
+        assert len(check_timing_model(DEFAULT_TIMING)) >= 20
+
+    def test_detects_a_broken_model(self):
+        broken = DEFAULT_TIMING.with_overrides(udma_read_latency=50e-6)
+        checks = check_timing_model(broken)
+        assert any(not c.passed for c in checks)
+
+
+class TestTransferTime:
+    def test_methods_cover_fig10(self):
+        for method in ("veo", "udma", "shm_lhm"):
+            for direction in ("vh_to_ve", "ve_to_vh"):
+                assert transfer_time(DEFAULT_TIMING, method, direction, KIB) > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            transfer_time(DEFAULT_TIMING, "carrier-pigeon", "vh_to_ve", 8)
+
+    def test_bandwidth_curves_monotone_towards_peak(self):
+        sizes = [2**e for e in range(3, 29)]
+        for method in ("veo", "udma"):
+            curve = bandwidth_curve(DEFAULT_TIMING, method, "vh_to_ve", sizes)
+            assert all(b2 >= b1 * 0.999 for b1, b2 in zip(curve, curve[1:]))
+
+    def test_udma_always_beats_veo(self):
+        # Paper Sec. V-B: "VE user DMA is always faster than VEO".
+        sizes = [2**e for e in range(3, 29)]
+        for direction in ("vh_to_ve", "ve_to_vh"):
+            veo = bandwidth_curve(DEFAULT_TIMING, "veo", direction, sizes)
+            udma = bandwidth_curve(DEFAULT_TIMING, "udma", direction, sizes)
+            assert all(u > v for u, v in zip(udma, veo))
+
+    def test_ve_to_vh_generally_faster(self):
+        # Paper: "transferring data from the VE to the VH is in general faster".
+        sizes = [2**e for e in range(3, 29)]
+        for method in ("veo", "udma"):
+            down = bandwidth_curve(DEFAULT_TIMING, method, "vh_to_ve", sizes)
+            up = bandwidth_curve(DEFAULT_TIMING, method, "ve_to_vh", sizes)
+            faster = sum(u > d for u, d in zip(up, down))
+            assert faster >= len(sizes) - 2
+
+    def test_shm_vs_veo_read_crossover_tens_of_kib(self):
+        """Documented deviation: paper says SHM beats VEO reads up to
+        32 KiB; with VEO-read latency pinned by Fig. 9 ours crosses near
+        8 KiB. Assert the qualitative story: SHM wins at 4 KiB, loses at
+        64 KiB."""
+        t = DEFAULT_TIMING
+        assert transfer_time(t, "shm_lhm", "ve_to_vh", 4 * KIB) < transfer_time(
+            t, "veo", "ve_to_vh", 4 * KIB
+        )
+        assert transfer_time(t, "shm_lhm", "ve_to_vh", 64 * KIB) > transfer_time(
+            t, "veo", "ve_to_vh", 64 * KIB
+        )
+
+
+class TestPaperConstants:
+    def test_fig9_ratios_consistent(self):
+        assert PAPER.fig9_ham_veo / PAPER.fig9_veo_native == pytest.approx(
+            PAPER.fig9_ratio_ham_veo_over_native, rel=0.01
+        )
+        assert PAPER.fig9_veo_native / PAPER.fig9_ham_dma == pytest.approx(
+            PAPER.fig9_ratio_native_over_ham_dma, rel=0.01
+        )
+        assert PAPER.fig9_ham_veo / PAPER.fig9_ham_dma == pytest.approx(
+            PAPER.fig9_ratio_ham_veo_over_ham_dma, rel=0.01
+        )
+
+    def test_breakdown_sums_to_total(self):
+        assert PAPER.pcie_round_trip + PAPER.framework_overhead == pytest.approx(
+            PAPER.fig9_ham_dma, rel=0.05
+        )
+
+    def test_pcie_budget(self):
+        assert PAPER.pcie_theoretical_peak * PAPER.pcie_achievable_fraction == (
+            pytest.approx(13.4 * GIB, rel=0.01)
+        )

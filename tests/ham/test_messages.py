@@ -1,0 +1,176 @@
+"""Tests for the wire format, functors and the generic handler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HamError, RemoteExecutionError, SerializationError
+from repro.ham import (
+    MSG_INVOKE,
+    MSG_RESULT,
+    build_message,
+    f2f,
+    parse_message,
+)
+from repro.ham.execution import build_invoke, execute_message, unpack_result
+from repro.ham.functor import Functor
+from repro.ham.registry import Catalog, ProcessImage
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+
+    def add(a, b):
+        return a + b
+
+    def dot(x, y):
+        return float(np.dot(x, y))
+
+    def boom():
+        raise ValueError("target exploded")
+
+    cat.register(add, name="app::add")
+    cat.register(dot, name="app::dot")
+    cat.register(boom, name="app::boom")
+    return cat
+
+
+@pytest.fixture()
+def images(catalog):
+    return ProcessImage("vh", catalog), ProcessImage("ve", catalog)
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        data = build_message(MSG_INVOKE, 7, 123, b"payload")
+        header, payload = parse_message(data)
+        assert header.kind == MSG_INVOKE
+        assert header.handler_key == 7
+        assert header.msg_id == 123
+        assert payload == b"payload"
+
+    def test_bad_magic(self):
+        data = bytearray(build_message(MSG_RESULT, 0, 0, b""))
+        data[0] = 0
+        with pytest.raises(SerializationError, match="magic"):
+            parse_message(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError, match="truncated"):
+            parse_message(b"HM\x01")
+
+    def test_truncated_payload(self):
+        data = build_message(MSG_INVOKE, 0, 0, b"full payload")
+        with pytest.raises(SerializationError, match="truncated"):
+            parse_message(data[:-3])
+
+    def test_invalid_kind(self):
+        with pytest.raises(SerializationError):
+            build_message(99, 0, 0, b"")
+
+    def test_negative_ids(self):
+        with pytest.raises(SerializationError):
+            build_message(MSG_INVOKE, -1, 0, b"")
+
+
+class TestFunctor:
+    def test_f2f_requires_registration(self, catalog):
+        def unregistered():
+            pass
+
+        with pytest.raises(HamError, match="not offloadable"):
+            f2f(unregistered, catalog=catalog)
+
+    def test_args_roundtrip_mixed_types(self):
+        functor = Functor("t", (1, "two", np.arange(3.0), {"k": None}))
+        args, kwargs = Functor.deserialize_args(functor.serialize_args())
+        assert args[0] == 1 and args[1] == "two" and args[3] == {"k": None}
+        np.testing.assert_array_equal(args[2], np.arange(3.0))
+        assert kwargs == {}
+
+    def test_kwargs_roundtrip(self):
+        functor = Functor("t", (1,), (("beta", 2.0), ("alpha", np.arange(2.0))))
+        args, kwargs = Functor.deserialize_args(functor.serialize_args())
+        assert args == (1,)
+        assert kwargs["beta"] == 2.0
+        np.testing.assert_array_equal(kwargs["alpha"], np.arange(2.0))
+
+    def test_local_execute(self, catalog):
+        functor = Functor("app::add", (2, 3))
+        assert functor.execute(catalog) == 5
+
+    def test_local_execute_with_kwargs(self, catalog):
+        functor = Functor("app::add", (2,), (("b", 40),))
+        assert functor.execute(catalog) == 42
+
+    def test_empty_args(self):
+        functor = Functor("t", ())
+        assert Functor.deserialize_args(functor.serialize_args()) == ((), {})
+
+
+class TestExecuteMessage:
+    def test_invoke_result_roundtrip(self, catalog, images):
+        host, target = images
+        functor = Functor("app::add", (20, 22))
+        invoke = build_invoke(host, functor, msg_id=9)
+        reply, keep_running = execute_message(target, invoke)
+        assert keep_running
+        msg_id, value = unpack_result(reply)
+        assert (msg_id, value) == (9, 42)
+
+    def test_numpy_args(self, catalog, images):
+        host, target = images
+        x = np.arange(10.0)
+        functor = Functor("app::dot", (x, x))
+        reply, _ = execute_message(target, build_invoke(host, functor, 1))
+        _, value = unpack_result(reply)
+        assert value == pytest.approx(float(np.dot(x, x)))
+
+    def test_remote_exception_shipped_back(self, catalog, images):
+        host, target = images
+        invoke = build_invoke(host, Functor("app::boom", ()), 5)
+        reply, keep_running = execute_message(target, invoke)
+        assert keep_running  # errors must not kill the message loop
+        with pytest.raises(RemoteExecutionError, match="target exploded") as excinfo:
+            unpack_result(reply)
+        assert "ValueError" in excinfo.value.remote_traceback
+
+    def test_shutdown_message(self, catalog, images):
+        host, target = images
+        shutdown = build_message(
+            kind=4, handler_key=0, msg_id=77, payload=b""
+        )
+        # Build a proper shutdown with serialized empty payload.
+        from repro.ham.message import MSG_SHUTDOWN
+
+        shutdown = build_message(MSG_SHUTDOWN, 0, 77, b"")
+        reply, keep_running = execute_message(target, shutdown)
+        assert not keep_running
+        msg_id, value = unpack_result(reply)
+        assert msg_id == 77 and value is None
+
+    def test_resolver_applied(self, catalog, images):
+        host, target = images
+        invoke = build_invoke(host, Functor("app::add", ("a", "b")), 2)
+        reply, _ = execute_message(
+            target, invoke, resolver=lambda arg: arg.upper()
+        )
+        _, value = unpack_result(reply)
+        assert value == "AB"
+
+    def test_result_message_rejected_by_target(self, catalog, images):
+        _host, target = images
+        bogus = build_message(MSG_RESULT, 0, 0, b"")
+        with pytest.raises(SerializationError, match="non-invoke"):
+            execute_message(target, bogus)
+
+    def test_unknown_handler_key_becomes_error_reply(self, catalog, images):
+        host, target = images
+        functor = Functor("app::add", (1, 2))
+        invoke = bytearray(build_invoke(host, functor, 3))
+        # Corrupt the key field (offset 4, 8 bytes little-endian).
+        invoke[4:12] = (10_000).to_bytes(8, "little")
+        reply, keep_running = execute_message(target, bytes(invoke))
+        assert keep_running
+        with pytest.raises(RemoteExecutionError, match="handler key"):
+            unpack_result(reply)

@@ -1,0 +1,153 @@
+"""Tests for payload serialization (pickle, numpy fast path, hooks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.ham.serialization import (
+    Migratable,
+    deserialize,
+    register_serializer,
+    serialize,
+)
+
+
+class TestBasicRoundtrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            -1,
+            3.14159,
+            "text",
+            b"bytes",
+            [1, 2, 3],
+            (4, 5),
+            {"k": [1, {"nested": None}]},
+            {1, 2, 3},
+        ],
+    )
+    def test_python_values(self, value):
+        assert deserialize(serialize(value)) == value
+
+    def test_large_payload(self):
+        value = list(range(100_000))
+        assert deserialize(serialize(value)) == value
+
+
+class TestNumpyFastPath:
+    def test_roundtrip_preserves_dtype_and_shape(self):
+        arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        back = deserialize(serialize(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        np.testing.assert_array_equal(back, arr)
+
+    def test_uses_raw_tag(self):
+        assert serialize(np.zeros(4))[:1] == b"N"
+
+    def test_non_contiguous_array(self):
+        arr = np.arange(100, dtype=np.int64)[::3]
+        np.testing.assert_array_equal(deserialize(serialize(arr)), arr)
+
+    def test_fortran_order(self):
+        arr = np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4))
+        np.testing.assert_array_equal(deserialize(serialize(arr)), arr)
+
+    def test_empty_array(self):
+        arr = np.zeros((0, 5), dtype=np.int32)
+        back = deserialize(serialize(arr))
+        assert back.shape == (0, 5)
+
+    def test_object_dtype_rejected(self):
+        arr = np.array([object()], dtype=object)
+        with pytest.raises(SerializationError):
+            serialize(arr)
+
+    def test_result_is_writable_copy(self):
+        back = deserialize(serialize(np.zeros(4)))
+        back[0] = 1  # must not raise (frombuffer gives read-only views)
+
+
+class TestCustomSerializers:
+    def test_custom_hook_roundtrip(self):
+        class Complex3:
+            def __init__(self, x, y, z):
+                self.coords = (x, y, z)
+
+            def __eq__(self, other):
+                return self.coords == other.coords
+
+        register_serializer(
+            Complex3,
+            "test.complex3",
+            encode=lambda c: ",".join(map(str, c.coords)).encode(),
+            decode=lambda b: Complex3(*map(float, b.decode().split(","))),
+        )
+        value = Complex3(1.0, 2.0, 3.0)
+        assert deserialize(serialize(value)) == value
+        assert serialize(value)[:1] == b"C"
+
+    def test_unknown_custom_name(self):
+        frame = b"C" + (9).to_bytes(2, "little") + b"ghostname" + b"body"
+        with pytest.raises(SerializationError, match="no custom serializer"):
+            deserialize(frame)
+
+    def test_failing_encoder_wrapped(self):
+        class Doomed:
+            pass
+
+        register_serializer(
+            Doomed,
+            "test.doomed",
+            encode=lambda _d: (_ for _ in ()).throw(RuntimeError("enc fail")),
+            decode=lambda b: None,
+        )
+        with pytest.raises(SerializationError, match="enc fail"):
+            serialize(Doomed())
+
+
+class SampleMigratable(Migratable):
+    """Module-level so the decoder can re-import it."""
+
+    def __init__(self, payload: str) -> None:
+        self.payload = payload
+
+    def __serialize__(self) -> bytes:
+        return self.payload.encode()
+
+    @classmethod
+    def __deserialize__(cls, data: bytes) -> "SampleMigratable":
+        return cls(data.decode())
+
+
+class TestMigratable:
+    def test_roundtrip(self):
+        back = deserialize(serialize(SampleMigratable("hi")))
+        assert isinstance(back, SampleMigratable)
+        assert back.payload == "hi"
+
+    def test_bad_class_path(self):
+        frame = b"M" + (12).to_bytes(2, "little") + b"nope:Missing" + b""
+        with pytest.raises(SerializationError, match="cannot import"):
+            deserialize(frame)
+
+
+class TestErrorHandling:
+    def test_empty_payload(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError, match="unknown payload tag"):
+            deserialize(b"Zjunk")
+
+    def test_corrupt_pickle(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"P" + b"\x00\x01garbage")
+
+    def test_unpicklable_value(self):
+        with pytest.raises(SerializationError):
+            serialize(lambda: None)  # local lambdas don't pickle

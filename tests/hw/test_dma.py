@@ -1,0 +1,157 @@
+"""Tests for the DMAATB and the user DMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DmaatbError, DmaError
+from repro.hw.dma import Dmaatb, UserDmaEngine, VEHVA_BASE
+from repro.hw.memory import MemoryRegion, PAGE_4K
+from repro.hw.params import DEFAULT_TIMING
+from repro.hw.pcie import PcieLink
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def host_mem():
+    return MemoryRegion("host", 1024 * 1024, default_page_size=PAGE_4K)
+
+
+@pytest.fixture()
+def ve_mem():
+    return MemoryRegion("ve", 1024 * 1024, default_page_size=PAGE_4K)
+
+
+class TestDmaatb:
+    def test_register_translate(self, host_mem):
+        atb = Dmaatb()
+        entry = atb.register(host_mem, 4096, 8192)
+        region, addr = atb.translate(entry.vehva, 100)
+        assert region is host_mem and addr == 4096
+        region, addr = atb.translate(entry.vehva + 1000, 100)
+        assert addr == 5096
+
+    def test_vehva_ranges_disjoint(self, host_mem):
+        atb = Dmaatb()
+        e1 = atb.register(host_mem, 0, 5000)
+        e2 = atb.register(host_mem, 8192, 5000)
+        assert e1.end <= e2.vehva or e2.end <= e1.vehva
+        assert e1.vehva >= VEHVA_BASE
+
+    def test_unregistered_range_fails(self, host_mem):
+        atb = Dmaatb()
+        entry = atb.register(host_mem, 0, 4096)
+        with pytest.raises(DmaatbError):
+            atb.translate(entry.vehva, 8192)  # overruns the registration
+        with pytest.raises(DmaatbError):
+            atb.translate(VEHVA_BASE - 4096, 8)
+
+    def test_unregister(self, host_mem):
+        atb = Dmaatb()
+        entry = atb.register(host_mem, 0, 4096)
+        atb.unregister(entry)
+        with pytest.raises(DmaatbError):
+            atb.translate(entry.vehva, 8)
+        with pytest.raises(DmaatbError):
+            atb.unregister(entry)
+
+    def test_capacity_limit(self, host_mem):
+        atb = Dmaatb(capacity=2)
+        atb.register(host_mem, 0, 64)
+        atb.register(host_mem, 4096, 64)
+        with pytest.raises(DmaatbError):
+            atb.register(host_mem, 8192, 64)
+
+    def test_bad_range_rejected(self, host_mem):
+        atb = Dmaatb()
+        with pytest.raises(DmaatbError):
+            atb.register(host_mem, 0, 0)
+        with pytest.raises(DmaatbError):
+            atb.register(host_mem, host_mem.size - 4, 8)
+
+
+class TestUserDmaEngine:
+    def _engine(self, sim, host_mem):
+        atb = Dmaatb()
+        link = PcieLink(sim)
+        return UserDmaEngine(sim, DEFAULT_TIMING, atb, link), atb, link
+
+    def test_read_host_moves_real_bytes(self, sim, host_mem, ve_mem):
+        engine, atb, _link = self._engine(sim, host_mem)
+        entry = atb.register(host_mem, 0, 4096)
+        payload = bytes(range(200))
+        host_mem.write(100, payload)
+
+        def proc():
+            yield from engine.read_host(entry.vehva + 100, ve_mem, 500, 200)
+
+        sim.run(until=sim.process(proc()))
+        assert ve_mem.read(500, 200) == payload
+
+    def test_write_host_moves_real_bytes(self, sim, host_mem, ve_mem):
+        engine, atb, _link = self._engine(sim, host_mem)
+        entry = atb.register(host_mem, 0, 4096)
+        payload = np.random.default_rng(0).integers(0, 256, 300, dtype=np.uint8)
+        ve_mem.write(0, payload)
+
+        def proc():
+            yield from engine.write_host(ve_mem, 0, entry.vehva + 50, 300)
+
+        sim.run(until=sim.process(proc()))
+        assert host_mem.read(50, 300) == payload.tobytes()
+
+    def test_transfer_charges_model_time(self, sim, host_mem, ve_mem):
+        engine, atb, _link = self._engine(sim, host_mem)
+        entry = atb.register(host_mem, 0, 65536)
+        size = 65536
+
+        def proc():
+            yield from engine.read_host(entry.vehva, ve_mem, 0, size)
+
+        sim.run(until=sim.process(proc()))
+        expected = DEFAULT_TIMING.udma_transfer_time(size, direction="vh_to_ve")
+        assert sim.now == pytest.approx(expected)
+
+    def test_unregistered_transfer_fails(self, sim, host_mem, ve_mem):
+        engine, _atb, _link = self._engine(sim, host_mem)
+
+        def proc():
+            yield from engine.read_host(VEHVA_BASE, ve_mem, 0, 64)
+
+        with pytest.raises(DmaatbError):
+            sim.run(until=sim.process(proc()))
+
+    def test_concurrent_transfers_serialise_on_engine(self, sim, host_mem, ve_mem):
+        engine, atb, _link = self._engine(sim, host_mem)
+        entry = atb.register(host_mem, 0, 65536)
+        one = DEFAULT_TIMING.udma_transfer_time(1024, direction="vh_to_ve")
+
+        def proc():
+            yield from engine.read_host(entry.vehva, ve_mem, 0, 1024)
+
+        done = [sim.process(proc()) for _ in range(3)]
+        sim.run(until=sim.all_of(done))
+        assert sim.now == pytest.approx(3 * one)
+
+    def test_link_accounting(self, sim, host_mem, ve_mem):
+        engine, atb, link = self._engine(sim, host_mem)
+        entry = atb.register(host_mem, 0, 4096)
+
+        def proc():
+            yield from engine.read_host(entry.vehva, ve_mem, 0, 1000)
+            yield from engine.write_host(ve_mem, 0, entry.vehva, 2000)
+
+        sim.run(until=sim.process(proc()))
+        assert link.bytes_vh_to_ve == 1000
+        assert link.bytes_ve_to_vh == 2000
+        assert link.transfer_count == 2
+
+    def test_validate_local(self, sim, host_mem, ve_mem):
+        engine, _atb, _link = self._engine(sim, host_mem)
+        engine.validate_local(ve_mem, 0, 64)
+        with pytest.raises(DmaError):
+            engine.validate_local(ve_mem, ve_mem.size, 8)

@@ -1,0 +1,156 @@
+"""Unit tests for simulated memory regions and the allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BadAddressError, DoubleFreeError, OutOfMemoryError
+from repro.hw.memory import MemoryRegion, PAGE_4K, PAGE_HUGE_2M
+
+
+@pytest.fixture()
+def mem():
+    return MemoryRegion("test", 1024 * 1024, default_page_size=PAGE_4K)
+
+
+class TestAllocator:
+    def test_basic_allocate_free(self, mem):
+        alloc = mem.allocate(100)
+        assert alloc.size == 100
+        assert alloc.page_size == PAGE_4K
+        assert mem.live_allocations == 1
+        mem.free(alloc)
+        assert mem.live_allocations == 0
+
+    def test_allocations_page_aligned(self, mem):
+        a = mem.allocate(100)
+        b = mem.allocate(100)
+        assert a.addr % PAGE_4K == 0
+        assert b.addr % PAGE_4K == 0
+        assert b.addr >= a.addr + PAGE_4K  # no page sharing
+
+    def test_allocations_do_not_overlap(self, mem):
+        allocs = [mem.allocate(3000) for _ in range(10)]
+        spans = sorted((a.addr, a.end) for a in allocs)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_freed_space_is_reused(self, mem):
+        a = mem.allocate(512 * 1024)
+        mem.free(a)
+        b = mem.allocate(512 * 1024)
+        assert b.addr == a.addr
+
+    def test_out_of_memory(self, mem):
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate(2 * 1024 * 1024)
+
+    def test_oom_message_mentions_free_bytes(self, mem):
+        mem.allocate(1024 * 1024 - PAGE_4K)
+        with pytest.raises(OutOfMemoryError, match="free"):
+            mem.allocate(8 * PAGE_4K)
+
+    def test_double_free_detected(self, mem):
+        a = mem.allocate(64)
+        mem.free(a)
+        with pytest.raises(DoubleFreeError):
+            mem.free(a)
+
+    def test_foreign_free_detected(self, mem):
+        other = MemoryRegion("other", 1024 * 1024, default_page_size=PAGE_4K)
+        foreign = other.allocate(64)
+        with pytest.raises(DoubleFreeError):
+            mem.free(foreign)
+
+    def test_zero_size_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.allocate(0)
+
+    def test_coalescing_allows_full_reallocation(self, mem):
+        allocs = [mem.allocate(PAGE_4K) for _ in range(mem.size // PAGE_4K)]
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate(PAGE_4K)
+        for alloc in allocs:
+            mem.free(alloc)
+        # After freeing everything the region is one extent again.
+        big = mem.allocate(mem.size)
+        assert big.addr == 0
+
+    def test_fragmentation_then_coalesce(self, mem):
+        a = mem.allocate(PAGE_4K)
+        b = mem.allocate(PAGE_4K)
+        c = mem.allocate(PAGE_4K)
+        mem.free(b)
+        mem.free(a)
+        mem.free(c)
+        assert mem.free_bytes == mem.size
+
+    def test_huge_page_allocation(self):
+        mem = MemoryRegion("huge", 8 * PAGE_HUGE_2M)
+        alloc = mem.allocate(100, page_size=PAGE_HUGE_2M)
+        assert alloc.page_size == PAGE_HUGE_2M
+        assert alloc.pages() == 1
+        big = mem.allocate(3 * PAGE_HUGE_2M)
+        assert big.pages() == 3
+
+    def test_stats(self, mem):
+        a = mem.allocate(PAGE_4K)
+        b = mem.allocate(PAGE_4K)
+        assert mem.bytes_allocated == 2 * PAGE_4K
+        assert mem.peak_allocated == 2 * PAGE_4K
+        mem.free(a)
+        mem.free(b)
+        assert mem.bytes_allocated == 0
+        assert mem.peak_allocated == 2 * PAGE_4K
+        assert mem.total_allocations == 2
+
+    def test_allocation_at(self, mem):
+        a = mem.allocate(100)
+        assert mem.allocation_at(a.addr) == a
+        assert mem.allocation_at(a.addr + 50) == a
+        with pytest.raises(BadAddressError):
+            mem.allocation_at(a.addr + PAGE_4K)
+
+
+class TestRawAccess:
+    def test_write_read_roundtrip(self, mem):
+        data = bytes(range(256))
+        mem.write(1000, data)
+        assert mem.read(1000, 256) == data
+
+    def test_numpy_write(self, mem):
+        arr = np.arange(16, dtype=np.float64)
+        mem.write(0, arr)
+        back = np.frombuffer(mem.read(0, arr.nbytes), dtype=np.float64)
+        np.testing.assert_array_equal(back, arr)
+
+    def test_view_is_zero_copy(self, mem):
+        view = mem.view(0, 8)
+        view[:] = 7
+        assert mem.read(0, 8) == bytes([7] * 8)
+
+    def test_out_of_bounds_write(self, mem):
+        with pytest.raises(BadAddressError):
+            mem.write(mem.size - 4, b"12345678")
+
+    def test_out_of_bounds_read(self, mem):
+        with pytest.raises(BadAddressError):
+            mem.read(mem.size, 1)
+
+    def test_negative_address(self, mem):
+        with pytest.raises(BadAddressError):
+            mem.read(-1, 1)
+
+    def test_u64_roundtrip(self, mem):
+        mem.write_u64(128, 0xDEAD_BEEF_CAFE_F00D)
+        assert mem.read_u64(128) == 0xDEAD_BEEF_CAFE_F00D
+
+    def test_u64_unaligned_offset_ok(self, mem):
+        mem.write_u64(3, 42)
+        assert mem.read_u64(3) == 42
+
+    def test_initial_memory_zeroed(self, mem):
+        assert mem.read(0, 64) == bytes(64)
+
+    def test_invalid_region_size(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", 0)

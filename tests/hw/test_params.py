@@ -1,0 +1,136 @@
+"""Tests of the timing model's analytical properties.
+
+Calibration against the paper's absolute anchors is tested separately in
+``tests/bench/test_calibration.py``; here we check structural properties
+(monotonicity, direction asymmetry, parameter plumbing).
+"""
+
+import pytest
+
+from repro.hw.params import DEFAULT_TIMING, TimingModel, US, WORD
+from repro.hw.specs import GIB, KIB, MIB
+from repro.hw.memory import PAGE_4K, PAGE_HUGE_2M
+
+
+@pytest.fixture()
+def tm():
+    return DEFAULT_TIMING
+
+
+class TestVeoTransfer:
+    def test_monotone_in_size(self, tm):
+        times = [
+            tm.veo_transfer_time(s, direction="vh_to_ve", page_size=PAGE_HUGE_2M)
+            for s in (8, 64, KIB, MIB, 16 * MIB)
+        ]
+        assert times == sorted(times)
+
+    def test_write_slower_than_read_for_small(self, tm):
+        # VE→VH is the generally faster direction (paper Sec. V-B).
+        write = tm.veo_transfer_time(8, direction="vh_to_ve", page_size=PAGE_HUGE_2M)
+        read = tm.veo_transfer_time(8, direction="ve_to_vh", page_size=PAGE_HUGE_2M)
+        assert write > read
+
+    def test_small_pages_cost_more(self, tm):
+        small = tm.veo_transfer_time(16 * MIB, direction="vh_to_ve", page_size=PAGE_4K)
+        huge = tm.veo_transfer_time(16 * MIB, direction="vh_to_ve", page_size=PAGE_HUGE_2M)
+        assert small > huge
+
+    def test_classic_dma_manager_slower(self, tm):
+        classic = tm.veo_transfer_time(
+            16 * MIB, direction="vh_to_ve", page_size=PAGE_HUGE_2M, four_dma=False
+        )
+        improved = tm.veo_transfer_time(
+            16 * MIB, direction="vh_to_ve", page_size=PAGE_HUGE_2M, four_dma=True
+        )
+        assert classic > improved
+
+    def test_upi_hop_adds_latency(self, tm):
+        local = tm.veo_transfer_time(8, direction="vh_to_ve", page_size=PAGE_HUGE_2M)
+        remote = tm.veo_transfer_time(
+            8, direction="vh_to_ve", page_size=PAGE_HUGE_2M, upi_hops=1
+        )
+        assert remote == pytest.approx(local + tm.upi_penalty)
+
+    def test_negative_size_rejected(self, tm):
+        with pytest.raises(ValueError):
+            tm.veo_transfer_time(-1, direction="vh_to_ve", page_size=PAGE_4K)
+
+    def test_unknown_direction_rejected(self, tm):
+        with pytest.raises(ValueError):
+            tm.veo_transfer_time(8, direction="sideways", page_size=PAGE_4K)
+
+
+class TestUserDma:
+    def test_much_faster_than_veo_for_small(self, tm):
+        veo = tm.veo_transfer_time(8, direction="vh_to_ve", page_size=PAGE_HUGE_2M)
+        dma = tm.udma_transfer_time(8, direction="vh_to_ve")
+        assert veo / dma > 20
+
+    def test_bandwidth_capped_by_pcie(self, tm):
+        fast = tm.with_overrides(udma_write_bandwidth=100 * GIB)
+        time = fast.udma_transfer_time(GIB, direction="ve_to_vh")
+        implied_bw = GIB / time
+        assert implied_bw <= fast.pcie_max_bandwidth * 1.001
+
+    def test_ve_to_vh_faster(self, tm):
+        down = tm.udma_transfer_time(MIB, direction="vh_to_ve")
+        up = tm.udma_transfer_time(MIB, direction="ve_to_vh")
+        assert up < down
+
+    def test_unknown_direction_rejected(self, tm):
+        with pytest.raises(ValueError):
+            tm.udma_transfer_time(8, direction="x")
+
+
+class TestLhmShm:
+    def test_single_lhm_word_close_to_pcie_rtt(self, tm):
+        assert tm.lhm_time(WORD) == pytest.approx(tm.pcie_read_rtt, rel=0.25)
+
+    def test_lhm_linear_in_words(self, tm):
+        t1 = tm.lhm_time(WORD)
+        t10 = tm.lhm_time(10 * WORD)
+        assert t10 - t1 == pytest.approx(9 * tm.lhm_per_word)
+
+    def test_shm_burst_then_sustained(self, tm):
+        burst_words = tm.shm_queue_words
+        t_burst = tm.shm_time(burst_words * WORD)
+        t_more = tm.shm_time((burst_words + 1) * WORD)
+        assert t_more - t_burst == pytest.approx(tm.shm_per_word_sustained)
+
+    def test_shm_beats_lhm(self, tm):
+        for size in (WORD, 256, 4 * KIB):
+            assert tm.shm_time(size) < tm.lhm_time(size)
+
+    def test_sub_word_access_rounds_up(self, tm):
+        assert tm.lhm_time(1) == tm.lhm_time(WORD)
+        assert tm.shm_time(1) == tm.shm_time(WORD)
+
+
+class TestVeoCall:
+    def test_call_time_sum_of_parts(self, tm):
+        assert tm.veo_call_time() == pytest.approx(
+            tm.veo_call_cpu_overhead
+            + tm.veo_call_submit_latency
+            + tm.veo_call_return_latency
+        )
+
+    def test_remote_socket_adds_under_a_microsecond(self, tm):
+        # Paper Sec. V-A: "adds up to 1 µs".
+        extra = tm.veo_call_time(upi_hops=1) - tm.veo_call_time()
+        assert 0 < extra <= 1.0 * US
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_model(self, tm):
+        slow = tm.with_overrides(udma_read_latency=1.0)
+        assert slow is not tm
+        assert slow.udma_read_latency == 1.0
+        assert tm.udma_read_latency != 1.0
+
+    def test_frozen(self, tm):
+        with pytest.raises(AttributeError):
+            tm.udma_read_latency = 0.0  # type: ignore[misc]
+
+    def test_memcpy_devices(self, tm):
+        assert tm.memcpy_time(MIB, device="ve") < tm.memcpy_time(MIB, device="vh")

@@ -1,0 +1,78 @@
+"""Tests for the PCIe link model."""
+
+import pytest
+
+from repro.hw.pcie import PcieLink
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestPcieLink:
+    def test_transfer_charges_duration(self, sim):
+        link = PcieLink(sim)
+
+        def proc():
+            yield from link.transfer(1e-3, 1000, "vh_to_ve")
+
+        sim.run(until=sim.process(proc()))
+        assert sim.now == pytest.approx(1e-3)
+        assert link.busy_time == pytest.approx(1e-3)
+
+    def test_concurrent_transfers_serialise(self, sim):
+        link = PcieLink(sim)
+
+        def proc():
+            yield from link.transfer(1e-3, 100, "vh_to_ve")
+
+        done = [sim.process(proc()) for _ in range(4)]
+        sim.run(until=sim.all_of(done))
+        assert sim.now == pytest.approx(4e-3)
+
+    def test_byte_accounting_by_direction(self, sim):
+        link = PcieLink(sim)
+
+        def proc():
+            yield from link.transfer(1e-6, 10, "vh_to_ve")
+            yield from link.transfer(1e-6, 20, "ve_to_vh")
+
+        sim.run(until=sim.process(proc()))
+        assert (link.bytes_vh_to_ve, link.bytes_ve_to_vh) == (10, 20)
+
+    def test_word_ops_bypass_arbitration(self, sim):
+        link = PcieLink(sim)
+        link.word_op("ve_to_vh")
+        assert link.word_op_count == 1
+        assert link.bytes_ve_to_vh == 8
+
+    def test_invalid_direction(self, sim):
+        link = PcieLink(sim)
+        with pytest.raises(ValueError):
+            link.word_op("up")
+
+    def test_negative_duration(self, sim):
+        link = PcieLink(sim)
+
+        def proc():
+            yield from link.transfer(-1.0, 10, "vh_to_ve")
+
+        with pytest.raises(ValueError):
+            sim.run(until=sim.process(proc()))
+
+    def test_negative_upi_hops(self, sim):
+        with pytest.raises(ValueError):
+            PcieLink(sim, upi_hops=-1)
+
+    def test_queue_length_visible(self, sim):
+        link = PcieLink(sim)
+
+        def proc():
+            yield from link.transfer(1.0, 1, "vh_to_ve")
+
+        for _ in range(3):
+            sim.process(proc())
+        sim.run(until=0.5)
+        assert link.queue_length == 2

@@ -1,0 +1,57 @@
+"""Unit tests for PCIe switch-uplink sharing (extension M2 mechanics)."""
+
+import pytest
+
+from repro.hw.pcie import PcieLink
+from repro.machine import AuroraMachine
+from repro.sim import Resource, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestUplinkSharing:
+    def test_links_without_uplink_run_concurrently(self, sim):
+        a, b = PcieLink(sim, "a"), PcieLink(sim, "b")
+
+        def proc(link):
+            yield from link.transfer(1.0, 1, "vh_to_ve")
+
+        done = [sim.process(proc(a)), sim.process(proc(b))]
+        sim.run(until=sim.all_of(done))
+        assert sim.now == pytest.approx(1.0)
+
+    def test_links_sharing_uplink_serialise(self, sim):
+        uplink = Resource(sim)
+        a = PcieLink(sim, "a", uplink=uplink)
+        b = PcieLink(sim, "b", uplink=uplink)
+
+        def proc(link):
+            yield from link.transfer(1.0, 1, "vh_to_ve")
+
+        done = [sim.process(proc(a)), sim.process(proc(b))]
+        sim.run(until=sim.all_of(done))
+        assert sim.now == pytest.approx(2.0)
+
+    def test_distinct_uplinks_do_not_interfere(self, sim):
+        a = PcieLink(sim, "a", uplink=Resource(sim))
+        b = PcieLink(sim, "b", uplink=Resource(sim))
+
+        def proc(link):
+            yield from link.transfer(1.0, 1, "vh_to_ve")
+
+        done = [sim.process(proc(a)), sim.process(proc(b))]
+        sim.run(until=sim.all_of(done))
+        assert sim.now == pytest.approx(1.0)
+
+    def test_machine_wires_uplinks_per_switch(self):
+        machine = AuroraMachine(num_ves=8)
+        uplinks = {id(link.uplink) for link in machine.links[:4]}
+        assert len(uplinks) == 1  # VEs 0-3 share switch 0
+        assert machine.links[0].uplink is not machine.links[4].uplink
+
+    def test_single_ve_machine_still_has_uplink(self):
+        machine = AuroraMachine(num_ves=1)
+        assert machine.links[0].uplink is machine.switch_uplinks[0]

@@ -1,0 +1,228 @@
+"""Tests of the HAM-Offload public API semantics (Table II).
+
+Run against the local backend; protocol-specific behaviour is covered in
+``tests/backends``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import LocalBackend
+from repro.errors import (
+    NoSuchNodeError,
+    OffloadError,
+    RemoteExecutionError,
+)
+from repro.ham import f2f
+from repro.offload import BufferPtr, Runtime
+
+from tests import apps
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(LocalBackend(num_targets=2))
+    yield runtime
+    runtime.shutdown()
+
+
+class TestTopology:
+    def test_num_nodes(self, rt):
+        assert rt.num_nodes() == 3  # host + 2 targets
+
+    def test_this_node_is_host(self, rt):
+        assert rt.this_node() == 0
+        assert rt.get_node_descriptor(0).is_host
+
+    def test_targets(self, rt):
+        assert rt.targets() == [1, 2]
+
+    def test_descriptor_fields(self, rt):
+        desc = rt.get_node_descriptor(1)
+        assert desc.node == 1
+        assert desc.device_type == "cpu"
+        assert not desc.is_host
+
+    def test_offload_to_host_rejected(self, rt):
+        with pytest.raises(NoSuchNodeError):
+            rt.sync(0, f2f(apps.empty_kernel))
+
+    def test_offload_to_unknown_node_rejected(self, rt):
+        with pytest.raises(NoSuchNodeError):
+            rt.sync(9, f2f(apps.empty_kernel))
+
+
+class TestSyncAsync:
+    def test_sync_returns_value(self, rt):
+        assert rt.sync(1, f2f(apps.add, 20, 22)) == 42
+
+    def test_async_future(self, rt):
+        future = rt.async_(1, f2f(apps.add, 1, 2))
+        assert future.test()
+        assert future.get() == 3
+        assert future.get() == 3  # idempotent
+
+    def test_non_functor_rejected(self, rt):
+        with pytest.raises(OffloadError, match="f2f"):
+            rt.sync(1, apps.add)  # type: ignore[arg-type]
+
+    def test_remote_exception(self, rt):
+        with pytest.raises(RemoteExecutionError, match="kaboom"):
+            rt.sync(1, f2f(apps.raise_value_error, "kaboom"))
+
+    def test_remote_exception_keeps_runtime_alive(self, rt):
+        with pytest.raises(RemoteExecutionError):
+            rt.sync(1, f2f(apps.raise_value_error, "x"))
+        assert rt.sync(1, f2f(apps.add, 1, 1)) == 2
+
+    def test_both_targets_reachable(self, rt):
+        assert rt.sync(1, f2f(apps.add, 1, 0)) == 1
+        assert rt.sync(2, f2f(apps.add, 2, 0)) == 2
+
+
+class TestMemory:
+    def test_allocate_returns_typed_pointer(self, rt):
+        ptr = rt.allocate(1, 100, np.float32)
+        assert isinstance(ptr, BufferPtr)
+        assert ptr.node == 1
+        assert ptr.count == 100
+        assert ptr.dtype == np.float32
+        assert ptr.nbytes == 400
+        rt.free(ptr)
+
+    def test_put_get_roundtrip(self, rt):
+        data = np.linspace(0, 1, 64)
+        ptr = rt.allocate(1, 64)
+        rt.put(data, ptr).get()
+        back = np.zeros(64)
+        rt.get(ptr, back).get()
+        np.testing.assert_array_equal(back, data)
+
+    def test_put_dtype_mismatch(self, rt):
+        ptr = rt.allocate(1, 8, np.float64)
+        with pytest.raises(OffloadError, match="dtype"):
+            rt.put(np.zeros(8, dtype=np.int32), ptr)
+
+    def test_put_oversize(self, rt):
+        ptr = rt.allocate(1, 8)
+        with pytest.raises(OffloadError, match="exceeds"):
+            rt.put(np.zeros(4), ptr, count=6)
+
+    def test_double_free(self, rt):
+        ptr = rt.allocate(1, 8)
+        rt.free(ptr)
+        with pytest.raises(OffloadError, match="unknown or already-freed"):
+            rt.free(ptr)
+
+    def test_free_of_offset_pointer_rejected(self, rt):
+        ptr = rt.allocate(1, 8)
+        with pytest.raises(OffloadError):
+            rt.free(ptr + 2)
+        rt.free(ptr)
+
+    def test_live_buffer_count(self, rt):
+        a = rt.allocate(1, 8)
+        b = rt.allocate(2, 8)
+        assert rt.live_buffer_count == 2
+        rt.free(a)
+        rt.free(b)
+        assert rt.live_buffer_count == 0
+
+    def test_invalid_count(self, rt):
+        with pytest.raises(OffloadError):
+            rt.allocate(1, 0)
+
+
+class TestBufferArguments:
+    def test_kernel_sees_target_memory(self, rt):
+        data = np.arange(16.0)
+        ptr = rt.allocate(1, 16)
+        rt.put(data, ptr)
+        assert rt.sync(1, f2f(apps.sum_buffer, ptr)) == pytest.approx(data.sum())
+
+    def test_kernel_mutation_persists(self, rt):
+        ptr = rt.allocate(1, 8)
+        rt.put(np.ones(8), ptr)
+        rt.sync(1, f2f(apps.scale_buffer, ptr, 3.0))
+        back = np.zeros(8)
+        rt.get(ptr, back)
+        np.testing.assert_array_equal(back, 3.0 * np.ones(8))
+
+    def test_offset_pointer(self, rt):
+        ptr = rt.allocate(1, 10)
+        rt.put(np.arange(10.0), ptr)
+        tail = ptr + 6
+        assert rt.sync(1, f2f(apps.sum_buffer, tail)) == pytest.approx(6 + 7 + 8 + 9)
+
+    def test_first_restriction(self, rt):
+        ptr = rt.allocate(1, 10)
+        rt.put(np.arange(10.0), ptr)
+        head = ptr.first(3)
+        assert rt.sync(1, f2f(apps.sum_buffer, head)) == pytest.approx(0 + 1 + 2)
+
+    def test_inner_product_example(self, rt):
+        # The paper's Fig. 2 program, in API form.
+        n = 1024
+        a = np.random.default_rng(1).random(n)
+        b = np.random.default_rng(2).random(n)
+        a_t = rt.allocate(1, n)
+        b_t = rt.allocate(1, n)
+        rt.put(a, a_t)
+        rt.put(b, b_t)
+        result = rt.async_(1, f2f(apps.inner_product, a_t, b_t, n))
+        assert result.get() == pytest.approx(float(np.dot(a, b)))
+
+
+class TestCopy:
+    def test_copy_between_targets(self, rt):
+        src = rt.allocate(1, 8)
+        dst = rt.allocate(2, 8)
+        rt.put(np.arange(8.0), src)
+        rt.copy(src, dst).get()
+        back = np.zeros(8)
+        rt.get(dst, back)
+        np.testing.assert_array_equal(back, np.arange(8.0))
+
+    def test_copy_dtype_mismatch(self, rt):
+        src = rt.allocate(1, 8, np.float64)
+        dst = rt.allocate(2, 8, np.int64)
+        with pytest.raises(OffloadError, match="dtype"):
+            rt.copy(src, dst)
+
+    def test_copy_bounds(self, rt):
+        src = rt.allocate(1, 8)
+        dst = rt.allocate(2, 4)
+        with pytest.raises(OffloadError, match="exceeds"):
+            rt.copy(src, dst, count=8)
+
+
+class TestLifecycle:
+    def test_shutdown_idempotent(self, rt):
+        rt.shutdown()
+        rt.shutdown()
+
+    def test_use_after_shutdown(self, rt):
+        rt.shutdown()
+        with pytest.raises(OffloadError, match="shut down"):
+            rt.sync(1, f2f(apps.empty_kernel))
+
+    def test_context_manager(self):
+        with Runtime(LocalBackend()) as runtime:
+            assert runtime.sync(1, f2f(apps.add, 1, 1)) == 2
+
+
+class TestBufferPtrValue:
+    def test_pointer_arithmetic_bounds(self):
+        ptr = BufferPtr(node=1, addr=0, dtype_str="<f8", count=4)
+        with pytest.raises(OffloadError):
+            _ = ptr + 5
+        with pytest.raises(OffloadError):
+            ptr.first(5)
+
+    def test_add_preserves_node_and_type(self):
+        ptr = BufferPtr(node=2, addr=16, dtype_str="<f4", count=8)
+        moved = ptr + 3
+        assert moved.node == 2
+        assert moved.addr == 16 + 3 * 4
+        assert moved.count == 5
+        assert moved.dtype == np.float32

@@ -1,0 +1,91 @@
+"""Tests for the free-function API (paper Table II shape)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import LocalBackend
+from repro.errors import OffloadError
+from repro.ham import f2f
+from repro.offload import api as offload
+
+from tests import apps
+
+
+@pytest.fixture()
+def api():
+    offload.init(LocalBackend(num_targets=2))
+    yield offload
+    offload.finalize()
+
+
+class TestGlobalRuntimeLifecycle:
+    def test_uninitialized_use_rejected(self):
+        assert not offload.is_initialized()
+        with pytest.raises(OffloadError, match="not initialized"):
+            offload.sync(1, f2f(apps.empty_kernel))
+
+    def test_double_init_rejected(self, api):
+        with pytest.raises(OffloadError, match="already initialized"):
+            offload.init(LocalBackend())
+
+    def test_finalize_idempotent(self):
+        offload.init(LocalBackend())
+        offload.finalize()
+        offload.finalize()
+        assert not offload.is_initialized()
+
+    def test_reinit_after_finalize(self):
+        offload.init(LocalBackend())
+        offload.finalize()
+        offload.init(LocalBackend())
+        assert offload.is_initialized()
+        offload.finalize()
+
+
+class TestTableIIOperations:
+    def test_sync(self, api):
+        assert api.sync(1, f2f(apps.add, 40, 2)) == 42
+
+    def test_async(self, api):
+        future = api.async_(2, f2f(apps.add, 1, 2))
+        assert future.get() == 3
+
+    def test_allocate_put_get_free(self, api):
+        data = np.arange(32.0)
+        ptr = api.allocate(1, 32)
+        api.put(data, ptr).get()
+        back = np.zeros(32)
+        api.get(ptr, back).get()
+        np.testing.assert_array_equal(back, data)
+        api.free(ptr)
+
+    def test_copy(self, api):
+        src = api.allocate(1, 8)
+        dst = api.allocate(2, 8)
+        api.put(np.ones(8), src)
+        api.copy(src, dst).get()
+        back = np.zeros(8)
+        api.get(dst, back)
+        np.testing.assert_array_equal(back, np.ones(8))
+
+    def test_topology_queries(self, api):
+        assert api.num_nodes() == 3
+        assert api.this_node() == 0
+        assert api.get_node_descriptor(1).device_type == "cpu"
+
+    def test_runtime_accessor(self, api):
+        assert api.runtime().num_nodes() == 3
+
+    def test_paper_fig2_program_shape(self, api):
+        """The Fig. 2 program, line for line, via the free functions."""
+        n = 1024
+        a = np.random.default_rng(0).random(n)
+        b = np.random.default_rng(1).random(n)
+        target = 1
+        a_target = api.allocate(target, n)
+        b_target = api.allocate(target, n)
+        api.put(a, a_target, n)
+        api.put(b, b_target, n)
+        result = api.async_(target, f2f(apps.inner_product, a_target, b_target, n))
+        c = result.get()
+        assert c == pytest.approx(float(np.dot(a, b)))

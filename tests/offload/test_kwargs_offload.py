@@ -1,0 +1,54 @@
+"""End-to-end keyword-argument offloading across backends."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DmaCommBackend, LocalBackend
+from repro.ham import f2f, offloadable
+from repro.offload import Runtime
+
+
+@offloadable
+def windowed_sum(buf, *, start: int = 0, stop: int | None = None, scale=1.0):
+    """Kernel exercising keyword arguments, including a BufferPtr kwarg-free mix."""
+    view = np.asarray(buf)[start:stop]
+    return float(view.sum() * scale)
+
+
+@offloadable
+def axpy_into(y, *, x, alpha: float):
+    """BufferPtr passed as a keyword argument (resolver must handle it)."""
+    yv = np.asarray(y)
+    yv += alpha * np.asarray(x)
+    return float(yv[0])
+
+
+@pytest.mark.parametrize("backend_cls", [LocalBackend, DmaCommBackend])
+class TestKwargsOffload:
+    def test_scalar_kwargs(self, backend_cls):
+        runtime = Runtime(backend_cls())
+        ptr = runtime.allocate(1, 10)
+        runtime.put(np.arange(10.0), ptr)
+        result = runtime.sync(1, f2f(windowed_sum, ptr, start=2, stop=5, scale=10.0))
+        assert result == pytest.approx((2 + 3 + 4) * 10.0)
+        runtime.shutdown()
+
+    def test_default_kwargs(self, backend_cls):
+        runtime = Runtime(backend_cls())
+        ptr = runtime.allocate(1, 4)
+        runtime.put(np.ones(4), ptr)
+        assert runtime.sync(1, f2f(windowed_sum, ptr)) == pytest.approx(4.0)
+        runtime.shutdown()
+
+    def test_buffer_ptr_as_kwarg(self, backend_cls):
+        runtime = Runtime(backend_cls())
+        x = runtime.allocate(1, 8)
+        y = runtime.allocate(1, 8)
+        runtime.put(np.full(8, 3.0), x)
+        runtime.put(np.ones(8), y)
+        first = runtime.sync(1, f2f(axpy_into, y, x=x, alpha=2.0))
+        assert first == pytest.approx(7.0)
+        back = np.zeros(8)
+        runtime.get(y, back)
+        np.testing.assert_allclose(back, 7.0)
+        runtime.shutdown()

@@ -1,0 +1,81 @@
+"""Tests for the runtime/backend statistics API."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    DmaCommBackend,
+    LocalBackend,
+    TcpBackend,
+    VeoCommBackend,
+    spawn_local_server,
+)
+from repro.ham import f2f
+from repro.offload import Runtime
+
+from tests import apps
+
+
+class TestRuntimeStats:
+    def test_counters_track_operations(self):
+        runtime = Runtime(LocalBackend())
+        ptr = runtime.allocate(1, 16)
+        runtime.put(np.zeros(16), ptr)
+        runtime.sync(1, f2f(apps.empty_kernel))
+        runtime.async_(1, f2f(apps.empty_kernel)).get()
+        back = np.zeros(16)
+        runtime.get(ptr, back)
+        stats = runtime.stats()
+        assert stats["offloads_posted"] == 2
+        assert stats["puts"] == 1
+        assert stats["gets"] == 1
+        assert stats["copies"] == 0
+        assert stats["live_buffers"] == 1
+        runtime.shutdown()
+
+    def test_local_backend_stats(self):
+        runtime = Runtime(LocalBackend(num_targets=2))
+        runtime.sync(1, f2f(apps.empty_kernel))
+        runtime.sync(2, f2f(apps.empty_kernel))
+        runtime.sync(2, f2f(apps.empty_kernel))
+        backend_stats = runtime.stats()["backend"]
+        assert backend_stats["messages_executed"] == 3
+        assert backend_stats["targets"][1]["messages_executed"] == 1
+        assert backend_stats["targets"][2]["messages_executed"] == 2
+        runtime.shutdown()
+
+    @pytest.mark.parametrize("backend_cls", [VeoCommBackend, DmaCommBackend])
+    def test_sim_backend_stats(self, backend_cls):
+        runtime = Runtime(backend_cls())
+        runtime.sync(1, f2f(apps.empty_kernel))
+        stats = runtime.stats()["backend"]
+        assert stats["backend"] in ("veo", "dma")
+        assert stats["messages_executed"] == 1
+        assert stats["simulated_time"] > 0
+        channel = stats["channels"]["ve0"]
+        if stats["backend"] == "dma":
+            assert channel["lhm_word_loads"] >= 1
+            assert channel["user_dma_transfers"] >= 1
+        else:
+            assert channel["privileged_dma_transfers"] >= 4
+        runtime.shutdown()
+
+    def test_tcp_backend_stats(self):
+        process, address = spawn_local_server()
+        runtime = Runtime(
+            TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+        )
+        runtime.sync(1, f2f(apps.add, 1, 2))
+        stats = runtime.stats()["backend"]
+        assert stats["invokes_posted"] == 1
+        assert stats["bytes_sent"] > 0
+        assert stats["bytes_received"] > 0
+        runtime.shutdown()
+
+    def test_pcie_byte_accounting_plausible(self):
+        runtime = Runtime(DmaCommBackend())
+        ptr = runtime.allocate(1, 1024, np.uint8)
+        runtime.put(np.zeros(1024, dtype=np.uint8), ptr)
+        stats = runtime.stats()["backend"]["channels"]["ve0"]
+        assert stats["pcie_bytes_vh_to_ve"] >= 1024
+        runtime.shutdown()

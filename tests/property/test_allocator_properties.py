@@ -1,0 +1,139 @@
+"""Property-based tests of the memory allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.backends._target_memory import HostedBuffers
+from repro.errors import DoubleFreeError, OutOfMemoryError
+from repro.hw.memory import MemoryRegion, PAGE_4K
+
+REGION_SIZE = 64 * PAGE_4K
+
+
+class RegionAllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free/write sequences against the region allocator."""
+
+    def __init__(self):
+        super().__init__()
+        self.region = MemoryRegion("prop", REGION_SIZE, default_page_size=PAGE_4K)
+        self.live = {}
+        self.counter = 0
+
+    @rule(size=st.integers(min_value=1, max_value=3 * PAGE_4K))
+    def allocate(self, size):
+        try:
+            alloc = self.region.allocate(size)
+        except OutOfMemoryError:
+            return
+        # Stamp the allocation with a unique pattern.
+        self.counter += 1
+        pattern = bytes([self.counter % 251] * size)
+        self.region.write(alloc.addr, pattern)
+        self.live[alloc.addr] = (alloc, pattern)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_one(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        alloc, _pattern = self.live.pop(addr)
+        self.region.free(alloc)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def double_free_detected(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        alloc, _ = self.live[addr]
+        self.region.free(alloc)
+        del self.live[addr]
+        with pytest.raises(DoubleFreeError):
+            self.region.free(alloc)
+
+    @invariant()
+    def no_overlap(self):
+        spans = sorted((a.addr, a.end) for a, _p in self.live.values())
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @invariant()
+    def data_integrity(self):
+        """Every live allocation still holds its own pattern — no
+        allocation ever scribbles over another."""
+        for addr, (alloc, pattern) in self.live.items():
+            assert self.region.read(addr, alloc.size) == pattern
+
+    @invariant()
+    def accounting_consistent(self):
+        padded = sum(
+            -(-a.size // a.page_size) * a.page_size for a, _p in self.live.values()
+        )
+        assert self.region.bytes_allocated == padded
+        assert self.region.free_bytes + padded == REGION_SIZE
+        assert self.region.live_allocations == len(self.live)
+
+
+TestRegionAllocator = RegionAllocatorMachine.TestCase
+TestRegionAllocator.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class HostedBuffersMachine(RuleBasedStateMachine):
+    """Random operations against the functional-backend buffer table."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffers = HostedBuffers()
+        self.live = {}
+        self.freed = []
+        self.counter = 0
+
+    @rule(size=st.integers(min_value=1, max_value=4096))
+    def alloc(self, size):
+        addr = self.buffers.alloc(size)
+        assert addr not in self.live
+        self.counter += 1
+        pattern = bytes([self.counter % 251] * size)
+        self.buffers.write(addr, pattern)
+        self.live[addr] = pattern
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        self.buffers.free(addr)
+        del self.live[addr]
+        self.freed.append(addr)
+
+    @precondition(lambda self: self.freed)
+    @rule(data=st.data())
+    def stale_address_rejected(self, data):
+        """Addresses are never reused: stale pointers always fault."""
+        addr = data.draw(st.sampled_from(self.freed))
+        from repro.errors import BadAddressError, DoubleFreeError as DF
+
+        with pytest.raises((BadAddressError, DF)):
+            self.buffers.read(addr, 1)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data(), offset=st.integers(min_value=0, max_value=64))
+    def offset_reads_consistent(self, data, offset):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        pattern = self.live[addr]
+        if offset >= len(pattern):
+            return
+        chunk = self.buffers.read(addr + offset, len(pattern) - offset)
+        assert chunk == pattern[offset:]
+
+    @invariant()
+    def integrity(self):
+        for addr, pattern in self.live.items():
+            assert self.buffers.read(addr, len(pattern)) == pattern
+        assert self.buffers.live_count == len(self.live)
+
+
+TestHostedBuffers = HostedBuffersMachine.TestCase
+TestHostedBuffers.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,60 @@
+"""Property tests for the cluster backend: linearizability across nodes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import ClusterBackend
+from repro.cluster import AuroraCluster
+from repro.ham import f2f, offloadable
+from repro.offload import Runtime
+
+
+@offloadable
+def cluster_tagged(tag: int) -> int:
+    """Identity kernel for matching results to calls."""
+    return tag
+
+
+# (target_choice, sync?) per operation; targets resolved modulo the
+# actual target count at runtime.
+schedules = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.booleans()),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestClusterLinearizability:
+    @given(schedule=schedules)
+    @settings(max_examples=6, deadline=None)
+    def test_every_call_returns_its_own_result(self, schedule):
+        cluster = AuroraCluster(num_nodes=2, ves_per_node=1)
+        runtime = Runtime(ClusterBackend(cluster))
+        try:
+            targets = runtime.targets()
+            pending = []
+            results = {}
+            for index, (target_choice, is_sync) in enumerate(schedule):
+                node = targets[target_choice % len(targets)]
+                if is_sync:
+                    results[index] = runtime.sync(node, f2f(cluster_tagged, index))
+                else:
+                    pending.append((index, runtime.async_(node, f2f(cluster_tagged, index))))
+            for index, future in pending:
+                results[index] = future.get()
+        finally:
+            runtime.shutdown()
+        assert results == {i: i for i in range(len(schedule))}
+
+    @given(n_messages=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=6, deadline=None)
+    def test_remote_stream_in_order(self, n_messages):
+        cluster = AuroraCluster(num_nodes=2, ves_per_node=1)
+        runtime = Runtime(ClusterBackend(cluster))
+        try:
+            futures = [
+                runtime.async_(2, f2f(cluster_tagged, i)) for i in range(n_messages)
+            ]
+            assert [f.get() for f in futures] == list(range(n_messages))
+        finally:
+            runtime.shutdown()

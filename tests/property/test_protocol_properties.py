@@ -1,0 +1,119 @@
+"""Property-based end-to-end tests of the offload protocols.
+
+The linearizability property: any interleaving of synchronous and
+asynchronous offloads executes every message exactly once, and every
+future receives exactly its own call's result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import DmaCommBackend, LocalBackend, VeoCommBackend
+from repro.ham import f2f, offloadable
+from repro.offload import Runtime
+
+
+@offloadable
+def tag_and_square(tag: int, value: float) -> tuple:
+    """Returns its identity so results can be matched to calls."""
+    return (tag, value * value)
+
+
+# (kind, defer) pairs: kind "sync" or "async"; defer = how many later ops
+# to issue before getting an async result.
+operations = st.lists(
+    st.tuples(st.sampled_from(["sync", "async"]), st.integers(0, 4)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_schedule(runtime, schedule):
+    """Issue offloads per schedule; return {tag: result}."""
+    results = {}
+    pending = []  # (due_index, tag, future)
+    for index, (kind, defer) in enumerate(schedule):
+        # Collect due futures first.
+        for due, tag, future in list(pending):
+            if index >= due:
+                results[tag] = future.get()
+                pending.remove((due, tag, future))
+        if kind == "sync":
+            results[index] = runtime.sync(1, f2f(tag_and_square, index, float(index)))
+        else:
+            future = runtime.async_(1, f2f(tag_and_square, index, float(index)))
+            pending.append((index + 1 + defer, index, future))
+    for _due, tag, future in pending:
+        results[tag] = future.get()
+    return results
+
+
+class TestLinearizability:
+    @given(schedule=operations)
+    @settings(max_examples=25, deadline=None)
+    def test_local_backend(self, schedule):
+        runtime = Runtime(LocalBackend())
+        try:
+            results = run_schedule(runtime, schedule)
+        finally:
+            runtime.shutdown()
+        assert results == {
+            i: (i, float(i) ** 2) for i in range(len(schedule))
+        }
+
+    @given(schedule=operations)
+    @settings(max_examples=10, deadline=None)
+    def test_veo_protocol(self, schedule):
+        runtime = Runtime(VeoCommBackend())
+        try:
+            results = run_schedule(runtime, schedule)
+        finally:
+            runtime.shutdown()
+        assert results == {
+            i: (i, float(i) ** 2) for i in range(len(schedule))
+        }
+
+    @given(schedule=operations)
+    @settings(max_examples=10, deadline=None)
+    def test_dma_protocol(self, schedule):
+        runtime = Runtime(DmaCommBackend())
+        try:
+            results = run_schedule(runtime, schedule)
+        finally:
+            runtime.shutdown()
+        assert results == {
+            i: (i, float(i) ** 2) for i in range(len(schedule))
+        }
+
+
+@offloadable
+def checksum_buffer(buf) -> float:
+    """Sum of a target buffer (for put/get consistency)."""
+    return float(np.asarray(buf).sum())
+
+
+class TestMemoryConsistency:
+    @given(
+        chunks=st.lists(
+            st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=32),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_put_kernel_get_agree_on_dma_protocol(self, chunks):
+        runtime = Runtime(DmaCommBackend())
+        try:
+            for chunk in chunks:
+                data = np.array(chunk)
+                ptr = runtime.allocate(1, data.size)
+                runtime.put(data, ptr)
+                remote_sum = runtime.sync(1, f2f(checksum_buffer, ptr))
+                assert remote_sum == pytest.approx(float(data.sum()), rel=1e-12, abs=1e-9)
+                back = np.zeros_like(data)
+                runtime.get(ptr, back)
+                np.testing.assert_array_equal(back, data)
+                runtime.free(ptr)
+        finally:
+            runtime.shutdown()

@@ -1,0 +1,90 @@
+"""Property-based tests of the HAM registry (the paper's Fig. 6 trick).
+
+The correctness property the paper's design rests on: *any* two process
+images that registered the same set of message types — in any order, with
+any local addresses — agree on every handler key, without communicating.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HandlerKeyError
+from repro.ham.registry import Catalog, ProcessImage
+
+# Type names: non-empty, unique, printable — like mangled C++ symbols.
+type_names = st.lists(
+    st.text(alphabet=string.ascii_letters + string.digits + "_:<>", min_size=1, max_size=40),
+    min_size=1,
+    max_size=60,
+    unique=True,
+)
+
+
+def make_catalog(names):
+    catalog = Catalog()
+    for name in names:
+        catalog.register((lambda n: (lambda: n))(name), name=name)
+    return catalog
+
+
+class TestKeyTranslationProperties:
+    @given(names=type_names, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_keys_agree_for_any_registration_orders(self, names, data):
+        order_a = data.draw(st.permutations(names))
+        order_b = data.draw(st.permutations(names))
+        image_a = ProcessImage("a", make_catalog(order_a))
+        image_b = ProcessImage("b", make_catalog(order_b))
+        for name in names:
+            assert image_a.key_for(name) == image_b.key_for(name)
+
+    @given(names=type_names)
+    @settings(max_examples=60, deadline=None)
+    def test_keys_are_a_bijection_onto_range(self, names):
+        image = ProcessImage("img", make_catalog(names))
+        keys = {image.key_for(name) for name in names}
+        assert keys == set(range(len(names)))
+
+    @given(names=type_names)
+    @settings(max_examples=60, deadline=None)
+    def test_key_to_handler_roundtrip(self, names):
+        image = ProcessImage("img", make_catalog(names))
+        for name in names:
+            handler = image.handler_for_key(image.key_for(name))
+            assert handler() == name
+
+    @given(names=type_names, key=st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_any_integer_key_resolves_or_raises(self, names, key):
+        image = ProcessImage("img", make_catalog(names))
+        if 0 <= key < len(names):
+            assert callable(image.handler_for_key(key))
+        else:
+            with pytest.raises(HandlerKeyError):
+                image.handler_for_key(key)
+
+    @given(names=type_names)
+    @settings(max_examples=30, deadline=None)
+    def test_local_addresses_unique_within_image(self, names):
+        image = ProcessImage("img", make_catalog(names))
+        addresses = [image.local_address_of(name) for name in names]
+        assert len(set(addresses)) == len(addresses)
+
+    @given(names=type_names, extra=st.text(string.ascii_lowercase, min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_growing_the_type_set_keeps_images_consistent(self, names, extra):
+        """After both images learn one more type, keys still agree."""
+        new_name = "zz_extra::" + extra
+        if new_name in names:
+            return
+        cat_a, cat_b = make_catalog(names), make_catalog(list(reversed(names)))
+        image_a, image_b = ProcessImage("a", cat_a), ProcessImage("b", cat_b)
+        image_a.build_tables()  # force, then invalidate by late registration
+        cat_a.register(lambda: new_name, name=new_name)
+        cat_b.register(lambda: new_name, name=new_name)
+        image_a.snapshot_catalog()
+        image_b.snapshot_catalog()
+        for name in [*names, new_name]:
+            assert image_a.key_for(name) == image_b.key_for(name)

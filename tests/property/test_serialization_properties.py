@@ -1,0 +1,131 @@
+"""Property-based tests of serialization and the wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SerializationError
+from repro.ham.functor import Functor
+from repro.ham.message import (
+    HEADER_SIZE,
+    MSG_ERROR,
+    MSG_INVOKE,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    build_message,
+    parse_message,
+)
+from repro.ham.serialization import deserialize, serialize
+
+# JSON-ish nested Python data.
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=25,
+)
+
+arrays = hnp.arrays(
+    dtype=st.sampled_from([np.uint8, np.int32, np.int64, np.float32, np.float64, np.complex128]),
+    shape=hnp.array_shapes(max_dims=3, max_side=8),
+    elements=st.just(0) | st.integers(min_value=0, max_value=100),
+)
+
+
+class TestSerializationProperties:
+    @given(value=json_like)
+    @settings(max_examples=120, deadline=None)
+    def test_python_roundtrip_identity(self, value):
+        assert deserialize(serialize(value)) == value
+
+    @given(arr=arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_numpy_roundtrip_preserves_everything(self, arr):
+        back = deserialize(serialize(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        np.testing.assert_array_equal(back, arr)
+
+    @given(junk=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_garbage_never_crashes_decoder(self, junk):
+        """Arbitrary bytes either decode or raise SerializationError —
+        never any other exception (robustness of the receive path)."""
+        try:
+            deserialize(junk)
+        except SerializationError:
+            pass
+
+    @given(
+        args=st.lists(json_like, max_size=6),
+        kwargs=st.dictionaries(
+            st.text(alphabet="abcdefghij_", min_size=1, max_size=8),
+            json_like,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_functor_args_framing_roundtrip(self, args, kwargs):
+        functor = Functor("t", tuple(args), tuple(sorted(kwargs.items())))
+        back_args, back_kwargs = Functor.deserialize_args(functor.serialize_args())
+        assert back_args == tuple(args)
+        assert back_kwargs == kwargs
+
+
+class TestWireFormatProperties:
+    kinds = st.sampled_from([MSG_INVOKE, MSG_RESULT, MSG_ERROR, MSG_SHUTDOWN])
+
+    @given(
+        kind=kinds,
+        key=st.integers(min_value=0, max_value=2**63 - 1),
+        msg_id=st.integers(min_value=0, max_value=2**63 - 1),
+        payload=st.binary(max_size=200),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_header_roundtrip(self, kind, key, msg_id, payload):
+        header, body = parse_message(build_message(kind, key, msg_id, payload))
+        assert (header.kind, header.handler_key, header.msg_id) == (kind, key, msg_id)
+        assert body == payload
+
+    @given(
+        payload=st.binary(max_size=100),
+        cut=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_always_detected(self, payload, cut):
+        data = build_message(MSG_INVOKE, 1, 2, payload)
+        truncated = data[: max(0, len(data) - 1 - cut)]
+        with pytest.raises(SerializationError):
+            parse_message(truncated)
+
+    @given(
+        payload=st.binary(max_size=100),
+        position=st.integers(min_value=0, max_value=3),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_corrupted_prefix_never_crashes(self, payload, position, value):
+        """Flipping early header bytes (magic/version/kind) either still
+        parses (benign flip) or raises SerializationError."""
+        data = bytearray(build_message(MSG_RESULT, 0, 0, payload))
+        data[position] = value
+        try:
+            parse_message(bytes(data))
+        except SerializationError:
+            pass
+
+    @given(payload=st.binary(max_size=50), extra=st.binary(min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_trailing_bytes_ignored(self, payload, extra):
+        """Slot buffers are larger than messages: parsing must read exactly
+        the declared payload length and ignore the slack."""
+        data = build_message(MSG_INVOKE, 3, 4, payload) + extra
+        header, body = parse_message(data)
+        assert body == payload
+        assert header.payload_len == len(payload)

@@ -1,0 +1,122 @@
+"""Property-based tests of the simulation kernel and protocol helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends._sim_common import decode_flag, encode_flag
+from repro.errors import BackendError
+from repro.offload.buffer import BufferPtr
+from repro.sim import Simulator
+
+
+class TestEventOrderingProperties:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_timeouts_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.timeout(delay).callbacks.append(
+                lambda ev, d=delay: fired.append((sim.now, d))
+            )
+        sim.run()
+        times = [t for t, _d in fired]
+        assert times == sorted(times)
+        assert sorted(d for _t, d in fired) == sorted(delays)
+        assert sim.now == max(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_clock_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc():
+            for delay in delays:
+                yield sim.timeout(delay)
+                observed.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert observed == sorted(observed)
+        assert observed[-1] == pytest.approx(sum(delays))
+
+    @given(
+        n_procs=st.integers(min_value=1, max_value=8),
+        hold=st.floats(min_value=0.001, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mutex_serialises_any_population(self, n_procs, hold):
+        from repro.sim import Resource
+
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        active = {"n": 0, "max": 0}
+
+        def proc():
+            yield resource.request()
+            active["n"] += 1
+            active["max"] = max(active["max"], active["n"])
+            yield sim.timeout(hold)
+            active["n"] -= 1
+            resource.release()
+
+        for _ in range(n_procs):
+            sim.process(proc())
+        sim.run()
+        assert active["max"] == 1
+        assert sim.now == pytest.approx(n_procs * hold)
+
+
+class TestFlagEncodingProperties:
+    @given(
+        marker=st.integers(min_value=1, max_value=255),
+        length=st.integers(min_value=0, max_value=2**32 - 1),
+        seq=st.integers(min_value=0, max_value=2**24 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip(self, marker, length, seq):
+        m, l, s = decode_flag(encode_flag(marker, length, seq))
+        assert (m, l, s) == (marker, length, seq)
+
+    @given(
+        marker=st.integers(min_value=1, max_value=255),
+        length=st.integers(min_value=0, max_value=2**32 - 1),
+        seq=st.integers(min_value=0, max_value=2**24 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fits_in_64_bits(self, marker, length, seq):
+        value = encode_flag(marker, length, seq)
+        assert 0 < value < 2**64
+
+    @given(marker=st.integers(max_value=0) | st.integers(min_value=256))
+    @settings(max_examples=40, deadline=None)
+    def test_invalid_marker_rejected(self, marker):
+        with pytest.raises(BackendError):
+            encode_flag(marker, 0, 0)
+
+    def test_empty_flag_decodes_as_empty(self):
+        assert decode_flag(0)[0] == 0
+
+
+class TestBufferPtrProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=10_000),
+        steps=st.lists(st.integers(min_value=0, max_value=100), max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pointer_walk_stays_consistent(self, count, steps):
+        from repro.errors import OffloadError
+
+        ptr = BufferPtr(node=1, addr=0, dtype_str="<f8", count=count)
+        walked = 0
+        for step in steps:
+            try:
+                ptr = ptr + step
+            except OffloadError:
+                assert step > ptr.count
+                break
+            walked += step
+            assert ptr.addr == walked * 8
+            assert ptr.count == count - walked
+            assert ptr.nbytes == ptr.count * 8

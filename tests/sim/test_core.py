@@ -1,0 +1,321 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, ProcessError, SimTimeError
+from repro.sim import Event, Interrupt, Simulator, Timeout
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_timeout_value_delivered_to_process(self, sim):
+        seen = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="hello")
+            seen.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == ["hello"]
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimTimeError):
+            sim.timeout(-1.0)
+
+    def test_run_until_time(self, sim):
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run(until=4.5)
+        assert sim.now == 4.5
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimTimeError):
+            sim.run(until=1.0)
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay).callbacks.append(
+                lambda ev, d=delay: order.append(d)
+            )
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        order = []
+        for idx in range(5):
+            sim.timeout(1.0).callbacks.append(lambda ev, i=idx: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(7.0)
+        assert sim.peek() == 7.0
+
+
+class TestEvents:
+    def test_manual_succeed(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        ev.succeed(42)
+        assert ev.triggered and not ev.processed
+        sim.run()
+        assert ev.processed and ev.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(ProcessError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_failed_event_raises_in_process(self, sim):
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        ev = sim.event()
+        sim.process(proc())
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_yield_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()
+
+        got = []
+
+        def proc():
+            value = yield ev  # processed long ago
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["early"]
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "done"
+
+    def test_process_waits_for_process(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        assert sim.run(until=sim.process(parent())) == 100
+        assert sim.now == 2.0
+
+    def test_process_exception_propagates_through_run(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise RuntimeError("kaput")
+
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run(until=sim.process(proc()))
+
+    def test_yield_non_event_raises(self, sim):
+        def proc():
+            yield 5  # type: ignore[misc]
+
+        sim.process(proc())
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(ProcessError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_interrupt_delivers_cause(self, sim):
+        causes = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                causes.append(intr.cause)
+
+        def attacker(target):
+            yield sim.timeout(1.0)
+            target.interrupt("stop it")
+
+        target = sim.process(victim())
+        sim.process(attacker(target))
+        sim.run(until=target)
+        assert causes == ["stop it"]
+        # The victim finished at interrupt time; the abandoned 100 s timeout
+        # stays scheduled but nobody listens to it.
+        assert sim.now == 1.0
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        sim.run()
+        with pytest.raises(ProcessError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self, sim):
+        trace = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+            yield sim.timeout(5.0)
+            trace.append(("done", sim.now))
+
+        def attacker(target):
+            yield sim.timeout(2.0)
+            target.interrupt()
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        sim.run()
+        assert trace == [("interrupted", 2.0), ("done", 7.0)]
+
+
+class TestConditions:
+    def test_all_of(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(3.0, value="b")
+
+        def proc():
+            result = yield sim.all_of([t1, t2])
+            return sorted(result.values())
+
+        assert sim.run(until=sim.process(proc())) == ["a", "b"]
+        assert sim.now == 3.0
+
+    def test_any_of(self, sim):
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(3.0, value="slow")
+
+        def proc():
+            result = yield sim.any_of([t1, t2])
+            return list(result.values())
+
+        assert sim.run(until=sim.process(proc())) == ["fast"]
+        assert sim.now == 1.0
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        def proc():
+            result = yield sim.all_of([])
+            return result
+
+        assert sim.run(until=sim.process(proc())) == {}
+
+    def test_all_of_failure_propagates(self, sim):
+        bad = sim.event()
+
+        def proc():
+            yield sim.all_of([sim.timeout(10.0), bad])
+
+        p = sim.process(proc())
+        bad.fail(ValueError("nope"))
+        with pytest.raises(ValueError, match="nope"):
+            sim.run(until=p)
+
+
+class TestRunUntil:
+    def test_predicate_satisfied(self, sim):
+        counter = {"n": 0}
+
+        def proc():
+            while True:
+                yield sim.timeout(1.0)
+                counter["n"] += 1
+
+        sim.process(proc())
+        assert sim.run_until(lambda: counter["n"] >= 5)
+        assert sim.now == 5.0
+
+    def test_queue_runs_dry(self, sim):
+        sim.timeout(1.0)
+        assert not sim.run_until(lambda: False)
+
+    def test_limit_respected(self, sim):
+        def proc():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        assert not sim.run_until(lambda: False, limit=10.0)
+        assert sim.now <= 10.0
+
+    def test_max_steps_guard(self, sim):
+        def proc():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        with pytest.raises(DeadlockError):
+            sim.run_until(lambda: False, max_steps=100)
+
+    def test_run_dry_until_event_raises_deadlock(self, sim):
+        ev = sim.event()  # never triggered
+        with pytest.raises(DeadlockError):
+            sim.run(until=ev)
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(DeadlockError):
+            sim.step()
+
+
+class TestTimeoutClass:
+    def test_timeout_is_event(self, sim):
+        assert isinstance(sim.timeout(0.0), Event)
+        assert isinstance(sim.timeout(0.0), Timeout)
+
+    def test_zero_delay_ok(self, sim):
+        sim.timeout(0.0)
+        sim.run()
+        assert sim.now == 0.0

@@ -1,0 +1,95 @@
+"""Additional simulation-kernel edge cases."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestConditionEdges:
+    def test_any_of_with_already_processed_event(self, sim):
+        early = sim.timeout(0.0, value="early")
+        sim.run()
+        assert early.processed
+
+        def proc():
+            result = yield sim.any_of([early, sim.timeout(10.0)])
+            return list(result.values())
+
+        assert sim.run(until=sim.process(proc())) == ["early"]
+        assert sim.now == 0.0
+
+    def test_all_of_with_mixed_processed_and_pending(self, sim):
+        early = sim.timeout(0.0, value="a")
+        sim.run()
+
+        def proc():
+            result = yield sim.all_of([early, sim.timeout(2.0, value="b")])
+            return sorted(v for v in result.values())
+
+        assert sim.run(until=sim.process(proc())) == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_yield_already_failed_event_raises_in_process(self, sim):
+        bad = sim.event()
+        bad.fail(ValueError("late joiner"))
+        sim.run()
+
+        def proc():
+            yield bad
+
+        with pytest.raises(ValueError, match="late joiner"):
+            sim.run(until=sim.process(proc()))
+
+
+class TestRunSemantics:
+    def test_run_until_already_processed_event_returns_value(self, sim):
+        ev = sim.timeout(1.0, value=7)
+        sim.run()
+        assert sim.run(until=ev) == 7
+
+    def test_run_until_failed_event_reraises(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("stored failure"))
+        with pytest.raises(RuntimeError, match="stored failure"):
+            sim.run(until=ev)
+
+    def test_nested_processes_three_deep(self, sim):
+        def leaf():
+            yield sim.timeout(1.0)
+            return 1
+
+        def middle():
+            value = yield sim.process(leaf())
+            yield sim.timeout(1.0)
+            return value + 1
+
+        def root():
+            value = yield sim.process(middle())
+            return value + 1
+
+        assert sim.run(until=sim.process(root())) == 3
+        assert sim.now == 2.0
+
+    def test_run_until_never_triggered_event_deadlocks(self, sim):
+        orphan = sim.event()
+        sim.timeout(5.0)
+        with pytest.raises(DeadlockError):
+            sim.run(until=orphan)
+
+    def test_zero_delay_chain_makes_progress(self, sim):
+        count = {"n": 0}
+
+        def proc():
+            for _ in range(100):
+                yield sim.timeout(0.0)
+                count["n"] += 1
+
+        sim.run(until=sim.process(proc()))
+        assert count["n"] == 100
+        assert sim.now == 0.0

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "match                   : True",
+    "dgemm_loadbalance.py": "host + VE balanced",
+    "pipeline_overlap.py": "overlap gain",
+    "tcp_remote_offload.py": "server shut down cleanly: True",
+    "protocol_comparison.py": "HAM-VEO / HAM-DMA",
+    "vhcall_syscalls.py": "hello from VE pid",
+    "multi_ve_cluster.py": "host + 8 VEs balanced",
+    "heat_equation.py": "monotone temperature profile: OK",
+    "remote_cluster_offload.py": "match           : True",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_MARKERS), (
+        "examples and EXPECTED_MARKERS out of sync"
+    )
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[name] in result.stdout

@@ -1,0 +1,62 @@
+"""Tests for the AuroraMachine assembly."""
+
+import pytest
+
+from repro.hw.params import DEFAULT_TIMING
+from repro.machine import AuroraMachine
+
+
+class TestMachineAssembly:
+    def test_default_single_ve(self):
+        machine = AuroraMachine()
+        assert machine.num_ves == 1
+        assert machine.ve(0).index == 0
+        assert machine.daemon(0).ve is machine.ve(0)
+        assert machine.link(0) is machine.ve(0).link
+
+    def test_eight_ve_machine(self):
+        machine = AuroraMachine(num_ves=8)
+        assert machine.num_ves == 8
+        assert {ve.index for ve in machine.ves} == set(range(8))
+
+    def test_upi_hops_follow_socket(self):
+        local = AuroraMachine(num_ves=8, socket=0)
+        assert [link.upi_hops for link in local.links] == [0, 0, 0, 0, 1, 1, 1, 1]
+        remote = AuroraMachine(num_ves=8, socket=1)
+        assert [link.upi_hops for link in remote.links] == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuroraMachine(num_ves=0)
+        with pytest.raises(ValueError):
+            AuroraMachine(num_ves=9)
+        with pytest.raises(ValueError):
+            AuroraMachine(socket=2)
+
+    def test_custom_timing_propagates(self):
+        slow = DEFAULT_TIMING.with_overrides(udma_read_latency=1.0)
+        machine = AuroraMachine(timing=slow)
+        assert machine.ve(0).timing.udma_read_latency == 1.0
+        assert machine.daemon(0).dma_manager.timing.udma_read_latency == 1.0
+
+    def test_four_dma_flag_propagates(self):
+        classic = AuroraMachine(four_dma=False)
+        assert not classic.daemon(0).dma_manager.four_dma
+        modern = AuroraMachine(four_dma=True)
+        assert modern.daemon(0).dma_manager.four_dma
+
+    def test_tracer_attached(self):
+        machine = AuroraMachine()
+        assert machine.sim.tracer is machine.tracer
+
+    def test_separate_machines_isolated(self):
+        a = AuroraMachine()
+        b = AuroraMachine()
+        a.sim.timeout(1.0)
+        a.sim.run()
+        assert a.sim.now == 1.0
+        assert b.sim.now == 0.0
+
+    def test_scratch_region_is_vh_ddr(self):
+        machine = AuroraMachine()
+        assert machine.scratch_region() is machine.vh.ddr

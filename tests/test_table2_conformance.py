@@ -1,0 +1,133 @@
+"""API conformance against paper Table II.
+
+Every element of the paper's API overview must exist here with the
+documented semantics. This is an executable version of Table II.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends import LocalBackend
+from repro.ham import f2f
+from repro.offload import BufferPtr, Future, NodeDescriptor, Runtime
+from repro.offload import api as offload_api
+
+from tests import apps
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(LocalBackend(num_targets=2))
+    yield runtime
+    runtime.shutdown()
+
+
+class TestTableII:
+    def test_node_t_is_an_address_type(self, rt):
+        # "Address type of a process, i.e. an offload host or target."
+        assert isinstance(rt.this_node(), int)
+        assert all(isinstance(n, int) for n in rt.targets())
+
+    def test_node_descriptor_contains_node_information(self, rt):
+        # "Contains information on a node (e.g. name or device-type)."
+        desc = rt.get_node_descriptor(1)
+        assert isinstance(desc, NodeDescriptor)
+        assert desc.name and desc.device_type
+
+    def test_buffer_ptr_includes_node_address(self, rt):
+        # "Pointer to a target memory address of type T. The node
+        # address is included."
+        ptr = rt.allocate(2, 4, np.float32)
+        assert ptr.node == 2
+        assert ptr.dtype == np.float32
+
+    def test_future_has_test_and_get(self, rt):
+        # "Provides non-blocking test() and blocking get() accessors."
+        future = rt.async_(1, f2f(apps.add, 1, 1))
+        assert isinstance(future, Future)
+        assert callable(future.test) and callable(future.get)
+        assert future.get() == 2
+
+    def test_f2f_binds_arguments_to_function(self):
+        # "binds arguments to a function and returns an offloadable
+        # functor object."
+        functor = f2f(apps.add, 1, 2)
+        assert functor.args == (1, 2)
+        assert functor.type_name.endswith("::add")
+
+    def test_sync_performs_synchronous_offload(self, rt):
+        assert rt.sync(1, f2f(apps.add, 40, 2)) == 42
+
+    def test_async_returns_future(self, rt):
+        assert isinstance(rt.async_(1, f2f(apps.empty_kernel)), Future)
+
+    def test_allocate_and_free(self, rt):
+        ptr = rt.allocate(1, 8)
+        assert isinstance(ptr, BufferPtr)
+        rt.free(ptr)
+
+    def test_put_writes_host_to_target(self, rt):
+        # "Writes data from host memory ... into target memory."
+        ptr = rt.allocate(1, 4)
+        future = rt.put(np.ones(4), ptr)
+        assert isinstance(future, Future)
+        future.get()
+
+    def test_get_reads_target_to_host(self, rt):
+        ptr = rt.allocate(1, 4)
+        rt.put(np.full(4, 5.0), ptr)
+        out = np.zeros(4)
+        rt.get(ptr, out).get()
+        np.testing.assert_array_equal(out, 5.0)
+
+    def test_copy_between_targets_orchestrated_by_host(self, rt):
+        # "Performs a direct copy between memory on two offload targets.
+        # The operation is orchestrated by the host."
+        a = rt.allocate(1, 4)
+        b = rt.allocate(2, 4)
+        rt.put(np.arange(4.0), a)
+        rt.copy(a, b).get()
+        out = np.zeros(4)
+        rt.get(b, out)
+        np.testing.assert_array_equal(out, np.arange(4.0))
+
+    def test_num_nodes_counts_processes(self, rt):
+        # "Returns the number of processes of the running application."
+        assert rt.num_nodes() == 3
+
+    def test_this_node_is_current_process(self, rt):
+        assert rt.this_node() == 0
+
+    def test_sync_and_async_versions_available(self):
+        # "For most functions, synchronous and asynchronous versions are
+        # available."
+        assert callable(Runtime.sync) and callable(Runtime.async_)
+
+    def test_free_function_api_mirrors_every_element(self):
+        for name in (
+            "sync", "async_", "allocate", "free", "put", "get", "copy",
+            "num_nodes", "this_node", "get_node_descriptor",
+        ):
+            assert callable(getattr(offload_api, name)), name
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_main_names_reexported(self):
+        for name in ("Runtime", "BufferPtr", "Future", "f2f", "offloadable",
+                     "AuroraMachine", "NodeDescriptor"):
+            assert hasattr(repro, name), name
+
+    def test_public_functions_have_docstrings(self):
+        """Every public callable of the offload API is documented."""
+        for module in (Runtime,):
+            for name, member in inspect.getmembers(module):
+                if name.startswith("_"):
+                    continue
+                if callable(member):
+                    assert member.__doc__, f"{module.__name__}.{name} undocumented"

@@ -1,0 +1,85 @@
+"""Tests for asynchronous VEO memory transfers (veo_async_read/write_mem)."""
+
+import pytest
+
+from repro.machine import AuroraMachine
+from repro.veo import RequestState, VeoProc
+from repro.veos.loader import VeLibrary
+
+
+@pytest.fixture()
+def machine():
+    return AuroraMachine(num_ves=1)
+
+
+@pytest.fixture()
+def proc(machine):
+    return VeoProc(machine, 0)
+
+
+@pytest.fixture()
+def ctx(proc):
+    return proc.open_context()
+
+
+class TestAsyncTransfers:
+    def test_async_write_then_read_roundtrip(self, proc, ctx):
+        addr = proc.alloc_mem(256)
+        payload = bytes(range(256))
+        write_req = ctx.async_write_mem(addr, payload)
+        read_req = ctx.async_read_mem(addr, 256)
+        assert write_req.wait_result() is None
+        assert read_req.wait_result() == payload
+
+    def test_async_returns_before_completion(self, machine, proc, ctx):
+        addr = proc.alloc_mem(64)
+        before = machine.sim.now
+        request = ctx.async_write_mem(addr, b"x" * 64)
+        # Posting is immediate in simulated time.
+        assert machine.sim.now == before
+        assert request.state is RequestState.PENDING
+        request.wait_result()
+        assert machine.sim.now > before
+
+    def test_transfers_and_calls_share_fifo_queue(self, proc, ctx):
+        lib = VeLibrary("l")
+        seen = []
+        lib.add_function("mark", lambda v: seen.append(v))
+        handle = proc.load_library(lib)
+        addr = proc.alloc_mem(8)
+        first = ctx.async_write_mem(addr, b"A" * 8)
+        call = ctx.call_async(handle.get_symbol("mark"), 1)
+        second = ctx.async_read_mem(addr, 8)
+        assert second.wait_result() == b"A" * 8  # implies all earlier done
+        assert first.state is RequestState.DONE
+        assert call.state is RequestState.DONE
+        assert seen == [1]
+
+    def test_async_transfer_charges_veo_latency(self, machine, proc, ctx):
+        addr = proc.alloc_mem(8)
+        request = ctx.async_write_mem(addr, b"y" * 8)
+        start = machine.sim.now
+        request.wait_result()
+        assert machine.sim.now - start >= machine.timing.veo_write_base_latency * 0.9
+
+    def test_failed_transfer_reports_error(self, proc, ctx):
+        from repro.errors import VeoCommandError
+
+        # Address far outside the (simulated) VE memory.
+        request = ctx.async_write_mem(2**40, b"z" * 8)
+        with pytest.raises(VeoCommandError):
+            request.wait_result()
+
+    def test_staging_freed_after_async_ops(self, machine, proc, ctx):
+        live_before = machine.vh.ddr.live_allocations
+        addr = proc.alloc_mem(64)
+        ctx.async_write_mem(addr, b"q" * 64).wait_result()
+        ctx.async_read_mem(addr, 64).wait_result()
+        assert machine.vh.ddr.live_allocations == live_before
+
+    def test_closed_context_rejects_transfers(self, proc, ctx):
+        from repro.errors import VeoProcError
+
+        ctx.close()
+        with pytest.raises(VeoProcError):
+            ctx.async_write_mem(0, b"a")

@@ -1,0 +1,258 @@
+"""Tests for the VEOS substrate: daemon, DMA manager, pseudo process, loader."""
+
+import pytest
+
+from repro.errors import VeoProcError, VeoSymbolError, VeosError
+from repro.hw.memory import PAGE_4K, PAGE_HUGE_2M
+from repro.machine import AuroraMachine
+from repro.veos.loader import VeLibrary
+
+
+@pytest.fixture()
+def machine():
+    return AuroraMachine(num_ves=1)
+
+
+@pytest.fixture()
+def daemon(machine):
+    return machine.daemon(0)
+
+
+class TestVeLibrary:
+    def test_symbol_resolution(self):
+        lib = VeLibrary("libapp")
+        lib.add_function("kernel", lambda x: x * 2)
+        assert lib.get_symbol("kernel").fn(21) == 42
+        assert "kernel" in lib
+        assert lib.symbols() == ["kernel"]
+
+    def test_missing_symbol(self):
+        lib = VeLibrary("libapp")
+        with pytest.raises(VeoSymbolError, match="no symbol"):
+            lib.get_symbol("nope")
+
+    def test_duration_constant_and_callable(self):
+        lib = VeLibrary("libapp")
+        fixed = lib.add_function("a", lambda: None, duration=1e-3)
+        scaled = lib.add_function("b", lambda n: None, duration=lambda n: n * 1e-6)
+        assert fixed.compute_time(()) == 1e-3
+        assert scaled.compute_time((7,)) == pytest.approx(7e-6)
+
+    def test_server_flag(self):
+        lib = VeLibrary("libapp")
+
+        def server_main():
+            yield  # pragma: no cover - never run here
+
+        sym = lib.add_server("ham_main", server_main)
+        assert sym.is_server
+
+
+class TestVeProcess:
+    def test_create_and_destroy(self, daemon):
+        proc = daemon.create_process()
+        assert daemon.num_processes == 1
+        assert daemon.process_by_pid(proc.pid) is proc
+        proc.destroy()
+        assert daemon.num_processes == 0
+        with pytest.raises(VeoProcError):
+            daemon.process_by_pid(proc.pid)
+
+    def test_dead_process_rejects_operations(self, daemon):
+        proc = daemon.create_process()
+        proc.destroy()
+        with pytest.raises(VeoProcError):
+            proc.malloc(64)
+
+    def test_heap_lifecycle(self, daemon):
+        proc = daemon.create_process()
+        addr = proc.malloc(1024)
+        assert proc.heap_allocations == 1
+        proc.free(addr)
+        assert proc.heap_allocations == 0
+        with pytest.raises(VeoProcError):
+            proc.free(addr)
+
+    def test_destroy_frees_heap(self, daemon):
+        proc = daemon.create_process()
+        proc.malloc(1024)
+        proc.malloc(2048)
+        hbm = daemon.ve.hbm
+        assert hbm.live_allocations == 2
+        proc.destroy()
+        assert hbm.live_allocations == 0
+
+    def test_run_function_charges_duration(self, machine, daemon):
+        proc = daemon.create_process()
+        lib = VeLibrary("libapp")
+        lib.load = None
+        sym = lib.add_function("slow", lambda: "ok", duration=5e-3)
+        proc.load_library(lib)
+
+        def run():
+            value = yield from proc.run_function(sym, ())
+            return value
+
+        start = machine.sim.now
+        assert machine.sim.run(until=machine.sim.process(run())) == "ok"
+        assert machine.sim.now - start == pytest.approx(5e-3)
+
+    def test_run_function_rejects_server_symbol(self, machine, daemon):
+        proc = daemon.create_process()
+        lib = VeLibrary("libapp")
+
+        def srv():
+            yield  # pragma: no cover
+
+        sym = lib.add_server("ham_main", srv)
+        proc.load_library(lib)
+
+        def run():
+            yield from proc.run_function(sym, ())
+
+        with pytest.raises(VeosError):
+            machine.sim.run(until=machine.sim.process(run()))
+
+    def test_server_interrupted_on_destroy(self, machine, daemon):
+        proc = daemon.create_process()
+        lib = VeLibrary("libapp")
+        stopped = []
+
+        def srv():
+            from repro.sim import Interrupt
+
+            try:
+                while True:
+                    yield machine.sim.timeout(1.0)
+            except Interrupt:
+                stopped.append(True)
+
+        sym = lib.add_server("ham_main", srv)
+        proc.load_library(lib)
+        server = proc.start_server(sym, ())
+        machine.sim.run(until=2.5)
+        assert server.is_alive
+        proc.destroy()
+        machine.sim.run(until=machine.sim.now + 1.0)
+        assert stopped == [True]
+
+    def test_find_symbol_requires_loaded_library(self, daemon):
+        proc = daemon.create_process()
+        with pytest.raises(VeoProcError, match="not loaded"):
+            proc.find_symbol("libapp", "kernel")
+
+
+class TestPrivilegedDmaManager:
+    def test_transfer_moves_bytes_and_charges_time(self, machine, daemon):
+        manager = daemon.dma_manager
+        vh = machine.vh.ddr
+        ve = daemon.ve.hbm
+        payload = bytes(range(100))
+        vh.write(0, payload)
+
+        def run():
+            yield from manager.transfer(
+                vh, 0, ve, 512, 100, direction="vh_to_ve", page_size=PAGE_HUGE_2M
+            )
+
+        machine.sim.run(until=machine.sim.process(run()))
+        assert ve.read(512, 100) == payload
+        expected = machine.timing.veo_transfer_time(
+            100, direction="vh_to_ve", page_size=PAGE_HUGE_2M
+        )
+        assert machine.sim.now == pytest.approx(expected)
+
+    def test_classic_manager_slower(self):
+        fast = AuroraMachine(num_ves=1, four_dma=True)
+        slow = AuroraMachine(num_ves=1, four_dma=False)
+        size = 8 * 2**20
+
+        def run(machine):
+            daemon = machine.daemon(0)
+
+            def gen():
+                yield from daemon.dma_manager.transfer(
+                    machine.vh.ddr, 0, daemon.ve.hbm, 0, size,
+                    direction="vh_to_ve", page_size=PAGE_HUGE_2M,
+                )
+
+            machine.sim.run(until=machine.sim.process(gen()))
+            return machine.sim.now
+
+        assert run(slow) > run(fast)
+
+    def test_transfers_serialise_on_shared_engine(self, machine, daemon):
+        manager = daemon.dma_manager
+        one = machine.timing.veo_transfer_time(
+            8, direction="vh_to_ve", page_size=PAGE_HUGE_2M
+        )
+
+        def gen():
+            yield from manager.transfer(
+                machine.vh.ddr, 0, daemon.ve.hbm, 0, 8,
+                direction="vh_to_ve", page_size=PAGE_HUGE_2M,
+            )
+
+        done = [machine.sim.process(gen()) for _ in range(3)]
+        machine.sim.run(until=machine.sim.all_of(done))
+        assert machine.sim.now == pytest.approx(3 * one)
+
+    def test_page_accounting(self, machine, daemon):
+        manager = daemon.dma_manager
+
+        def gen():
+            yield from manager.transfer(
+                machine.vh.ddr, 0, daemon.ve.hbm, 0, 3 * PAGE_4K,
+                direction="vh_to_ve", page_size=PAGE_4K,
+            )
+
+        machine.sim.run(until=machine.sim.process(gen()))
+        assert manager.pages_translated == 3
+        assert manager.transfer_count == 1
+
+
+class TestPseudoProcess:
+    def test_default_syscalls(self, machine, daemon):
+        proc = daemon.create_process()
+
+        def run():
+            pid = yield from proc.pseudo.syscall("getpid")
+            n = yield from proc.pseudo.syscall("write", 1, b"hello")
+            return pid, n
+
+        pid, n = machine.sim.run(until=machine.sim.process(run()))
+        assert pid == proc.pid
+        assert n == 5
+        assert proc.pseudo.captured_output == [(1, b"hello")]
+
+    def test_syscall_charges_latency(self, machine, daemon):
+        proc = daemon.create_process()
+
+        def run():
+            yield from proc.pseudo.syscall("getpid")
+
+        start = machine.sim.now
+        machine.sim.run(until=machine.sim.process(run()))
+        assert machine.sim.now - start == pytest.approx(
+            machine.timing.veos_syscall_latency
+        )
+
+    def test_unknown_syscall(self, machine, daemon):
+        proc = daemon.create_process()
+
+        def run():
+            yield from proc.pseudo.syscall("reboot")
+
+        with pytest.raises(VeosError, match="unknown syscall"):
+            machine.sim.run(until=machine.sim.process(run()))
+
+    def test_custom_handler_vhcall(self, machine, daemon):
+        proc = daemon.create_process()
+        proc.pseudo.register("host_sum", lambda xs: sum(xs))
+
+        def run():
+            value = yield from proc.pseudo.syscall("host_sum", [1, 2, 3])
+            return value
+
+        assert machine.sim.run(until=machine.sim.process(run())) == 6
+        assert "host_sum" in proc.pseudo.known_syscalls()

@@ -1,0 +1,203 @@
+"""Tests for kernels, the load balancer and the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DmaCommBackend, LocalBackend
+from repro.ham import f2f
+from repro.hw.roofline import VE_DEVICE, VH_DEVICE
+from repro.offload import Runtime
+from repro.workloads import (
+    KERNELS,
+    daxpy,
+    dgemm,
+    inner_product,
+    jacobi_sweep,
+    pipelined_map,
+    run_balanced,
+)
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(LocalBackend(num_targets=2))
+    yield runtime
+    runtime.shutdown()
+
+
+class TestKernelSemantics:
+    def test_inner_product(self, rt):
+        n = 64
+        a, b = np.arange(n, dtype=float), np.ones(n)
+        a_t, b_t = rt.allocate(1, n), rt.allocate(1, n)
+        rt.put(a, a_t)
+        rt.put(b, b_t)
+        assert rt.sync(1, f2f(inner_product, a_t, b_t, n)) == pytest.approx(a.sum())
+
+    def test_daxpy_in_place(self, rt):
+        n = 32
+        x_t, y_t = rt.allocate(1, n), rt.allocate(1, n)
+        rt.put(np.ones(n), x_t)
+        rt.put(np.full(n, 2.0), y_t)
+        rt.sync(1, f2f(daxpy, 3.0, x_t, y_t))
+        back = np.zeros(n)
+        rt.get(y_t, back)
+        np.testing.assert_allclose(back, 5.0)
+
+    def test_dgemm_matches_numpy(self, rt):
+        n = 8
+        rng = np.random.default_rng(0)
+        a = rng.random((n, n))
+        b = rng.random((n, n))
+        a_t = rt.allocate(1, n * n)
+        b_t = rt.allocate(1, n * n)
+        c_t = rt.allocate(1, n * n)
+        rt.put(a.ravel(), a_t)
+        rt.put(b.ravel(), b_t)
+        rt.sync(1, f2f(dgemm, a_t, b_t, c_t, n))
+        c = np.zeros(n * n)
+        rt.get(c_t, c)
+        np.testing.assert_allclose(c.reshape(n, n), a @ b)
+
+    def test_jacobi_sweep_converges(self, rt):
+        n = 16
+        grid = np.zeros((n, n))
+        grid[0, :] = 1.0  # hot boundary
+        g_t = rt.allocate(1, n * n)
+        s_t = rt.allocate(1, n * n)
+        rt.put(grid.ravel(), g_t)
+        residuals = []
+        src, dst = g_t, s_t
+        for _ in range(20):
+            residuals.append(rt.sync(1, f2f(jacobi_sweep, src, dst, n)))
+            src, dst = dst, src
+        assert residuals[-1] < residuals[0]
+
+    def test_cost_registry_complete(self):
+        assert set(KERNELS) == {"inner_product", "daxpy", "dgemm", "jacobi"}
+        for kernel in KERNELS.values():
+            cost = kernel.cost(64)
+            assert cost.flops > 0 and cost.bytes_moved > 0
+
+    def test_dgemm_faster_on_ve(self):
+        kernel = KERNELS["dgemm"]
+        assert kernel.time_on(VE_DEVICE, 512) < kernel.time_on(VH_DEVICE, 512)
+
+
+class TestLoadBalancer:
+    def _run(self, rt, n_tasks, use_host=True):
+        tasks = list(range(n_tasks))
+        return run_balanced(
+            rt,
+            tasks,
+            make_functor=lambda t: f2f(inner_product_task_stub, t),
+            host_execute=lambda t: t * 2,
+            now=lambda: 0.0,
+            use_host=use_host,
+        )
+
+    def test_all_tasks_executed(self, rt):
+        result = self._run(rt, 20)
+        assert result.total_tasks == 20
+        assert len(result.results) == 20
+
+    def test_host_participates(self, rt):
+        result = self._run(rt, 20)
+        assert result.host_tasks > 0
+        assert sum(result.target_tasks.values()) > 0
+
+    def test_offload_only_mode(self, rt):
+        result = self._run(rt, 10, use_host=False)
+        assert result.host_tasks == 0
+        assert sum(result.target_tasks.values()) == 10
+
+    def test_results_complete(self, rt):
+        result = self._run(rt, 12)
+        assert sorted(result.results) == sorted(
+            [t * 2 for t in range(12)][: result.host_tasks]
+            + [t * 3 for t in range(12)][result.host_tasks :]
+        ) or len(result.results) == 12  # values depend on split; count matters
+
+    def test_makespan_measured_on_sim_backend(self):
+        backend = DmaCommBackend()
+        rt_sim = Runtime(backend)
+        sim = backend.sim
+        result = run_balanced(
+            rt_sim,
+            list(range(6)),
+            make_functor=lambda t: f2f(inner_product_task_stub, t),
+            host_execute=lambda t: backend._advance(50e-6) or t,
+            now=lambda: sim.now,
+        )
+        rt_sim.shutdown()
+        assert result.makespan > 0
+        assert result.total_tasks == 6
+
+
+class TestPipeline:
+    def test_pipelined_results_in_order(self, rt):
+        chunks = [np.full(16, float(i)) for i in range(7)]
+        result = pipelined_map(
+            rt,
+            1,
+            chunks,
+            lambda ptr, n: f2f(sum_chunk_stub, ptr, n),
+            now=lambda: 0.0,
+        )
+        assert result.chunks == 7
+        assert result.results == [16.0 * i for i in range(7)]
+
+    def test_buffers_freed(self, rt):
+        chunks = [np.ones(8) for _ in range(3)]
+        pipelined_map(
+            rt, 1, chunks, lambda ptr, n: f2f(sum_chunk_stub, ptr, n),
+            now=lambda: 0.0,
+        )
+        assert rt.live_buffer_count == 0
+
+    def test_depth_validation(self, rt):
+        with pytest.raises(ValueError):
+            pipelined_map(rt, 1, [np.ones(4)], lambda p, n: None, now=lambda: 0.0, depth=0)
+
+    def test_empty_chunks(self, rt):
+        result = pipelined_map(
+            rt, 1, [], lambda p, n: None, now=lambda: 0.0
+        )
+        assert result.chunks == 0
+
+    def test_overlap_on_sim_backend(self):
+        """With a 200 µs kernel and depth 2, total time must be clearly
+        below the serial sum (communication overlaps computation)."""
+        backend = DmaCommBackend()
+        backend.kernel_cost_fn = lambda functor: 200e-6
+        rt_sim = Runtime(backend)
+        sim = backend.sim
+        chunks = [np.ones(64) for _ in range(8)]
+        result = pipelined_map(
+            rt_sim,
+            1,
+            chunks,
+            lambda ptr, n: f2f(sum_chunk_stub, ptr, n),
+            now=lambda: sim.now,
+        )
+        rt_sim.shutdown()
+        # Serial lower bound: 8 × 200 µs of kernel time; pipelined total
+        # must stay within ~1.5× of it (puts overlap with kernels).
+        assert result.elapsed < 8 * 200e-6 * 1.5
+        assert result.results == [64.0] * 8
+
+
+# Module-level offloadables used by the tests above.
+from repro.ham import offloadable
+
+
+@offloadable
+def inner_product_task_stub(task_id: int) -> int:
+    """Stand-in target task: returns 3x the id."""
+    return task_id * 3
+
+
+@offloadable
+def sum_chunk_stub(buf, n: int) -> float:
+    """Sum of the first n elements of a staged chunk."""
+    return float(np.asarray(buf)[:n].sum())
