@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Seeded randomized-fault soak against the TCP backend.
+
+Drives a live TCP offload stack (forked target server, real sockets)
+through a :class:`FaultInjectingBackend` for a wall-clock duration,
+checking the resilience layer's two core promises:
+
+* **zero hangs** — every operation completes or raises within its
+  deadline (a watchdog thread hard-exits if the loop stops ticking);
+* **no unraised corruption** — every injected fault surfaces as a typed
+  :class:`ReproError` subclass, and every data roundtrip that *didn't*
+  raise must read back exactly what was written.
+
+Exit status: 0 on a clean soak, 1 on unraised corruption or an untyped
+error, 2 on a hang (watchdog). Same seed, same schedule: failures
+reproduce.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py --seed 7 --duration 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+import traceback
+import warnings
+from collections import Counter
+
+import numpy as np
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.backends import FaultInjectingBackend, TcpBackend, spawn_local_server
+from repro.errors import ReproError
+from repro.ham import f2f
+from repro.offload import ResiliencePolicy, Runtime
+
+from tests import apps  # the offloadable catalog shared with the fork
+
+
+def build_stack(seed: int, args: argparse.Namespace):
+    """Spawn a fresh server + faulty TCP backend + resilient runtime."""
+    process, address = spawn_local_server(startup_timeout=args.deadline * 10)
+    tcp = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+    faulty = FaultInjectingBackend(
+        tcp,
+        seed=seed,
+        drop_rate=args.drop,
+        delay_rate=args.delay,
+        disconnect_rate=args.disconnect,
+        corrupt_rate=args.corrupt,
+        delay_range=(0.0, min(0.05, args.deadline / 4)),
+    )
+    policy = ResiliencePolicy(
+        deadline=args.deadline,
+        max_retries=2,
+        backoff_base=0.01,
+        backoff_max=0.1,
+        seed=seed,
+        down_after=5,
+        probe_interval=0.2,
+    )
+    runtime = Runtime(faulty, policy=policy)
+    return process, tcp, faulty, runtime
+
+
+def teardown_stack(process, runtime) -> None:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ResourceWarning)  # chaos leaks buffers
+        try:
+            runtime.shutdown()
+        except ReproError:
+            pass
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=5)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=30.0, help="soak seconds")
+    parser.add_argument("--deadline", type=float, default=1.0, help="per-op deadline")
+    parser.add_argument("--drop", type=float, default=0.05)
+    parser.add_argument("--delay", type=float, default=0.05)
+    parser.add_argument("--disconnect", type=float, default=0.02)
+    parser.add_argument("--corrupt", type=float, default=0.03)
+    args = parser.parse_args()
+
+    last_tick = [time.monotonic()]
+    hang_budget = args.deadline * 10 + 10.0
+
+    def watchdog() -> None:
+        while True:
+            time.sleep(1.0)
+            stall = time.monotonic() - last_tick[0]
+            if stall > hang_budget:
+                print(f"WATCHDOG: soak loop stalled for {stall:.1f} s — HANG", flush=True)
+                os._exit(2)
+
+    threading.Thread(target=watchdog, daemon=True).start()
+
+    rng = np.random.default_rng(args.seed)
+    process, tcp, faulty, runtime = build_stack(args.seed, args)
+    deadline_end = time.monotonic() + args.duration
+    ops = 0
+    respawns = 0
+    surfaced: Counter[str] = Counter()
+    epoch = args.seed
+
+    try:
+        while time.monotonic() < deadline_end:
+            last_tick[0] = time.monotonic()
+            step = ops % 7
+            ops += 1
+            try:
+                if step in (0, 1, 2, 3):
+                    a, b = int(rng.integers(1000)), int(rng.integers(1000))
+                    result = runtime.sync(1, f2f(apps.add, a, b), idempotent=True)
+                    if result != a + b:
+                        print(f"UNRAISED CORRUPTION: add({a},{b}) -> {result}")
+                        return 1
+                elif step == 4:
+                    data = rng.random(256)
+                    ptr = runtime.allocate(1, data.size)
+                    try:
+                        runtime.put(data, ptr)
+                        back = np.empty_like(data)
+                        runtime.get(ptr, back)
+                        if not np.array_equal(back, data):
+                            print("UNRAISED CORRUPTION: put/get roundtrip mismatch")
+                            return 1
+                    finally:
+                        try:
+                            runtime.free(ptr)
+                        except ReproError as exc:
+                            surfaced[type(exc).__name__] += 1
+                elif step == 5:
+                    futures = [
+                        runtime.async_(1, f2f(apps.add, i, 1)) for i in range(4)
+                    ]
+                    for i, future in enumerate(futures):
+                        if future.get(timeout=args.deadline) != i + 1:
+                            print("UNRAISED CORRUPTION: async pipeline mismatch")
+                            return 1
+                else:
+                    runtime.heartbeat()
+            except ReproError as exc:
+                surfaced[type(exc).__name__] += 1
+                faulty.reconnect()
+                if not tcp._alive:
+                    # The transport was poisoned (or the server died):
+                    # recycle the whole stack, like a supervisor would.
+                    teardown_stack(process, runtime)
+                    epoch += 1
+                    respawns += 1
+                    process, tcp, faulty, runtime = build_stack(epoch, args)
+            except Exception:
+                print("UNTYPED ERROR escaped the resilience layer:")
+                traceback.print_exc()
+                return 1
+    finally:
+        teardown_stack(process, runtime)
+
+    print(
+        f"chaos smoke OK: {ops} ops in {args.duration:.0f} s, "
+        f"{faulty.stats()['faults_injected']} faults in final epoch, "
+        f"{respawns} respawns, surfaced errors: {dict(surfaced) or 'none'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

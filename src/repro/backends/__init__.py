@@ -20,6 +20,11 @@ communication backend*; this package provides four:
     shared-memory segment on the VH, registered in the VE's DMAATB; the VE
     polls flags with LHM, fetches messages with user DMA and returns
     results with SHM stores. Timed in simulated seconds.
+
+Plus :class:`~repro.backends.faulty.FaultInjectingBackend`, a
+deterministic chaos proxy that wraps any of the above and injects
+drops, delays, disconnects and corrupt frames by seeded schedule — the
+test harness for the resilience layer.
 """
 
 from repro.backends.base import Backend, InvokeHandle
@@ -28,11 +33,13 @@ from repro.backends.tcp import TcpBackend, TcpTargetServer, spawn_local_server
 from repro.backends.veo_backend import VeoCommBackend
 from repro.backends.dma_backend import DmaCommBackend
 from repro.backends.cluster_backend import ClusterBackend
+from repro.backends.faulty import FaultInjectingBackend
 
 __all__ = [
     "Backend",
     "ClusterBackend",
     "DmaCommBackend",
+    "FaultInjectingBackend",
     "InvokeHandle",
     "LocalBackend",
     "TcpBackend",

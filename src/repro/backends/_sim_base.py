@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.backends._sim_common import Doorbell
 from repro.backends.base import Backend, InvokeHandle
-from repro.errors import BackendError
+from repro.errors import BackendError, OffloadTimeoutError
 from repro.ham.execution import build_invoke, execute_message
 from repro.ham.functor import Functor
 from repro.ham.message import MSG_SHUTDOWN, build_message
@@ -284,13 +284,22 @@ class SimBackendBase(Backend):
         channel.slot_handles[slot] = None
         return slot
 
-    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
+    def drive(
+        self, handle: InvokeHandle, *, blocking: bool, timeout: float | None = None
+    ) -> None:
+        """Poll the target; ``timeout`` counts *simulated* seconds."""
         self._check_alive()
         assert isinstance(handle, SimInvokeHandle)
         if handle.completed:
             return
+        deadline = None if timeout is None else self.sim.now + timeout
         self._host_poll(handle)
         while blocking and not handle.completed:
+            if deadline is not None and self.sim.now >= deadline:
+                raise OffloadTimeoutError(
+                    f"offload {handle.label!r} exceeded its deadline of "
+                    f"{timeout:g} simulated seconds"
+                )
             self._host_poll(handle)
 
     def _finish_handle(self, handle: SimInvokeHandle, reply: bytes) -> None:

@@ -66,10 +66,15 @@ class InvokeHandle:
             self.backend.drive(self, blocking=False)
         return self.completed
 
-    def wait(self) -> Any:
-        """Block until complete; decode and return the remote value."""
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; decode and return the remote value.
+
+        With ``timeout`` set, the backend raises
+        :class:`~repro.errors.OffloadTimeoutError` instead of blocking
+        past the deadline (the handle stays pending).
+        """
         if not self.completed:
-            self.backend.drive(self, blocking=True)
+            self.backend.drive(self, blocking=True, timeout=timeout)
         if self._error is not None:
             raise self._error
         assert self._reply is not None
@@ -107,12 +112,18 @@ class Backend(abc.ABC):
         """Send a functor to ``node`` for execution; returns a handle."""
 
     @abc.abstractmethod
-    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
+    def drive(
+        self, handle: InvokeHandle, *, blocking: bool, timeout: float | None = None
+    ) -> None:
         """Make progress toward completing ``handle``.
 
         Non-blocking calls must return promptly; blocking calls must not
         return before the handle completes (or raise
-        :class:`BackendError` if that is impossible).
+        :class:`BackendError` if that is impossible). With ``timeout``
+        set, a blocking call raises
+        :class:`~repro.errors.OffloadTimeoutError` once the deadline
+        passes — seconds of wall clock on functional backends, simulated
+        seconds on the sim backends.
         """
 
     # -- memory ------------------------------------------------------------------
@@ -146,6 +157,28 @@ class Backend(abc.ABC):
         paths may override.
         """
         self.write_buffer(dst_node, dst_addr, self.read_buffer(src_node, src_addr, nbytes))
+
+    # -- health ------------------------------------------------------------------
+    def ping(self, node: NodeId) -> float:
+        """Liveness probe of ``node``; returns the round-trip seconds.
+
+        Raises an :class:`~repro.errors.OffloadError` subclass if the
+        node is unreachable. The default validates the node id and
+        reports zero latency — correct for in-process and simulated
+        targets that cannot silently die; transport backends override
+        with a real heartbeat (the TCP backend's ``OP_PING``).
+        """
+        self.check_target(node)
+        return 0.0
+
+    def set_default_timeout(self, seconds: float | None) -> None:
+        """Default per-operation deadline for synchronous transports.
+
+        A no-op on backends without blocking I/O; the TCP backend applies
+        it to every roundtrip and blocking drive. The runtime calls this
+        with ``ResiliencePolicy.deadline`` so no offload path can block
+        forever once a policy is installed.
+        """
 
     # -- target-side argument resolution ------------------------------------------
     def resolve_buffer(self, node: NodeId, ptr: BufferPtr) -> np.ndarray:

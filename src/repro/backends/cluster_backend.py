@@ -170,6 +170,19 @@ class ClusterBackend(DmaCommBackend):
             self.cluster.ib_messages += 1
         return data
 
+    # -- health -------------------------------------------------------------------------------
+    def ping(self, node: NodeId) -> float:
+        """Liveness probe of one VE: raises if its message loop crashed.
+
+        Returns the modeled one-hop latency (IB for remote VEs, zero for
+        node-local ones) so the health monitor can rank peers.
+        """
+        channel = self.channel(node)
+        channel.check_server()
+        if channel.remote:
+            return self.timing.ib_transfer_time(0)
+        return 0.0
+
     # -- introspection -------------------------------------------------------------------------
     def stats(self) -> dict:
         data = super().stats()

@@ -78,8 +78,10 @@ class LocalBackend(Backend):
         handle.complete_with_reply(reply)
         return handle
 
-    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
-        # Everything completes at post time.
+    def drive(
+        self, handle: InvokeHandle, *, blocking: bool, timeout: float | None = None
+    ) -> None:
+        # Everything completes at post time, so deadlines are moot.
         if blocking and not handle.completed:  # pragma: no cover - defensive
             raise BackendError("local backend handle left incomplete")
 

@@ -33,13 +33,14 @@ import pickle
 import select
 import socket
 import struct
+import time
 import traceback
 from collections import deque
 from typing import Any, Callable
 
 from repro.backends._target_memory import HostedBuffers
 from repro.backends.base import Backend, InvokeHandle
-from repro.errors import BackendError, RemoteExecutionError
+from repro.errors import BackendError, OffloadTimeoutError, RemoteExecutionError
 from repro.ham.execution import build_invoke, execute_message
 from repro.ham.functor import Functor
 from repro.ham.registry import Catalog, ProcessImage
@@ -181,12 +182,15 @@ def _server_entry(port_pipe: Any, catalog: Catalog | None) -> None:
 
 def spawn_local_server(
     catalog: Catalog | None = None,
+    *,
+    startup_timeout: float = 10.0,
 ) -> tuple[multiprocessing.Process, tuple[str, int]]:
     """Fork a target-server child process; returns ``(process, address)``.
 
     Forking inherits the parent's imported modules and offloadable
     catalog — the moral equivalent of building host and target binaries
-    from the same source.
+    from the same source. ``startup_timeout`` bounds the wait for the
+    child to report its listening address.
     """
     ctx = multiprocessing.get_context("fork")
     parent_pipe, child_pipe = ctx.Pipe()
@@ -195,9 +199,11 @@ def spawn_local_server(
     )
     process.start()
     child_pipe.close()
-    if not parent_pipe.poll(10.0):
+    if not parent_pipe.poll(startup_timeout):
         process.terminate()
-        raise BackendError("TCP target server did not start within 10 s")
+        raise BackendError(
+            f"TCP target server did not start within {startup_timeout:g} s"
+        )
     address = parent_pipe.recv()
     parent_pipe.close()
     return process, address
@@ -215,6 +221,14 @@ class TcpBackend(Backend):
     on_shutdown:
         Optional callable invoked after the connection closes (used to
         join a spawned server process).
+    op_timeout:
+        Default deadline in seconds for every blocking operation
+        (roundtrips and blocking drives). ``None`` (the default)
+        preserves the raw protocol's behavior of waiting indefinitely;
+        installing a :class:`~repro.offload.resilience.ResiliencePolicy`
+        on the runtime sets this via :meth:`set_default_timeout`.
+    connect_timeout:
+        Deadline for establishing the connection and handshake.
     """
 
     name = "tcp"
@@ -224,17 +238,22 @@ class TcpBackend(Backend):
         address: tuple[str, int],
         catalog: Catalog | None = None,
         on_shutdown: Callable[[], None] | None = None,
+        *,
+        op_timeout: float | None = None,
+        connect_timeout: float = 10.0,
     ) -> None:
         self.host_image = ProcessImage("tcp-host", catalog)
         self.address = address
         self._on_shutdown = on_shutdown
-        self._sock = socket.create_connection(address, timeout=10.0)
+        self.op_timeout = op_timeout
+        self._sock = socket.create_connection(address, timeout=connect_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock.settimeout(None)
         #: FIFO of reply consumers: ("invoke", handle) or ("sync", op, box).
         self._pending: deque[tuple[str, Any]] = deque()
         self._msg_id = 0
         self._alive = True
+        self._closed = False
         self.invokes_posted = 0
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -264,23 +283,77 @@ class TcpBackend(Backend):
         )
 
     # -- reply plumbing -----------------------------------------------------------
+    def _fail_pending(self, error: BaseException) -> None:
+        """Declare the connection lost: mark dead, fail every expectation.
+
+        Any send/receive error desyncs the strictly-ordered reply FIFO,
+        so no outstanding operation can ever be matched again — they all
+        inherit ``error`` instead of hanging.
+        """
+        self._alive = False
+        while self._pending:
+            kind, sink = self._pending.popleft()
+            if kind == "invoke":
+                sink.complete_with_error(error)
+            else:
+                sink["error"] = error
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass
+
     def _send(self, op: int, body: bytes) -> None:
         """Send one frame, translating socket failures into BackendError."""
         try:
             _send_frame(self._sock, op, body)
             self.bytes_sent += len(body) + 5
         except OSError as exc:
-            self._alive = False
-            raise BackendError(f"tcp send failed: {exc}") from exc
+            error = BackendError(f"tcp send failed: {exc}")
+            self._fail_pending(error)
+            raise error from exc
 
-    def _dispatch_one_reply(self) -> None:
-        """Read exactly one frame and hand it to the oldest expectation."""
+    def _dispatch_one_reply(self, deadline: float | None = None) -> None:
+        """Read exactly one frame and hand it to the oldest expectation.
+
+        ``deadline`` is an absolute :func:`time.monotonic` stamp. If it
+        passes before the next frame *starts* arriving, an
+        :class:`OffloadTimeoutError` is raised softly: nothing was
+        consumed, so the stream and the FIFO stay consistent and the
+        caller may resume waiting later. A timeout in the middle of a
+        frame — like any other receive error — loses framing, so it
+        poisons the backend and fails all pending operations.
+        """
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not select.select(
+                [self._sock], [], [], remaining
+            )[0]:
+                raise OffloadTimeoutError(
+                    f"no reply from {self.address[0]}:{self.address[1]} "
+                    "within the deadline"
+                )
         try:
-            op, body = _recv_frame(self._sock)
+            if deadline is not None:
+                self._sock.settimeout(max(deadline - time.monotonic(), 1e-3))
+            try:
+                op, body = _recv_frame(self._sock)
+            finally:
+                if deadline is not None:
+                    self._sock.settimeout(None)
             self.bytes_received += len(body) + 5
-        except OSError as exc:
-            self._alive = False
-            raise BackendError(f"tcp receive failed: {exc}") from exc
+        except (OSError, BackendError) as exc:
+            if isinstance(exc, TimeoutError):
+                error: BaseException = OffloadTimeoutError(
+                    "tcp receive timed out mid-frame; connection state lost"
+                )
+            elif isinstance(exc, BackendError):
+                error = exc
+            else:
+                error = BackendError(f"tcp receive failed: {exc}")
+            self._fail_pending(error)
+            if error is exc:
+                raise
+            raise error from exc
         if not self._pending:
             raise BackendError(f"unsolicited reply frame op={op:#x}")
         kind, sink = self._pending.popleft()
@@ -307,14 +380,22 @@ class TcpBackend(Backend):
                 )
             box["body"] = body
 
-    def _roundtrip(self, op: int, body: bytes) -> bytes:
-        """Synchronous request: send, then drain replies until ours."""
+    def _roundtrip(
+        self, op: int, body: bytes, timeout: float | None = None
+    ) -> bytes:
+        """Synchronous request: send, then drain replies until ours.
+
+        ``timeout`` (defaulting to :attr:`op_timeout`) bounds the whole
+        roundtrip; on expiry an :class:`OffloadTimeoutError` is raised.
+        """
         self._check_alive()
+        effective = timeout if timeout is not None else self.op_timeout
+        deadline = None if effective is None else time.monotonic() + effective
         box: dict[str, Any] = {"op": op}
         self._pending.append(("sync", box))
         self._send(op, body)
         while "body" not in box and "error" not in box:
-            self._dispatch_one_reply()
+            self._dispatch_one_reply(deadline)
         if "error" in box:
             raise box["error"]
         return box["body"]
@@ -341,14 +422,20 @@ class TcpBackend(Backend):
             "bytes_received": self.bytes_received,
         }
 
-    def drive(self, handle: InvokeHandle, *, blocking: bool) -> None:
+    def drive(
+        self, handle: InvokeHandle, *, blocking: bool, timeout: float | None = None
+    ) -> None:
         self._check_alive()
+        effective = timeout if timeout is not None else self.op_timeout
+        deadline = (
+            None if (effective is None or not blocking) else time.monotonic() + effective
+        )
         while not handle.completed:
             if not blocking:
                 readable, _, _ = select.select([self._sock], [], [], 0)
                 if not readable:
                     return
-            self._dispatch_one_reply()
+            self._dispatch_one_reply(deadline)
 
     # -- memory ----------------------------------------------------------------------
     def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
@@ -367,18 +454,31 @@ class TcpBackend(Backend):
         self.check_target(node)
         return self._roundtrip(OP_READ, _U64.pack(addr) + _U64.pack(nbytes))
 
+    # -- health -------------------------------------------------------------------------
+    def ping(self, node: NodeId) -> float:
+        """Round-trip an ``OP_PING`` heartbeat; returns wall seconds."""
+        self.check_target(node)
+        start = time.monotonic()
+        self._roundtrip(OP_PING, b"")
+        return time.monotonic() - start
+
+    def set_default_timeout(self, seconds: float | None) -> None:
+        self.op_timeout = seconds
+
     # -- lifecycle ----------------------------------------------------------------------
     def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._alive:
             try:
                 self._roundtrip(OP_SHUTDOWN, b"")
-            except BackendError:
-                pass  # server already gone
-            finally:
-                self._alive = False
-                self._sock.close()
-                if self._on_shutdown is not None:
-                    self._on_shutdown()
+            except (BackendError, OffloadTimeoutError):
+                pass  # server already gone or wedged
+        self._alive = False
+        self._sock.close()
+        if self._on_shutdown is not None:
+            self._on_shutdown()
 
     def _check_alive(self) -> None:
         if not self._alive:

@@ -129,6 +129,41 @@ class BackendError(OffloadError):
     """A communication backend failed (disconnect, truncated frame, ...)."""
 
 
+class OffloadTimeoutError(OffloadError, TimeoutError):
+    """An offload operation exceeded its deadline.
+
+    Derives from the builtin :class:`TimeoutError` so generic timeout
+    handling (``except TimeoutError``) works alongside ``except
+    ReproError``. Raised instead of blocking forever whenever a
+    :class:`~repro.offload.resilience.ResiliencePolicy` deadline (or an
+    explicit ``timeout=``) is in force and the target goes silent.
+    """
+
+
+class CircuitOpenError(OffloadError):
+    """An offload was refused fast because the target node is down.
+
+    The per-node circuit breaker of
+    :class:`~repro.offload.resilience.HealthMonitor` opens after repeated
+    transport failures; operations fail immediately instead of burning a
+    full deadline against a dead node. After ``probe_interval`` seconds a
+    single half-open probe is let through to test recovery.
+    """
+
+
+class InjectedFaultError(BackendError):
+    """A fault deliberately injected by a chaos/fault-injection layer.
+
+    Raised by :class:`~repro.backends.faulty.FaultInjectingBackend` for
+    scheduled drops and disconnects, so tests can tell injected faults
+    from organic transport failures.
+    """
+
+
+class CorruptFrameError(BackendError):
+    """A received frame failed integrity checks (or was injected corrupt)."""
+
+
 class RemoteExecutionError(OffloadError):
     """The offloaded function raised on the target.
 

@@ -32,15 +32,19 @@ from repro.ham import Migratable, f2f, offloadable
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import Future
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.offload.resilience import HealthMonitor, NodeHealth, ResiliencePolicy
 from repro.offload.runtime import Runtime
 
 __all__ = [
     "BufferPtr",
     "Future",
     "HOST_NODE",
+    "HealthMonitor",
     "Migratable",
     "NodeDescriptor",
+    "NodeHealth",
     "NodeId",
+    "ResiliencePolicy",
     "Runtime",
     "f2f",
     "offloadable",

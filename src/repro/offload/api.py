@@ -32,6 +32,7 @@ from repro.ham.functor import Functor
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import Future
 from repro.offload.node import NodeDescriptor, NodeId
+from repro.offload.resilience import ResiliencePolicy
 from repro.offload.runtime import Runtime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,8 +58,12 @@ __all__ = [
 _runtime: Runtime | None = None
 
 
-def init(backend: "Backend") -> Runtime:
+def init(backend: "Backend", policy: ResiliencePolicy | None = None) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
+
+    ``policy`` optionally installs a
+    :class:`~repro.offload.resilience.ResiliencePolicy` (deadlines,
+    retries, health monitoring) on the runtime.
 
     Raises
     ------
@@ -68,7 +73,7 @@ def init(backend: "Backend") -> Runtime:
     global _runtime
     if _runtime is not None:
         raise OffloadError("offload API already initialized; call finalize() first")
-    _runtime = Runtime(backend)
+    _runtime = Runtime(backend, policy=policy)
     return _runtime
 
 
@@ -98,9 +103,19 @@ def runtime() -> Runtime:
     return _runtime
 
 
-def sync(node: NodeId, functor: Functor) -> Any:
-    """Synchronous offload of ``functor`` to ``node`` (Table II ``sync``)."""
-    return runtime().sync(node, functor)
+def sync(
+    node: NodeId,
+    functor: Functor,
+    *,
+    idempotent: bool = False,
+    timeout: float | None = None,
+) -> Any:
+    """Synchronous offload of ``functor`` to ``node`` (Table II ``sync``).
+
+    ``idempotent`` and ``timeout`` engage the runtime's resilience
+    policy; see :meth:`repro.offload.runtime.Runtime.sync`.
+    """
+    return runtime().sync(node, functor, idempotent=idempotent, timeout=timeout)
 
 
 def async_(node: NodeId, functor: Functor) -> Future:

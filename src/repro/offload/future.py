@@ -4,13 +4,19 @@
 non-blocking ``test()`` and blocking ``get()`` accessors." A future wraps
 a backend-specific handle; calling :meth:`get` repeatedly returns the
 cached value.
+
+Beyond the paper, :meth:`Future.get` accepts a ``timeout`` (seconds):
+instead of blocking forever on a silent target it raises
+:class:`~repro.errors.OffloadTimeoutError`. A timed-out future stays
+*pending* — the reply may still arrive, and a later ``get`` (with a new
+deadline or without one) can pick it up.
 """
 
 from __future__ import annotations
 
 from typing import Any, Protocol
 
-from repro.errors import FutureError
+from repro.errors import FutureError, OffloadTimeoutError
 
 __all__ = ["Future", "OperationHandle", "CompletedHandle"]
 
@@ -22,8 +28,12 @@ class OperationHandle(Protocol):
         """Non-blocking completion probe."""
         ...
 
-    def wait(self) -> Any:
-        """Block until complete; return the value (raising on failure)."""
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; return the value (raising on failure).
+
+        With ``timeout`` set, raise :class:`OffloadTimeoutError` instead
+        of blocking past the deadline.
+        """
         ...
 
 
@@ -37,7 +47,7 @@ class CompletedHandle:
     def test(self) -> bool:
         return True
 
-    def wait(self) -> Any:
+    def wait(self, timeout: float | None = None) -> Any:
         if self._error is not None:
             raise self._error
         return self._value
@@ -63,22 +73,30 @@ class Future:
             return True
         return False
 
-    def get(self) -> Any:
+    def get(self, timeout: float | None = None) -> Any:
         """Block until the result is available and return it.
 
         Re-raises the remote exception if the offloaded function failed.
+        With ``timeout`` set, raises
+        :class:`~repro.errors.OffloadTimeoutError` once the deadline
+        passes; the future remains pending and may be retried.
         """
         if not self._done:
-            self._settle()
+            self._settle(timeout)
         if self._error is not None:
             raise self._error
         return self._value
 
-    def _settle(self) -> None:
+    def _settle(self, timeout: float | None = None) -> None:
         if self._handle is None:
             raise FutureError(f"future {self._label!r} detached from its backend")
         try:
-            self._value = self._handle.wait()
+            self._value = self._handle.wait(timeout=timeout)
+        except OffloadTimeoutError:
+            # Deadline expired but the operation may still be in flight:
+            # stay pending so a later get() can collect the reply (a
+            # poisoned handle simply re-raises immediately next time).
+            raise
         except BaseException as exc:  # noqa: BLE001 - stored for re-raise
             self._error = exc
         self._done = True

@@ -4,24 +4,44 @@ One :class:`Runtime` instance per application role. The host-side runtime
 exposes the paper's Table II API; the target-side message loop lives in
 the backends (an in-process image, a TCP server process, or a simulated
 VE process).
+
+Beyond the paper, the runtime optionally carries a
+:class:`~repro.offload.resilience.ResiliencePolicy`: per-operation
+deadlines are pushed into the backend, transport failures feed a
+per-node :class:`~repro.offload.resilience.HealthMonitor` whose circuit
+breaker fails fast on dead nodes, and operations the caller declares
+idempotent are retried with seeded exponential backoff — failing over to
+a healthy peer target where the backend has one.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+import time
+import warnings
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
-from repro.errors import OffloadError
+from repro.errors import (
+    BackendError,
+    CircuitOpenError,
+    OffloadError,
+    OffloadTimeoutError,
+    RemoteExecutionError,
+)
 from repro.ham.functor import Functor
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import CompletedHandle, Future
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.offload.resilience import HealthMonitor, ResiliencePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
 
 __all__ = ["Runtime"]
+
+#: Transport-level failures: retry candidates for idempotent operations.
+_TRANSPORT_ERRORS = (BackendError, OffloadTimeoutError)
 
 
 class Runtime:
@@ -31,13 +51,39 @@ class Runtime:
     ----------
     backend:
         The communication backend connecting this process to its targets.
+    policy:
+        Optional :class:`ResiliencePolicy`. When set, the policy deadline
+        becomes the backend's default operation timeout, a
+        :class:`HealthMonitor` tracks per-node health, and
+        :meth:`sync` honors ``idempotent=True`` with bounded retries and
+        failover. Without a policy the runtime behaves exactly like the
+        paper's: raw speed, no protection.
+    monitor:
+        Optional externally-owned health monitor (e.g. shared between
+        runtimes); defaults to a fresh one when a policy is given.
     """
 
-    def __init__(self, backend: "Backend") -> None:
+    def __init__(
+        self,
+        backend: "Backend",
+        policy: ResiliencePolicy | None = None,
+        monitor: HealthMonitor | None = None,
+    ) -> None:
         self.backend = backend
+        self.policy = policy
+        if monitor is not None:
+            self.monitor = monitor
+        else:
+            self.monitor = HealthMonitor(policy) if policy is not None else None
+        if policy is not None and policy.deadline is not None:
+            backend.set_default_timeout(policy.deadline)
+        self._retry_rng = policy.rng() if policy is not None else None
+        self._sleep: Callable[[float], None] = time.sleep
         self._live_buffers: dict[tuple[NodeId, int], BufferPtr] = {}
         self._shutdown = False
         self._offloads_posted = 0
+        self._retries = 0
+        self._failovers = 0
         self._puts = 0
         self._gets = 0
         self._copies = 0
@@ -68,13 +114,127 @@ class Runtime:
             raise OffloadError(
                 "async_/sync expect a Functor; build one with f2f(fn, args...)"
             )
-        handle = self.backend.post_invoke(node, functor)
+        if self.monitor is not None:
+            self.monitor.check(node)
+        try:
+            handle = self.backend.post_invoke(node, functor)
+        except _TRANSPORT_ERRORS:
+            if self.monitor is not None:
+                self.monitor.record_failure(node)
+            raise
         self._offloads_posted += 1
         return Future(handle, label=functor.type_name)
 
-    def sync(self, node: NodeId, functor: Functor) -> Any:
-        """Synchronous offload: ``async_`` + ``get``."""
-        return self.async_(node, functor).get()
+    def sync(
+        self,
+        node: NodeId,
+        functor: Functor,
+        *,
+        idempotent: bool = False,
+        timeout: float | None = None,
+    ) -> Any:
+        """Synchronous offload: ``async_`` + ``get``.
+
+        Parameters
+        ----------
+        idempotent:
+            Caller's assertion that executing the functor more than once
+            (and on a different target, if the policy allows failover) is
+            safe. Only then are transport failures retried under the
+            runtime's :class:`ResiliencePolicy` — the runtime cannot know
+            whether a timed-out offload also executed. Functors closing
+            over node-local :class:`BufferPtr` arguments are *not*
+            location-independent and must not be failed over.
+        timeout:
+            Per-call deadline override (seconds); defaults to the policy
+            deadline.
+        """
+        if self.policy is None:
+            return self.async_(node, functor).get(timeout=timeout)
+        policy = self.policy
+        deadline = timeout if timeout is not None else policy.deadline
+        attempts = (1 + policy.max_retries) if idempotent else 1
+        target = node
+        tried: list[NodeId] = []
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep(policy.delay_for(attempt - 1, self._retry_rng))
+                self._retries += 1
+                if policy.failover:
+                    successor = self._failover_target(target, tried)
+                    if successor is None:
+                        break
+                    if successor != node:
+                        self._failovers += 1
+                    target = successor
+            try:
+                future = self.async_(target, functor)
+            except (CircuitOpenError, *_TRANSPORT_ERRORS) as exc:
+                # async_ already recorded transport failures.
+                tried.append(target)
+                last_error = exc
+                continue
+            try:
+                value = future.get(timeout=deadline)
+            except RemoteExecutionError:
+                # The target executed the functor and the *application*
+                # raised: the transport is healthy, and retrying a
+                # deterministic failure would just repeat it.
+                if self.monitor is not None:
+                    self.monitor.record_success(target)
+                raise
+            except _TRANSPORT_ERRORS as exc:
+                if self.monitor is not None:
+                    self.monitor.record_failure(target)
+                tried.append(target)
+                last_error = exc
+                continue
+            if self.monitor is not None:
+                self.monitor.record_success(target)
+            return value
+        assert last_error is not None
+        raise last_error
+
+    def _failover_target(self, current: NodeId, tried: list[NodeId]) -> NodeId | None:
+        """Pick the next attempt's target: untried healthy peers first.
+
+        Falls back to re-trying already-tried nodes (healthiest first)
+        once everything has been attempted; returns ``None`` when every
+        target's circuit is open.
+        """
+        assert self.monitor is not None
+        candidates = self.monitor.preferred(self.targets(), exclude=tried)
+        if candidates:
+            return candidates[0]
+        retryable = self.monitor.preferred(self.targets())
+        return retryable[0] if retryable else None
+
+    # -- health ------------------------------------------------------------------
+    def heartbeat(self) -> dict[NodeId, float | None]:
+        """Ping every target and feed the health monitor.
+
+        Requires a runtime constructed with a policy (or monitor).
+        Returns per-node round-trip seconds, ``None`` for failed pings.
+        """
+        if self.monitor is None:
+            raise OffloadError(
+                "heartbeat needs a ResiliencePolicy/HealthMonitor on the runtime"
+            )
+        return self.monitor.heartbeat(self.backend, self.targets())
+
+    def _guard(self, node: NodeId, operation: Callable[[], Any]) -> Any:
+        """Run one transport call with circuit check + health accounting."""
+        if self.monitor is None:
+            return operation()
+        self.monitor.check(node)
+        try:
+            result = operation()
+        except _TRANSPORT_ERRORS:
+            self.monitor.record_failure(node)
+            raise
+        self.monitor.record_success(node)
+        return result
 
     # -- memory management -----------------------------------------------------------
     def allocate(self, node: NodeId, count: int, dtype: Any = np.float64) -> BufferPtr:
@@ -84,7 +244,9 @@ class Runtime:
         if count <= 0:
             raise OffloadError(f"allocation count must be positive, got {count}")
         dt = np.dtype(dtype)
-        addr = self.backend.alloc_buffer(node, count * dt.itemsize)
+        addr = self._guard(
+            node, lambda: self.backend.alloc_buffer(node, count * dt.itemsize)
+        )
         ptr = BufferPtr(node=node, addr=addr, dtype_str=dt.str, count=count)
         self._live_buffers[(node, addr)] = ptr
         return ptr
@@ -92,12 +254,16 @@ class Runtime:
     def free(self, ptr: BufferPtr) -> None:
         """Free a buffer allocated with :meth:`allocate`."""
         self._check_running()
-        if self._live_buffers.pop((ptr.node, ptr.addr), None) is None:
+        key = (ptr.node, ptr.addr)
+        if key not in self._live_buffers:
             raise OffloadError(
                 f"free of unknown or already-freed buffer {ptr!r} "
                 "(freeing an offset pointer is not allowed)"
             )
-        self.backend.free_buffer(ptr.node, ptr.addr)
+        # Drop the tracking entry only after the backend confirms, so a
+        # transport failure does not silently lose the buffer.
+        self._guard(ptr.node, lambda: self.backend.free_buffer(ptr.node, ptr.addr))
+        self._live_buffers.pop(key, None)
 
     # -- data transfer -----------------------------------------------------------------
     def put(self, src: np.ndarray, dst: BufferPtr, count: int | None = None) -> Future:
@@ -108,7 +274,10 @@ class Runtime:
         """
         self._check_running()
         data, n = self._coerce(src, dst, count)
-        self.backend.write_buffer(dst.node, dst.addr, data[:n].tobytes())
+        self._guard(
+            dst.node,
+            lambda: self.backend.write_buffer(dst.node, dst.addr, data[:n].tobytes()),
+        )
         self._puts += 1
         return Future(CompletedHandle(None), label="put")
 
@@ -116,7 +285,10 @@ class Runtime:
         """Read target memory into host data (paper ``get``)."""
         self._check_running()
         data, n = self._coerce(dst, src, count)
-        raw = self.backend.read_buffer(src.node, src.addr, n * src.itemsize)
+        raw = self._guard(
+            src.node,
+            lambda: self.backend.read_buffer(src.node, src.addr, n * src.itemsize),
+        )
         data[:n] = np.frombuffer(raw, dtype=src.dtype)[:n]
         self._gets += 1
         return Future(CompletedHandle(None), label="get")
@@ -129,8 +301,13 @@ class Runtime:
             raise OffloadError(f"copy of {n} elements exceeds a buffer bound")
         if src.dtype != dst.dtype:
             raise OffloadError(f"copy dtype mismatch: {src.dtype_str} vs {dst.dtype_str}")
-        self.backend.copy_buffer(
-            src.node, src.addr, dst.node, dst.addr, n * src.itemsize
+        if self.monitor is not None:
+            self.monitor.check(src.node)
+        self._guard(
+            dst.node,
+            lambda: self.backend.copy_buffer(
+                src.node, src.addr, dst.node, dst.addr, n * src.itemsize
+            ),
         )
         self._copies += 1
         return Future(CompletedHandle(None), label="copy")
@@ -159,7 +336,7 @@ class Runtime:
 
     def stats(self) -> dict[str, Any]:
         """Runtime counters plus the backend's transport statistics."""
-        return {
+        data: dict[str, Any] = {
             "offloads_posted": self._offloads_posted,
             "puts": self._puts,
             "gets": self._gets,
@@ -167,11 +344,33 @@ class Runtime:
             "live_buffers": self.live_buffer_count,
             "backend": self.backend.stats(),
         }
+        if self.policy is not None:
+            data["retries"] = self._retries
+            data["failovers"] = self._failovers
+        if self.monitor is not None:
+            data["health"] = self.monitor.snapshot()
+        return data
 
     def shutdown(self) -> None:
-        """Terminate target message loops and the backend (idempotent)."""
+        """Terminate target message loops and the backend (idempotent).
+
+        Leaked target buffers (allocated but never freed) are reported
+        via :class:`ResourceWarning` with their pointers — target memory
+        is a real resource on long-lived servers.
+        """
         if not self._shutdown:
             self._shutdown = True
+            if self._live_buffers:
+                pointers = ", ".join(
+                    f"node{node}@{addr:#x}"
+                    for node, addr in sorted(self._live_buffers)
+                )
+                warnings.warn(
+                    f"Runtime.shutdown with {len(self._live_buffers)} leaked "
+                    f"target buffer(s): {pointers}",
+                    ResourceWarning,
+                    stacklevel=2,
+                )
             self.backend.shutdown()
 
     def _check_running(self) -> None:
