@@ -19,10 +19,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import BackendError, NoSuchNodeError
+from repro.errors import BackendError, NoSuchNodeError, OffloadTimeoutError
 from repro.ham.execution import unpack_result
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.telemetry import recorder as telemetry
 
 __all__ = ["Backend", "InvokeHandle"]
 
@@ -72,13 +73,24 @@ class InvokeHandle:
         With ``timeout`` set, the backend raises
         :class:`~repro.errors.OffloadTimeoutError` instead of blocking
         past the deadline (the handle stays pending).
+
+        Telemetry phase ``offload.transport``: the wait from "posted"
+        until the reply (or a transport error) arrives — wire plus
+        remote-execution time as seen by the host.
         """
         if not self.completed:
-            self.backend.drive(self, blocking=True, timeout=timeout)
+            try:
+                with telemetry.span("offload.transport", label=self.label):
+                    self.backend.drive(self, blocking=True, timeout=timeout)
+            except OffloadTimeoutError:
+                telemetry.count("offload.timeouts")
+                raise
         if self._error is not None:
+            telemetry.count("offload.failed")
             raise self._error
         assert self._reply is not None
         _msg_id, value = unpack_result(self._reply)
+        telemetry.count("offload.completed")
         return value
 
 

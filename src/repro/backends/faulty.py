@@ -34,6 +34,7 @@ from repro.backends.base import Backend, InvokeHandle
 from repro.errors import BackendError, CorruptFrameError, InjectedFaultError
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import NodeDescriptor, NodeId
+from repro.telemetry import recorder as telemetry
 
 __all__ = ["FaultInjectingBackend", "FaultEvent", "FAULT_KINDS"]
 
@@ -137,6 +138,14 @@ class FaultInjectingBackend(Backend):
             index, op, kind, duration if kind == "delay" else 0.0
         )
         self.fault_log.append(event)
+        # Injected faults show up in traces as instant events, so a
+        # timeline view places each chaos injection against the spans of
+        # the operation it hit.
+        telemetry.event(
+            "fault.injected", category="fault",
+            kind=kind, op=op, index=index, delay=event.delay,
+        )
+        telemetry.count("faults.injected")
         return event
 
     def _apply(self, op: str) -> None:

@@ -22,6 +22,7 @@ from repro.ham.functor import Functor
 from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.telemetry import recorder as telemetry
 
 __all__ = ["LocalBackend"]
 
@@ -69,11 +70,15 @@ class LocalBackend(Backend):
         self._msg_id += 1
         invoke = build_invoke(self.host_image, functor, self._msg_id)
         handle = InvokeHandle(self, label=functor.type_name)
-        reply, _keep_running = execute_message(
-            target.image,
-            invoke,
-            resolver=lambda arg: self._resolve(target, arg),
-        )
+        # Telemetry phase ``offload.transport``: for the in-process
+        # backend the "wire" is a synchronous call, so transport time is
+        # the handoff around the nested ``offload.execute`` span.
+        with telemetry.span("offload.transport", node=node, bytes=len(invoke)):
+            reply, _keep_running = execute_message(
+                target.image,
+                invoke,
+                resolver=lambda arg: self._resolve(target, arg),
+            )
         target.messages_executed += 1
         handle.complete_with_reply(reply)
         return handle

@@ -18,6 +18,7 @@ Wire protocol (all integers little-endian)::
     op 0x05 READ      body = addr:u64 | n:u64     -> 0x85 body = data
     op 0x06 SHUTDOWN  body = ""                   -> 0x86 body = ""
     op 0x07 PING      body = ""                   -> 0x87 body = ""
+    op 0x08 TELEMETRY body = ""                   -> 0x88 body = pickled records
     any failure                                    -> 0xFF body = pickled info
 
 Replies arrive strictly in request order, so the client matches them with
@@ -46,6 +47,8 @@ from repro.ham.functor import Functor
 from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.export import dicts_to_records, records_to_dicts
 
 __all__ = ["TcpBackend", "TcpTargetServer", "spawn_local_server"]
 
@@ -56,6 +59,7 @@ OP_WRITE = 0x04
 OP_READ = 0x05
 OP_SHUTDOWN = 0x06
 OP_PING = 0x07
+OP_TELEMETRY = 0x08
 OP_REPLY_BIT = 0x80
 OP_FAILURE = 0xFF
 
@@ -153,6 +157,17 @@ class TcpTargetServer:
                         "(both sides must import the same application modules)"
                     )
                 _send_frame(conn, OP_PING | OP_REPLY_BIT, digest)
+            elif op == OP_TELEMETRY:
+                # Drain this process's telemetry so the host can merge
+                # target-side spans (offload.execute, ...) into one
+                # timeline. Empty when telemetry is disabled here; a
+                # forked server inherits the parent's enabled state.
+                recorder = telemetry.get()
+                rows = records_to_dicts(recorder.drain()) if recorder else []
+                _send_frame(
+                    conn, OP_TELEMETRY | OP_REPLY_BIT,
+                    pickle.dumps(rows, protocol=4),
+                )
             elif op == OP_SHUTDOWN:
                 _send_frame(conn, OP_SHUTDOWN | OP_REPLY_BIT, b"")
                 return False
@@ -336,7 +351,12 @@ class TcpBackend(Backend):
             if deadline is not None:
                 self._sock.settimeout(max(deadline - time.monotonic(), 1e-3))
             try:
-                op, body = _recv_frame(self._sock)
+                # Telemetry phase ``offload.reply``: pulling one reply
+                # frame off the wire (data is already waiting or close —
+                # the pre-reply wait lives in ``offload.transport``).
+                with telemetry.span("offload.reply") as reply_span:
+                    op, body = _recv_frame(self._sock)
+                    reply_span.set("bytes", len(body) + 5)
             finally:
                 if deadline is not None:
                     self._sock.settimeout(None)
@@ -407,9 +427,15 @@ class TcpBackend(Backend):
         self._msg_id += 1
         invoke = build_invoke(self.host_image, functor, self._msg_id)
         handle = InvokeHandle(self, label=functor.type_name)
-        self._pending.append(("invoke", handle))
-        self._send(OP_INVOKE, invoke)
+        # Telemetry phase ``offload.enqueue``: queueing the reply
+        # expectation and pushing the frame onto the socket.
+        with telemetry.span(
+            "offload.enqueue", bytes=len(invoke), functor=functor.type_name
+        ):
+            self._pending.append(("invoke", handle))
+            self._send(OP_INVOKE, invoke)
         self.invokes_posted += 1
+        telemetry.gauge("tcp.pending_replies", len(self._pending))
         return handle
 
     def stats(self) -> dict:
@@ -453,6 +479,22 @@ class TcpBackend(Backend):
     def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
         self.check_target(node)
         return self._roundtrip(OP_READ, _U64.pack(addr) + _U64.pack(nbytes))
+
+    # -- telemetry ----------------------------------------------------------------------
+    def fetch_target_telemetry(self) -> list:
+        """Pull (and clear) the target server's telemetry records.
+
+        Returns :class:`~repro.telemetry.recorder.SpanRecord` /
+        :class:`~repro.telemetry.recorder.EventRecord` objects recorded
+        in the server process — empty if telemetry is disabled there.
+        Servers forked via :func:`spawn_local_server` inherit the
+        client's enabled state, so enabling telemetry *before* spawning
+        captures target-side ``offload.execute`` spans too. On Linux,
+        ``perf_counter_ns`` reads the system-wide monotonic clock, so
+        fetched records share the host records' timeline.
+        """
+        rows = pickle.loads(self._roundtrip(OP_TELEMETRY, b""))
+        return dicts_to_records(rows)
 
     # -- health -------------------------------------------------------------------------
     def ping(self, node: NodeId) -> float:

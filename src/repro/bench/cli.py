@@ -7,8 +7,10 @@ Regenerates the paper's tables and figures without pytest::
     python -m repro.bench.cli all
 
 Each experiment prints a paper-style report; ``all`` runs everything.
-The same measurement code backs the pytest benchmarks (see
-:mod:`repro.bench.experiments`).
+``--json-dir DIR`` additionally drops a machine-readable
+``BENCH_<experiment>.json`` per experiment (see
+:mod:`repro.bench.trajectory`). The same measurement code backs the
+pytest benchmarks (see :mod:`repro.bench.experiments`).
 """
 
 from __future__ import annotations
@@ -24,13 +26,18 @@ from repro.bench.tables import (
     format_time,
     render_table,
 )
+from repro.bench.trajectory import write_bench_json
 from repro.hw.specs import GIB, MIB
 
 __all__ = ["main"]
 
+#: Every report function returns (human-readable text, raw JSON payload).
+Report = tuple[str, dict]
 
-def report_fig9(quick: bool) -> str:
-    data = exp.measure_fig9(reps=15 if quick else 60)
+
+def report_fig9(quick: bool) -> Report:
+    stats = exp.measure_fig9(reps=15 if quick else 60, full=True)
+    data = {name: s.mean for name, s in stats.items()}
     rows = [
         {"method": "VEO (native)", "measured": format_time(data["veo_native"]),
          "paper": format_time(PAPER.fig9_veo_native)},
@@ -50,10 +57,11 @@ def report_fig9(quick: bool) -> str:
         ],
         title="Fig. 9 — speedup ratios",
     )
-    return render_table(rows, title="Fig. 9 — empty-kernel offload cost") + "\n\n" + ratios
+    text = render_table(rows, title="Fig. 9 — empty-kernel offload cost") + "\n\n" + ratios
+    return text, {"stats": stats}
 
 
-def report_fig10(quick: bool) -> str:
+def report_fig10(quick: bool) -> Report:
     sizes = exp.fig10_sizes(16 * MIB if quick else exp.FIG10_MAX_SIZE)
     data = exp.measure_fig10(sizes, rep_base=3 if quick else 8)
     sections = []
@@ -65,10 +73,10 @@ def report_fig10(quick: bool) -> str:
             sizes, series, title=f"Fig. 10 ({label}) [GiB/s]"
         ))
         sections.append(ascii_chart(sizes, series, title=f"Fig. 10 ({label}) log-log"))
-    return "\n\n".join(sections)
+    return "\n\n".join(sections), {"sizes": sizes, "bandwidths": data}
 
 
-def report_table4(quick: bool) -> str:
+def report_table4(quick: bool) -> Report:
     peaks = exp.measure_table4([64 * MIB] if quick else None)
     rows = [
         {"Transfer Method": "VEO Read/Write",
@@ -84,10 +92,10 @@ def report_table4(quick: bool) -> str:
          "VE => VH": format_bandwidth(peaks["shm"]),
          "paper": "0.01 / 0.06 GiB/s"},
     ]
-    return render_table(rows, title="Table IV — max PCIe bandwidths")
+    return render_table(rows, title="Table IV — max PCIe bandwidths"), {"peaks": peaks}
 
 
-def report_numa(quick: bool) -> str:
+def report_numa(quick: bool) -> Report:
     data = exp.measure_numa_penalty(reps=10 if quick else 40)
     rows = [
         {"protocol": name.upper(),
@@ -96,10 +104,11 @@ def report_numa(quick: bool) -> str:
          "added": format_time(data[f"{name}_socket1"] - data[f"{name}_socket0"])}
         for name in ("dma", "veo")
     ]
-    return render_table(rows, title="Sec. V-A — second-socket offload cost")
+    text = render_table(rows, title="Sec. V-A — second-socket offload cost")
+    return text, {"costs": data}
 
 
-def report_ablations(quick: bool) -> str:
+def report_ablations(quick: bool) -> Report:
     a1 = exp.measure_dma_manager_ablation()
     a2 = exp.measure_hugepages_ablation()
     rows1 = [
@@ -112,14 +121,15 @@ def report_ablations(quick: bool) -> str:
          "4 KiB pages": format_bandwidth(a2["small"][size])}
         for size in sorted(a2["huge"])
     ]
-    return (
+    text = (
         render_table(rows1, title="A1 — DMA manager generations")
         + "\n\n"
         + render_table(rows2, title="A2 — page sizes")
     )
+    return text, {"dma_manager": a1, "hugepages": a2}
 
 
-def report_scaling(quick: bool) -> str:
+def report_scaling(quick: bool) -> Report:
     m1 = exp.measure_multi_ve_scaling(rounds=4 if quick else 12)
     m2 = exp.measure_switch_contention(4 * MIB if quick else 16 * MIB)
     rows1 = [
@@ -130,11 +140,12 @@ def report_scaling(quick: bool) -> str:
         {"placement": key.replace("_", " "), "aggregate": format_bandwidth(value)}
         for key, value in m2.items()
     ]
-    return (
+    text = (
         render_table(rows1, title="M1 — multi-VE offload throughput")
         + "\n\n"
         + render_table(rows2, title="M2 — switch uplink contention")
     )
+    return text, {"multi_ve": m1, "contention": m2}
 
 
 EXPERIMENTS: dict[str, callable] = {
@@ -162,11 +173,20 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="smaller sweeps / fewer repetitions (same shapes, faster)",
     )
+    parser.add_argument(
+        "--json-dir", metavar="DIR", default=None,
+        help="also write machine-readable BENCH_<experiment>.json files here",
+    )
     args = parser.parse_args(argv)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        print(EXPERIMENTS[name](args.quick))
+        text, payload = EXPERIMENTS[name](args.quick)
+        print(text)
         print()
+        if args.json_dir is not None:
+            path = write_bench_json(name, payload, args.json_dir, quick=args.quick)
+            print(f"wrote {path}")
+            print()
     return 0
 
 

@@ -61,8 +61,12 @@ def fig10_sizes(max_size: int = FIG10_MAX_SIZE) -> list[int]:
 # -- Fig. 9 ------------------------------------------------------------------
 
 
-def measure_native_veo_call(reps: int = 60) -> float:
-    """Mean simulated cost of a native empty ``veo_call`` (Fig. 9 "VEO")."""
+def measure_native_veo_call(reps: int = 60, *, full: bool = False):
+    """Simulated cost of a native empty ``veo_call`` (Fig. 9 "VEO").
+
+    Returns the mean in seconds; with ``full=True`` the whole
+    :class:`~repro.bench.stats.Stats` (median/p95 for JSON artifacts).
+    """
     machine = AuroraMachine(num_ves=1)
     proc = VeoProc(machine, 0)
     library = VeLibrary("libempty")
@@ -72,27 +76,34 @@ def measure_native_veo_call(reps: int = 60) -> float:
     symbol = handle.get_symbol("empty")
     stats = measure_sim(lambda: ctx.call_sync(symbol), machine.sim, reps=reps)
     proc.destroy()
-    return stats.mean
+    return stats if full else stats.mean
 
 
 def measure_protocol_offload_cost(
-    backend_cls: Callable[..., object], reps: int = 60, **backend_kwargs
-) -> float:
-    """Mean simulated cost of an empty offload through a HAM protocol."""
+    backend_cls: Callable[..., object],
+    reps: int = 60,
+    *,
+    full: bool = False,
+    **backend_kwargs,
+):
+    """Simulated cost of an empty offload through a HAM protocol.
+
+    Returns the mean in seconds, or the whole ``Stats`` with ``full=True``.
+    """
     runtime = Runtime(backend_cls(**backend_kwargs))
     stats = measure_sim(
         lambda: runtime.sync(1, f2f(_empty_kernel)), runtime.backend.sim, reps=reps
     )
     runtime.shutdown()
-    return stats.mean
+    return stats if full else stats.mean
 
 
-def measure_fig9(reps: int = 60) -> dict[str, float]:
-    """All three Fig. 9 bars, in seconds."""
+def measure_fig9(reps: int = 60, *, full: bool = False) -> dict:
+    """All three Fig. 9 bars, in seconds (``Stats`` with ``full=True``)."""
     return {
-        "veo_native": measure_native_veo_call(reps),
-        "ham_veo": measure_protocol_offload_cost(VeoCommBackend, reps),
-        "ham_dma": measure_protocol_offload_cost(DmaCommBackend, reps),
+        "veo_native": measure_native_veo_call(reps, full=full),
+        "ham_veo": measure_protocol_offload_cost(VeoCommBackend, reps, full=full),
+        "ham_dma": measure_protocol_offload_cost(DmaCommBackend, reps, full=full),
     }
 
 

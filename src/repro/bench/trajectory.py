@@ -1,0 +1,75 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+The CLI's tables are for humans; CI and regression tooling want numbers
+they can diff without scraping ASCII art. ``python -m repro.bench.cli
+<experiment> --json-dir out/`` drops one ``BENCH_<experiment>.json``
+next to the printed report, containing the raw measured data plus run
+metadata (quick flag, Python version, platform, wall-clock timestamp).
+
+:class:`~repro.bench.stats.Stats` values serialize with their full field
+set — n, mean, min, max, std, **median and p95** — so trend dashboards
+can track tail latency, not just averages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.bench.stats import Stats
+
+__all__ = ["SCHEMA_VERSION", "bench_payload", "write_bench_json"]
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert measurement data into JSON-safe values."""
+    if isinstance(value, Stats):
+        return dataclasses.asdict(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(val) for val in value]
+    return value
+
+
+def bench_payload(
+    name: str,
+    data: Any,
+    *,
+    quick: bool = False,
+    timestamp: float | None = None,
+) -> dict[str, Any]:
+    """The ``BENCH_<name>.json`` payload for one experiment run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": name,
+        "quick": bool(quick),
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "data": _jsonable(data),
+    }
+
+
+def write_bench_json(
+    name: str,
+    data: Any,
+    out_dir: str | Path,
+    *,
+    quick: bool = False,
+    timestamp: float | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` into ``out_dir``; return its path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{name}.json"
+    payload = bench_payload(name, data, quick=quick, timestamp=timestamp)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -26,6 +26,7 @@ from repro.ham.message import (
 )
 from repro.ham.registry import ProcessImage
 from repro.ham.serialization import deserialize, serialize
+from repro.telemetry import recorder as telemetry
 
 __all__ = ["build_invoke", "execute_message", "unpack_result"]
 
@@ -35,9 +36,16 @@ Resolver = Callable[[Any], Any]
 
 
 def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
-    """Serialize a functor into an INVOKE message (send side)."""
-    key = image.key_for(functor.type_name)
-    return build_message(MSG_INVOKE, key, msg_id, functor.serialize_args())
+    """Serialize a functor into an INVOKE message (send side).
+
+    Telemetry phase ``offload.serialize``: the cost of turning the typed
+    functor into wire bytes, on whichever backend posts it.
+    """
+    with telemetry.span("offload.serialize", functor=functor.type_name) as span:
+        key = image.key_for(functor.type_name)
+        message = build_message(MSG_INVOKE, key, msg_id, functor.serialize_args())
+        span.set("bytes", len(message))
+    return message
 
 
 def execute_message(
@@ -58,21 +66,29 @@ def execute_message(
         raise SerializationError(
             f"target received non-invoke message kind {header.kind}"
         )
-    try:
-        entry = image.entry_for_key(header.handler_key)
-        args, kwargs = Functor.deserialize_args(payload)
-        if resolver is not None:
-            args = tuple(resolver(arg) for arg in args)
-            kwargs = {name: resolver(value) for name, value in kwargs.items()}
-        value = entry.handler(*args, **kwargs)
-        reply_payload = serialize(value)
-    except Exception as exc:  # noqa: BLE001 - shipped back to the host
-        info = {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "traceback": traceback.format_exc(),
-        }
-        return build_message(MSG_ERROR, 0, header.msg_id, serialize(info)), True
+    # Telemetry phase ``offload.execute``: argument decode + handler run +
+    # reply build on the target (the host process for the local backend,
+    # the forked server for TCP).
+    with telemetry.span("offload.execute", bytes=len(data)) as span:
+        try:
+            entry = image.entry_for_key(header.handler_key)
+            span.set("handler", entry.type_name)
+            args, kwargs = Functor.deserialize_args(payload)
+            if resolver is not None:
+                args = tuple(resolver(arg) for arg in args)
+                kwargs = {name: resolver(value) for name, value in kwargs.items()}
+            value = entry.handler(*args, **kwargs)
+            reply_payload = serialize(value)
+        except Exception as exc:  # noqa: BLE001 - shipped back to the host
+            telemetry.count("execute.errors")
+            span.set("error", type(exc).__name__)
+            info = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            return build_message(MSG_ERROR, 0, header.msg_id, serialize(info)), True
+    telemetry.count("execute.messages")
     return build_message(MSG_RESULT, 0, header.msg_id, reply_payload), True
 
 
@@ -87,13 +103,17 @@ def unpack_result(data: bytes) -> tuple[int, Any]:
     SerializationError
         If the message is not a result at all.
     """
-    header, payload = parse_message(data)
-    if header.kind == MSG_ERROR:
-        info = deserialize(payload)
-        raise RemoteExecutionError(
-            f"remote {info['type']}: {info['message']}",
-            remote_traceback=info.get("traceback", ""),
-        )
-    if header.kind != MSG_RESULT:
-        raise SerializationError(f"expected a result message, got kind {header.kind}")
-    return header.msg_id, deserialize(payload)
+    # Telemetry phase ``offload.deserialize``: reply decode on the host.
+    with telemetry.span("offload.deserialize", bytes=len(data)):
+        header, payload = parse_message(data)
+        if header.kind == MSG_ERROR:
+            info = deserialize(payload)
+            raise RemoteExecutionError(
+                f"remote {info['type']}: {info['message']}",
+                remote_traceback=info.get("traceback", ""),
+            )
+        if header.kind != MSG_RESULT:
+            raise SerializationError(
+                f"expected a result message, got kind {header.kind}"
+            )
+        return header.msg_id, deserialize(payload)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Type
 import numpy as np
 
 from repro.errors import SerializationError
+from repro.telemetry import recorder as telemetry
 
 __all__ = [
     "Migratable",
@@ -98,6 +99,16 @@ def serialize(value: Any) -> bytes:
     SerializationError
         If the value cannot be encoded by any mechanism.
     """
+    data = _serialize(value)
+    recorder = telemetry.get()
+    if recorder is not None:
+        metrics = recorder.metrics
+        metrics.counter("serialize.calls").inc()
+        metrics.counter("serialize.bytes").inc(len(data))
+    return data
+
+
+def _serialize(value: Any) -> bytes:
     custom = _CUSTOM.get(type(value))
     if custom is not None:
         name, encode, _decode = custom
@@ -153,6 +164,15 @@ def deserialize(data: bytes) -> Any:
     SerializationError
         On unknown tags, truncated frames or failing hooks.
     """
+    recorder = telemetry.get()
+    if recorder is not None:
+        metrics = recorder.metrics
+        metrics.counter("deserialize.calls").inc()
+        metrics.counter("deserialize.bytes").inc(len(data))
+    return _deserialize(data)
+
+
+def _deserialize(data: bytes) -> Any:
     if not data:
         raise SerializationError("empty payload")
     tag, body = data[:1], data[1:]

@@ -34,6 +34,7 @@ from repro.offload.future import Future
 from repro.offload.node import NodeDescriptor, NodeId
 from repro.offload.resilience import ResiliencePolicy
 from repro.offload.runtime import Runtime
+from repro.telemetry import recorder as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
@@ -58,12 +59,20 @@ __all__ = [
 _runtime: Runtime | None = None
 
 
-def init(backend: "Backend", policy: ResiliencePolicy | None = None) -> Runtime:
+def init(
+    backend: "Backend",
+    policy: ResiliencePolicy | None = None,
+    *,
+    telemetry: bool = False,
+) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
 
     ``policy`` optionally installs a
     :class:`~repro.offload.resilience.ResiliencePolicy` (deadlines,
-    retries, health monitoring) on the runtime.
+    retries, health monitoring) on the runtime. ``telemetry=True``
+    enables the process-global telemetry recorder
+    (:func:`repro.telemetry.enable`) before any operation runs, so the
+    whole session is traced; see ``docs/observability.md``.
 
     Raises
     ------
@@ -73,6 +82,8 @@ def init(backend: "Backend", policy: ResiliencePolicy | None = None) -> Runtime:
     global _runtime
     if _runtime is not None:
         raise OffloadError("offload API already initialized; call finalize() first")
+    if telemetry:
+        _telemetry.enable()
     _runtime = Runtime(backend, policy=policy)
     return _runtime
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Protocol
 
 from repro.errors import FutureError, OffloadTimeoutError
+from repro.telemetry import recorder as telemetry
 
 __all__ = ["Future", "OperationHandle", "CompletedHandle"]
 
@@ -96,11 +97,13 @@ class Future:
             # Deadline expired but the operation may still be in flight:
             # stay pending so a later get() can collect the reply (a
             # poisoned handle simply re-raises immediately next time).
+            telemetry.count("future.timeouts")
             raise
         except BaseException as exc:  # noqa: BLE001 - stored for re-raise
             self._error = exc
         self._done = True
         self._handle = None
+        telemetry.count("future.settled")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._done else "pending"

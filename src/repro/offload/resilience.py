@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import CircuitOpenError, OffloadError
+from repro.telemetry import recorder as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
@@ -178,7 +179,10 @@ class HealthMonitor:
         record = self._record(node)
         record.successes += 1
         record.consecutive_failures = 0
+        previous = record.health
         record.health = NodeHealth.HEALTHY
+        if previous is not NodeHealth.HEALTHY:
+            self._transition(node, previous, NodeHealth.HEALTHY)
         if latency is not None:
             record.last_ping_latency = latency
 
@@ -188,11 +192,26 @@ class HealthMonitor:
         record.failures += 1
         record.consecutive_failures += 1
         record.last_failure_at = self._clock()
+        previous = record.health
         if record.consecutive_failures >= self.policy.down_after:
             record.health = NodeHealth.DOWN
         elif record.consecutive_failures >= self.policy.degraded_after:
             record.health = NodeHealth.DEGRADED
+        if record.health is not previous:
+            self._transition(node, previous, record.health)
         return record.health
+
+    def _transition(
+        self, node: NodeId, previous: NodeHealth, new: NodeHealth
+    ) -> None:
+        """Publish one health state change to the telemetry stream."""
+        telemetry.event(
+            "health.transition", category="health",
+            node=node, previous=previous.value, new=new.value,
+        )
+        telemetry.count("health.transitions")
+        if new is NodeHealth.DOWN:
+            telemetry.count("health.circuit_opened")
 
     # -- queries --------------------------------------------------------------
     def health(self, node: NodeId) -> NodeHealth:
@@ -216,12 +235,14 @@ class HealthMonitor:
             anchor = record.last_failure_at if record.last_failure_at is not None else now
         if now - anchor >= self.policy.probe_interval:
             record.last_probe_at = now
+            telemetry.event("health.probe", category="health", node=node)
             return True
         return False
 
     def check(self, node: NodeId) -> None:
         """Raise :class:`CircuitOpenError` unless :meth:`allow` passes."""
         if not self.allow(node):
+            telemetry.count("health.circuit_rejections")
             raise CircuitOpenError(
                 f"node {node} is down (circuit open; next probe in "
                 f"<= {self.policy.probe_interval:g} s)"

@@ -34,6 +34,7 @@ from repro.offload.buffer import BufferPtr
 from repro.offload.future import CompletedHandle, Future
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
 from repro.offload.resilience import HealthMonitor, ResiliencePolicy
+from repro.telemetry import recorder as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
@@ -79,7 +80,10 @@ class Runtime:
             backend.set_default_timeout(policy.deadline)
         self._retry_rng = policy.rng() if policy is not None else None
         self._sleep: Callable[[float], None] = time.sleep
-        self._live_buffers: dict[tuple[NodeId, int], BufferPtr] = {}
+        #: (node, addr) -> (pointer, telemetry span id of the allocation
+        #: site, 0 when telemetry was off) — the span id lets the leak
+        #: warning at shutdown point back into the trace.
+        self._live_buffers: dict[tuple[NodeId, int], tuple[BufferPtr, int]] = {}
         self._shutdown = False
         self._offloads_posted = 0
         self._retries = 0
@@ -121,8 +125,10 @@ class Runtime:
         except _TRANSPORT_ERRORS:
             if self.monitor is not None:
                 self.monitor.record_failure(node)
+            telemetry.count("offload.issue_failures")
             raise
         self._offloads_posted += 1
+        telemetry.count("offload.issued")
         return Future(handle, label=functor.type_name)
 
     def sync(
@@ -161,12 +167,23 @@ class Runtime:
             if attempt:
                 self._sleep(policy.delay_for(attempt - 1, self._retry_rng))
                 self._retries += 1
+                telemetry.count("offload.retries")
+                telemetry.event(
+                    "resilience.retry", category="resilience",
+                    functor=functor.type_name, attempt=attempt, node=target,
+                )
                 if policy.failover:
                     successor = self._failover_target(target, tried)
                     if successor is None:
                         break
                     if successor != node:
                         self._failovers += 1
+                        telemetry.count("offload.failovers")
+                        telemetry.event(
+                            "resilience.failover", category="resilience",
+                            functor=functor.type_name,
+                            from_node=target, to_node=successor,
+                        )
                     target = successor
             try:
                 future = self.async_(target, functor)
@@ -244,11 +261,17 @@ class Runtime:
         if count <= 0:
             raise OffloadError(f"allocation count must be positive, got {count}")
         dt = np.dtype(dtype)
-        addr = self._guard(
-            node, lambda: self.backend.alloc_buffer(node, count * dt.itemsize)
-        )
+        with telemetry.span(
+            "offload.allocate", node=node, bytes=count * dt.itemsize
+        ) as span:
+            addr = self._guard(
+                node, lambda: self.backend.alloc_buffer(node, count * dt.itemsize)
+            )
         ptr = BufferPtr(node=node, addr=addr, dtype_str=dt.str, count=count)
-        self._live_buffers[(node, addr)] = ptr
+        # Remember the allocation-site span so a leak at shutdown can be
+        # traced back to the code path that allocated the buffer.
+        self._live_buffers[(node, addr)] = (ptr, span.span_id)
+        telemetry.count("buffers.allocated")
         return ptr
 
     def free(self, ptr: BufferPtr) -> None:
@@ -262,8 +285,10 @@ class Runtime:
             )
         # Drop the tracking entry only after the backend confirms, so a
         # transport failure does not silently lose the buffer.
-        self._guard(ptr.node, lambda: self.backend.free_buffer(ptr.node, ptr.addr))
+        with telemetry.span("offload.free", node=ptr.node):
+            self._guard(ptr.node, lambda: self.backend.free_buffer(ptr.node, ptr.addr))
         self._live_buffers.pop(key, None)
+        telemetry.count("buffers.freed")
 
     # -- data transfer -----------------------------------------------------------------
     def put(self, src: np.ndarray, dst: BufferPtr, count: int | None = None) -> Future:
@@ -274,23 +299,29 @@ class Runtime:
         """
         self._check_running()
         data, n = self._coerce(src, dst, count)
-        self._guard(
-            dst.node,
-            lambda: self.backend.write_buffer(dst.node, dst.addr, data[:n].tobytes()),
-        )
+        nbytes = n * dst.itemsize
+        with telemetry.span("data.put", node=dst.node, bytes=nbytes):
+            self._guard(
+                dst.node,
+                lambda: self.backend.write_buffer(dst.node, dst.addr, data[:n].tobytes()),
+            )
         self._puts += 1
+        telemetry.count("data.bytes_put", nbytes)
         return Future(CompletedHandle(None), label="put")
 
     def get(self, src: BufferPtr, dst: np.ndarray, count: int | None = None) -> Future:
         """Read target memory into host data (paper ``get``)."""
         self._check_running()
         data, n = self._coerce(dst, src, count)
-        raw = self._guard(
-            src.node,
-            lambda: self.backend.read_buffer(src.node, src.addr, n * src.itemsize),
-        )
+        nbytes = n * src.itemsize
+        with telemetry.span("data.get", node=src.node, bytes=nbytes):
+            raw = self._guard(
+                src.node,
+                lambda: self.backend.read_buffer(src.node, src.addr, nbytes),
+            )
         data[:n] = np.frombuffer(raw, dtype=src.dtype)[:n]
         self._gets += 1
+        telemetry.count("data.bytes_got", nbytes)
         return Future(CompletedHandle(None), label="get")
 
     def copy(self, src: BufferPtr, dst: BufferPtr, count: int | None = None) -> Future:
@@ -303,13 +334,18 @@ class Runtime:
             raise OffloadError(f"copy dtype mismatch: {src.dtype_str} vs {dst.dtype_str}")
         if self.monitor is not None:
             self.monitor.check(src.node)
-        self._guard(
-            dst.node,
-            lambda: self.backend.copy_buffer(
-                src.node, src.addr, dst.node, dst.addr, n * src.itemsize
-            ),
-        )
+        nbytes = n * src.itemsize
+        with telemetry.span(
+            "data.copy", src_node=src.node, dst_node=dst.node, bytes=nbytes
+        ):
+            self._guard(
+                dst.node,
+                lambda: self.backend.copy_buffer(
+                    src.node, src.addr, dst.node, dst.addr, nbytes
+                ),
+            )
         self._copies += 1
+        telemetry.count("data.bytes_copied", nbytes)
         return Future(CompletedHandle(None), label="copy")
 
     def _coerce(
@@ -349,21 +385,29 @@ class Runtime:
             data["failovers"] = self._failovers
         if self.monitor is not None:
             data["health"] = self.monitor.snapshot()
+        if telemetry.enabled():
+            data["telemetry"] = telemetry.get().metrics.snapshot()
         return data
 
     def shutdown(self) -> None:
         """Terminate target message loops and the backend (idempotent).
 
         Leaked target buffers (allocated but never freed) are reported
-        via :class:`ResourceWarning` with their pointers — target memory
-        is a real resource on long-lived servers.
+        via :class:`ResourceWarning` — target memory is a real resource
+        on long-lived servers. Each entry names the owning node, address,
+        size and, when telemetry was enabled at allocation time, the
+        ``offload.allocate`` span id, so the trace pinpoints the leaking
+        call site (span id 0 means telemetry was off).
         """
         if not self._shutdown:
             self._shutdown = True
             if self._live_buffers:
                 pointers = ", ".join(
-                    f"node{node}@{addr:#x}"
-                    for node, addr in sorted(self._live_buffers)
+                    f"node {node} @ {addr:#x} "
+                    f"({ptr.nbytes} B, alloc span {span_id:#x})"
+                    for (node, addr), (ptr, span_id) in sorted(
+                        self._live_buffers.items()
+                    )
                 )
                 warnings.warn(
                     f"Runtime.shutdown with {len(self._live_buffers)} leaked "
@@ -371,6 +415,7 @@ class Runtime:
                     ResourceWarning,
                     stacklevel=2,
                 )
+                telemetry.count("buffers.leaked", len(self._live_buffers))
             self.backend.shutdown()
 
     def _check_running(self) -> None:

@@ -1,0 +1,80 @@
+"""Telemetry: tracing, metrics and profiling of the real offload path.
+
+The sim layer decomposes *virtual* time (:mod:`repro.sim.trace`); this
+subsystem decomposes *wall-clock* time on the functional backends — the
+measurement substrate behind every latency claim about the real path,
+mirroring how the paper argues its 6.1 µs vs 432 µs breakdown (Fig. 9).
+
+Layout:
+
+* :mod:`repro.telemetry.recorder` — span/event recorder
+  (``perf_counter_ns``, thread-safe, ring-buffered, free while
+  disabled) plus the module-level ``enable()/span()/event()/count()``
+  switchboard used by the instrumented runtime, HAM and backend code;
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms with a
+  snapshot API;
+* :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON and JSONL
+  exporters (round-trippable);
+* :mod:`repro.telemetry.simbridge` — exports sim-tracer records to the
+  same Chrome format for side-by-side simulated-vs-real timelines;
+* :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``,
+  per-phase latency percentiles from a trace file.
+
+Quick start::
+
+    from repro import telemetry
+    from repro.telemetry import export
+
+    telemetry.enable()
+    ... run offloads ...
+    export.write_chrome_trace("trace.json", telemetry.get())
+
+Phase taxonomy (span names) of one offload, host then target:
+``offload.serialize`` -> ``offload.enqueue`` -> ``offload.transport``
+-> ``offload.execute`` -> ``offload.reply`` -> ``offload.deserialize``.
+See ``docs/observability.md`` for the full catalog.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.telemetry.recorder import (
+    EventRecord,
+    Recorder,
+    SpanRecord,
+    count,
+    current_span_id,
+    disable,
+    enable,
+    enabled,
+    event,
+    gauge,
+    get,
+    observe,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Recorder",
+    "SpanRecord",
+    "count",
+    "current_span_id",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "get",
+    "observe",
+    "percentile",
+    "span",
+]

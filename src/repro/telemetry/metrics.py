@@ -1,0 +1,182 @@
+"""Counters, gauges and histograms for the offload path.
+
+The metric types are deliberately tiny: a :class:`Counter` is a locked
+integer, a :class:`Gauge` a locked float, a :class:`Histogram` a ring of
+recent observations with percentile queries. A :class:`MetricsRegistry`
+creates them on first use (``registry.counter("offload.issued").inc()``)
+and produces a single JSON-friendly :meth:`~MetricsRegistry.snapshot`.
+
+All operations are thread-safe; the registry lock only guards the name
+table, each instrument carries its own lock so hot counters do not
+serialize against each other.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default behavior without requiring the
+    samples to be a numpy array.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live buffers, ...)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Ring of recent observations with percentile queries.
+
+    Keeps the last ``maxlen`` samples (enough for p50/p95/p99 of a run)
+    plus exact lifetime ``count``/``total`` so means stay correct even
+    after the ring wraps.
+    """
+
+    __slots__ = ("_lock", "_samples", "count", "total")
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+            self.count += 1
+            self.total += value
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            return percentile(list(self._samples), q)
+
+    def summary(self) -> dict[str, float]:
+        """Count, mean, min/max and p50/p95 of the retained window."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self.count, self.total
+        if not samples:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0}
+        return {
+            "count": count,
+            "mean": total / count,
+            "min": min(samples),
+            "max": max(samples),
+            "p50": percentile(samples, 50),
+            "p95": percentile(samples, 95),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument table with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str, maxlen: int = 4096) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(maxlen)
+            return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one JSON-friendly dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every instrument (tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,365 @@
+"""Low-overhead span/event recorder for the real offload path.
+
+The sim layer decomposes *virtual* time via :class:`repro.sim.trace.Tracer`;
+this module does the same for *wall-clock* execution on the functional
+backends. Design constraints, in order:
+
+1. **Free when off.** Every instrumented call site funnels through the
+   module-level :func:`span` / :func:`event` / :func:`count` helpers,
+   which reduce to a single global read plus a cached no-op object while
+   telemetry is disabled — the hot path allocates nothing and records
+   nothing (guarded by ``tests/telemetry/test_overhead.py``).
+2. **Cheap when on.** Timestamps come from :func:`time.perf_counter_ns`;
+   finished spans append to a bounded ring (:class:`collections.deque`
+   with ``maxlen``), so a long soak cannot eat the heap — old records are
+   dropped and counted, never grown.
+3. **Thread-safe.** Appends are locked; span nesting is tracked per
+   thread, so concurrent offloads interleave correctly in the trace.
+
+Spans nest: a span opened while another is active records it as its
+parent, which is how the exporters reconstruct the
+serialize -> enqueue -> transport -> execute -> reply -> deserialize
+flame of one offload. Use the module like::
+
+    from repro.telemetry import recorder as telemetry
+
+    telemetry.enable()
+    with telemetry.span("offload.sync", node=1):
+        ...
+    records = telemetry.get().records()
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "EventRecord",
+    "Recorder",
+    "SpanRecord",
+    "count",
+    "current_span_id",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "get",
+    "observe",
+    "span",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span: a named, attributed stretch of wall time."""
+
+    name: str
+    category: str
+    start_ns: int
+    duration_ns: int
+    span_id: int
+    parent_id: int
+    pid: int
+    tid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    kind = "span"
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One instantaneous occurrence (fault injected, retry, transition)."""
+
+    name: str
+    category: str
+    ts_ns: int
+    span_id: int
+    parent_id: int
+    pid: int
+    tid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    kind = "event"
+
+
+class _NoopSpan:
+    """The disabled-path span: a shared, stateless context manager."""
+
+    __slots__ = ()
+
+    span_id = 0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+
+#: Singleton handed out by :func:`span` while telemetry is disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An open span; created by :meth:`Recorder.span`, closed by ``with``."""
+
+    __slots__ = ("_recorder", "name", "category", "attrs", "span_id",
+                 "parent_id", "_start_ns")
+
+    def __init__(self, recorder: "Recorder", name: str, category: str,
+                 attrs: dict[str, Any]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self._start_ns = 0
+
+    def set(self, key: str, value: Any) -> "_Span":
+        """Attach an attribute mid-span (e.g. byte counts known late)."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "_Span":
+        recorder = self._recorder
+        stack = recorder._stack()
+        self.parent_id = stack[-1] if stack else 0
+        self.span_id = next(recorder._ids)
+        stack.append(self.span_id)
+        self._start_ns = recorder._clock()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        recorder = self._recorder
+        end_ns = recorder._clock()
+        stack = recorder._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        recorder._append(SpanRecord(
+            name=self.name,
+            category=self.category,
+            start_ns=self._start_ns,
+            duration_ns=end_ns - self._start_ns,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class Recorder:
+    """Thread-safe, ring-buffered span/event store.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained records; older ones are dropped (and counted in
+        :attr:`dropped`) once the ring wraps.
+    clock_ns:
+        Injectable nanosecond clock (tests pass a fake).
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 clock_ns: Any = time.perf_counter_ns) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock_ns
+        self._ring: deque[SpanRecord | EventRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._recorded = 0
+        #: Metric instruments riding along with the trace.
+        self.metrics = MetricsRegistry()
+        #: Clock reading (ns) at the recorder's creation; exporters use
+        #: it as the zero point of the trace timeline.
+        self.epoch_ns = self._clock()
+
+    # -- recording ---------------------------------------------------------
+    def _stack(self) -> list[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _append(self, record: SpanRecord | EventRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self._recorded += 1
+
+    def span(self, name: str, category: str = "offload",
+             **attrs: Any) -> _Span:
+        """Open a span; finish it by leaving the ``with`` block."""
+        return _Span(self, name, category, attrs)
+
+    def event(self, name: str, category: str = "offload",
+              **attrs: Any) -> None:
+        """Record an instantaneous event at the current time."""
+        stack = self._stack()
+        self._append(EventRecord(
+            name=name,
+            category=category,
+            ts_ns=self._clock(),
+            span_id=next(self._ids),
+            parent_id=stack[-1] if stack else 0,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=attrs,
+        ))
+
+    def ingest(self, records: "list[SpanRecord | EventRecord]") -> None:
+        """Merge records produced elsewhere (e.g. a target process)."""
+        with self._lock:
+            for record in records:
+                self._ring.append(record)
+                self._recorded += 1
+
+    # -- queries -----------------------------------------------------------
+    def records(self) -> list[SpanRecord | EventRecord]:
+        """Snapshot of the retained records, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def spans(self, prefix: str = "") -> list[SpanRecord]:
+        """Retained spans whose name starts with ``prefix``."""
+        return [r for r in self.records()
+                if r.kind == "span" and r.name.startswith(prefix)]
+
+    def events(self, prefix: str = "") -> list[EventRecord]:
+        """Retained events whose name starts with ``prefix``."""
+        return [r for r in self.records()
+                if r.kind == "event" and r.name.startswith(prefix)]
+
+    def iter_records(self) -> Iterator[SpanRecord | EventRecord]:
+        return iter(self.records())
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever appended (including dropped ones)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to ring wrap-around."""
+        with self._lock:
+            return max(0, self._recorded - len(self._ring))
+
+    def current_span_id(self) -> int:
+        """Id of the innermost open span on this thread (0 if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else 0
+
+    def clear(self) -> None:
+        """Drop all retained records (keeps metrics and the id counter)."""
+        with self._lock:
+            self._ring.clear()
+
+    def drain(self) -> list[SpanRecord | EventRecord]:
+        """Atomically take and clear the retained records."""
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+            return records
+
+
+# --------------------------------------------------------------------------
+# Module-level switchboard: the single global read every call site pays.
+# --------------------------------------------------------------------------
+
+_RECORDER: Recorder | None = None
+
+
+def enable(capacity: int = 65536, *, recorder: Recorder | None = None) -> Recorder:
+    """Turn telemetry on (idempotent); returns the active recorder.
+
+    ``recorder`` installs an externally built recorder (tests inject fake
+    clocks this way); otherwise a fresh one with ``capacity`` is created.
+    Re-enabling while already enabled keeps the existing recorder.
+    """
+    global _RECORDER
+    if _RECORDER is None:
+        _RECORDER = recorder if recorder is not None else Recorder(capacity)
+    return _RECORDER
+
+
+def disable() -> Recorder | None:
+    """Turn telemetry off; returns the detached recorder (for export)."""
+    global _RECORDER
+    recorder, _RECORDER = _RECORDER, None
+    return recorder
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently recording."""
+    return _RECORDER is not None
+
+
+def get() -> Recorder | None:
+    """The active recorder, or ``None`` while disabled."""
+    return _RECORDER
+
+
+def span(name: str, category: str = "offload", **attrs: Any):
+    """Module-level span helper: a no-op singleton while disabled."""
+    recorder = _RECORDER
+    if recorder is None:
+        return NOOP_SPAN
+    return recorder.span(name, category, **attrs)
+
+
+def event(name: str, category: str = "offload", **attrs: Any) -> None:
+    """Module-level event helper: does nothing while disabled."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.event(name, category, **attrs)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a counter metric (no-op while disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.metrics.counter(name).inc(amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge metric (no-op while disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.metrics.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Feed a histogram metric (no-op while disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.metrics.histogram(name).observe(value)
+
+
+def current_span_id() -> int:
+    """Innermost open span id on this thread (0 when disabled/none)."""
+    recorder = _RECORDER
+    if recorder is None:
+        return 0
+    return recorder.current_span_id()

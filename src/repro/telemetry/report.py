@@ -1,0 +1,99 @@
+"""Human-readable trace summary — ``python -m repro.telemetry.report``.
+
+Reads a trace produced by the exporters (Chrome ``trace_event`` JSON or
+flat JSONL, auto-detected) and prints per-phase latency percentiles::
+
+    python -m repro.telemetry.report trace.json
+    python -m repro.telemetry.report trace.jsonl --prefix offload.
+
+The table covers every span name (one row per phase: serialize,
+enqueue, transport, execute, reply, deserialize, ...), with count,
+p50/p95, mean and total time, plus the trace's instantaneous events
+(faults, retries, health transitions) grouped by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter as _TallyCounter
+from typing import Sequence
+
+from repro.bench.tables import format_time, render_table
+from repro.telemetry.export import Record, durations_by_name, load_any
+from repro.telemetry.metrics import percentile
+
+__all__ = ["main", "render_report", "summarize"]
+
+
+def summarize(
+    records: Sequence[Record], prefix: str = ""
+) -> dict[str, dict[str, float]]:
+    """Per-span-name latency summary: count, p50, p95, mean, total.
+
+    Times are seconds. ``prefix`` filters span names (e.g. ``offload.``).
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for name, durations in sorted(durations_by_name(records, prefix).items()):
+        total = sum(durations)
+        summary[name] = {
+            "count": len(durations),
+            "p50": percentile(durations, 50),
+            "p95": percentile(durations, 95),
+            "mean": total / len(durations),
+            "total": total,
+        }
+    return summary
+
+
+def render_report(records: Sequence[Record], prefix: str = "") -> str:
+    """Render the span-percentile table plus an event tally."""
+    summary = summarize(records, prefix)
+    if not summary:
+        span_table = "no spans matched" + (f" prefix {prefix!r}" if prefix else "")
+    else:
+        rows = [
+            {
+                "phase": name,
+                "count": stats["count"],
+                "p50": format_time(stats["p50"]),
+                "p95": format_time(stats["p95"]),
+                "mean": format_time(stats["mean"]),
+                "total": format_time(stats["total"]),
+            }
+            for name, stats in summary.items()
+        ]
+        span_table = render_table(rows, title="span latencies per phase")
+    tally: _TallyCounter[str] = _TallyCounter(
+        r.name for r in records if r.kind == "event"
+    )
+    if not tally:
+        return span_table
+    event_rows = [
+        {"event": name, "count": count} for name, count in sorted(tally.items())
+    ]
+    return span_table + "\n\n" + render_table(event_rows, title="events")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry-report",
+        description="Summarize a telemetry trace (Chrome JSON or JSONL): "
+        "per-phase latency percentiles and event tallies.",
+    )
+    parser.add_argument("trace", help="trace file written by repro.telemetry.export")
+    parser.add_argument(
+        "--prefix", default="",
+        help="only summarize spans whose name starts with this prefix",
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = load_any(args.trace)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot load {args.trace!r}: {exc}")
+    print(render_report(records, args.prefix))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    raise SystemExit(main())

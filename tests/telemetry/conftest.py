@@ -1,0 +1,13 @@
+"""Shared fixtures: keep the process-global telemetry switch clean."""
+
+import pytest
+
+from repro.telemetry import recorder as telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Tests must not leak an enabled recorder into each other."""
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,164 @@
+"""Round-trip tests for the trace exporters and the sim bridge."""
+
+import json
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.trace import TraceRecord, Tracer
+from repro.telemetry.export import (
+    dicts_to_records,
+    durations_by_name,
+    load_any,
+    parse_chrome_trace,
+    read_jsonl,
+    records_to_dicts,
+    to_chrome,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.recorder import EventRecord, Recorder, SpanRecord
+from repro.telemetry.report import main as report_main, render_report, summarize
+from repro.telemetry.simbridge import sim_to_chrome, write_sim_chrome_trace
+
+
+def sample_records():
+    return [
+        SpanRecord(
+            name="offload.serialize", category="offload", start_ns=1000,
+            duration_ns=500, span_id=1, parent_id=0, pid=10, tid=20,
+            attrs={"bytes": 64},
+        ),
+        SpanRecord(
+            name="offload.execute", category="offload", start_ns=1600,
+            duration_ns=2000, span_id=2, parent_id=1, pid=11, tid=21,
+            attrs={},
+        ),
+        EventRecord(
+            name="fault.injected", category="fault", ts_ns=1700,
+            span_id=3, parent_id=2, pid=11, tid=21, attrs={"kind": "drop"},
+        ),
+    ]
+
+
+class TestDictRoundTrip:
+    def test_round_trip_is_identity(self):
+        records = sample_records()
+        assert dicts_to_records(records_to_dicts(records)) == records
+
+    def test_rows_are_json_safe(self):
+        json.dumps(records_to_dicts(sample_records()))
+
+    def test_unknown_row_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown record row"):
+            dicts_to_records([{"type": "mystery"}])
+
+
+class TestChrome:
+    def test_round_trip_preserves_shape_and_durations(self):
+        records = sample_records()
+        back = parse_chrome_trace(to_chrome(records))
+        assert len(back) == len(records)
+        by_name = {r.name: r for r in back}
+        original = {r.name: r for r in records}
+        for name, rec in by_name.items():
+            ref = original[name]
+            assert rec.span_id == ref.span_id
+            assert rec.parent_id == ref.parent_id
+            assert rec.attrs == ref.attrs
+            if rec.kind == "span":
+                assert rec.duration_ns == ref.duration_ns
+
+    def test_timestamps_normalized_to_origin(self):
+        obj = to_chrome(sample_records())
+        assert min(e["ts"] for e in obj["traceEvents"]) == 0.0
+        assert obj["metadata"]["origin_ns"] == 1000
+
+    def test_file_round_trip(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", sample_records())
+        back = parse_chrome_trace(path)
+        assert [r.name for r in back] == [r.name for r in sample_records()]
+
+    def test_accepts_recorder(self):
+        rec = Recorder()
+        with rec.span("x"):
+            pass
+        assert len(to_chrome(rec)["traceEvents"]) == 1
+
+    def test_rejects_non_trace(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            parse_chrome_trace({"foo": 1})
+
+
+class TestJsonl:
+    def test_file_round_trip(self, tmp_path):
+        records = sample_records()
+        path = write_jsonl(tmp_path / "trace.jsonl", records)
+        assert read_jsonl(path) == records
+
+    def test_load_any_sniffs_both_formats(self, tmp_path):
+        records = sample_records()
+        chrome = write_chrome_trace(tmp_path / "t.json", records)
+        jsonl = write_jsonl(tmp_path / "t.jsonl", records)
+        assert [r.name for r in load_any(chrome)] == [r.name for r in records]
+        assert load_any(jsonl) == records
+
+
+class TestReport:
+    def test_durations_by_name_groups_spans(self):
+        groups = durations_by_name(sample_records(), prefix="offload.")
+        assert groups == {
+            "offload.serialize": [5e-7],
+            "offload.execute": [2e-6],
+        }
+
+    def test_summarize_percentiles(self):
+        summary = summarize(sample_records())
+        assert summary["offload.execute"]["count"] == 1
+        assert summary["offload.execute"]["p95"] == pytest.approx(2e-6)
+
+    def test_render_report_lists_phases_and_events(self):
+        text = render_report(sample_records())
+        assert "offload.serialize" in text
+        assert "offload.execute" in text
+        assert "fault.injected" in text
+        assert "p95" in text
+
+    def test_render_report_empty(self):
+        assert "no spans matched" in render_report([])
+
+    def test_cli_main(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "trace.json", sample_records())
+        assert report_main([str(path), "--prefix", "offload."]) == 0
+        out = capsys.readouterr().out
+        assert "offload.execute" in out
+
+    def test_cli_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a trace\"}")
+        with pytest.raises(SystemExit):
+            report_main([str(bad)])
+
+
+class TestSimBridge:
+    def test_tracer_records_convert(self):
+        sim = Simulator()
+        tracer = Tracer().attach(sim)
+        sim.run(until=sim.timeout(1e-6))
+        tracer.span("dma.fetch", start=0.0)
+        tracer.point("flag.set")
+        obj = sim_to_chrome(tracer)
+        names = [e["name"] for e in obj["traceEvents"]]
+        assert names[0] == "process_name"  # metadata row
+        assert "dma.fetch" in names and "flag.set" in names
+        span = next(e for e in obj["traceEvents"] if e["name"] == "dma.fetch")
+        assert span["ph"] == "X"
+        assert span["ts"] == pytest.approx(0.0)
+        assert span["dur"] == pytest.approx(1.0)  # 1 µs in trace units
+
+    def test_written_file_parses_as_chrome_trace(self, tmp_path):
+        records = [TraceRecord(time=2e-6, kind="span", label="x", duration=1e-6)]
+        path = write_sim_chrome_trace(tmp_path / "sim.json", records)
+        back = parse_chrome_trace(path)
+        assert [r.name for r in back] == ["x"]
+        assert back[0].duration_ns == 1000

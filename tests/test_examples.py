@@ -14,6 +14,7 @@ EXPECTED_MARKERS = {
     "dgemm_loadbalance.py": "host + VE balanced",
     "pipeline_overlap.py": "overlap gain",
     "tcp_remote_offload.py": "server shut down cleanly: True",
+    "traced_offload.py": "trace written:",
     "protocol_comparison.py": "HAM-VEO / HAM-DMA",
     "vhcall_syscalls.py": "hello from VE pid",
     "multi_ve_cluster.py": "host + 8 VEs balanced",
