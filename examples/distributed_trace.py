@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Distributed causal tracing across two processes, with live /metrics.
+
+The walkthrough for ``docs/observability.md``'s distributed-tracing
+section: a TCP target server runs in a forked child, every ``offload()``
+mints a W3C-style trace context that rides inside the version-2
+active-message header, and the target's ``offload.execute`` spans come
+back carrying the same ``trace_id`` — parented to the exact host span
+that serialized the message. After clock alignment (ping-pong offset
+estimation against the server) the merged Chrome trace is causally
+monotone: serialize -> enqueue -> execute -> reply -> deserialize, in
+order, across both pids.
+
+While the runtime is up, a stdlib HTTP endpoint serves the live metrics
+in Prometheus text format — the same counters and per-phase latency
+summaries a real deployment would scrape.
+
+Run::
+
+    python examples/distributed_trace.py
+"""
+
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.backends import TcpBackend, spawn_local_server
+from repro.offload import api as offload
+from repro.offload import f2f, offloadable
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.distributed import critical_path, group_by_trace
+from repro.telemetry.export import write_chrome_trace
+from repro.telemetry.report import render_critical_paths
+
+
+@offloadable
+def fma(a: float, b: float, c: float) -> float:
+    """A tiny offloaded kernel (the message cost dominates)."""
+    return a * b + c
+
+
+def main() -> None:
+    # Telemetry must be live BEFORE the server forks so the child
+    # inherits an enabled recorder; init() then starts the /metrics
+    # endpoint on an ephemeral loopback port.
+    telemetry.enable()
+    process, address = spawn_local_server()
+    tcp = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+    offload.init(tcp, telemetry={"metrics_port": 0})
+    sync = tcp.clock_sync
+    print(f"target server: pid={process.pid}, "
+          f"clock offset {sync.offset_ns} ns (rtt {sync.rtt_ns} ns)")
+
+    results = [offload.sync(1, f2f(fma, float(i), 2.0, 1.0)) for i in range(4)]
+    assert results == [i * 2.0 + 1.0 for i in range(4)]
+
+    # Scrape the live endpoint exactly like Prometheus would.
+    server = offload.metrics_server()
+    assert server is not None
+    body = urllib.request.urlopen(server.url + "/metrics").read().decode()
+    interesting = [line for line in body.splitlines()
+                   if line.startswith(("repro_future_settled_total",
+                                       "repro_phase_offload_serialize"))]
+    print(f"metrics endpoint: {server.url}/metrics "
+          f"({len(body.splitlines())} lines), e.g.:")
+    for line in interesting[:4]:
+        print(f"  {line}")
+
+    # finalize() drains the target's telemetry over OP_TELEMETRY (clock
+    # aligned) before closing the transport, then stops /metrics.
+    recorder = telemetry.get()
+    offload.finalize()
+
+    records = recorder.records()
+    groups = group_by_trace(records)
+    pids = {record.pid for group in groups.values() for record in group}
+    print(f"\n{len(groups)} distributed traces across pids {sorted(pids)}")
+    for trace_id, group in groups.items():
+        spans = [r for r in group if r.kind == "span"]
+        execs = [s for s in spans if s.name == "offload.execute"]
+        assert execs, f"trace {trace_id} lost its target-side execute span"
+        path = critical_path(group)
+        starts = [segment["start_ns"] for segment in path]
+        assert starts == sorted(starts), "merged timeline is not monotone"
+
+    out = Path(tempfile.mkdtemp(prefix="repro-dist-")) / "distributed_trace.json"
+    write_chrome_trace(out, recorder, metadata={"example": "distributed_trace"})
+    print(f"merged trace written: {out}\n")
+    print(render_critical_paths(records))
+
+
+if __name__ == "__main__":
+    main()

@@ -93,7 +93,18 @@ def main() -> int:
     parser.add_argument("--delay", type=float, default=0.05)
     parser.add_argument("--disconnect", type=float, default=0.02)
     parser.add_argument("--corrupt", type=float, default=0.03)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace of the soak (spans, faults, retries) here",
+    )
     args = parser.parse_args()
+
+    recorder = None
+    if args.trace_out:
+        from repro.telemetry import recorder as telemetry
+
+        recorder = telemetry.enable()
 
     last_tick = [time.monotonic()]
     hang_budget = args.deadline * 10 + 10.0
@@ -169,6 +180,11 @@ def main() -> int:
                 return 1
     finally:
         teardown_stack(process, runtime)
+        if recorder is not None:
+            from repro.telemetry.export import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, recorder)
+            print(f"chaos trace written: {args.trace_out}", flush=True)
 
     print(
         f"chaos smoke OK: {ops} ops in {args.duration:.0f} s, "

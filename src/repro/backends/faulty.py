@@ -221,6 +221,19 @@ class FaultInjectingBackend(Backend):
     def resolve_buffer(self, node: NodeId, ptr: BufferPtr) -> np.ndarray:
         return self.inner.resolve_buffer(node, ptr)
 
+    def fetch_target_telemetry(self, timeout: float | None = None,
+                               align: bool = True) -> list:
+        """Forward a telemetry pull to the wrapped backend (never faulted).
+
+        Observability must not be chaos-tested away: the pull bypasses
+        the fault schedule. Returns ``[]`` when the inner backend has no
+        target-side telemetry (e.g. the local backend).
+        """
+        fetch = getattr(self.inner, "fetch_target_telemetry", None)
+        if fetch is None:
+            return []
+        return fetch(timeout=timeout, align=align)
+
     def set_default_timeout(self, seconds: float | None) -> None:
         self.inner.set_default_timeout(seconds)
 

@@ -19,6 +19,7 @@ Wire protocol (all integers little-endian)::
     op 0x06 SHUTDOWN  body = ""                   -> 0x86 body = ""
     op 0x07 PING      body = ""                   -> 0x87 body = ""
     op 0x08 TELEMETRY body = ""                   -> 0x88 body = pickled records
+    op 0x09 CLOCK     body = ""                   -> 0x89 body = perf_ns:u64
     any failure                                    -> 0xFF body = pickled info
 
 Replies arrive strictly in request order, so the client matches them with
@@ -48,6 +49,7 @@ from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
 from repro.telemetry import recorder as telemetry
+from repro.telemetry.distributed import ClockSync, align_records
 from repro.telemetry.export import dicts_to_records, records_to_dicts
 
 __all__ = ["TcpBackend", "TcpTargetServer", "spawn_local_server"]
@@ -60,6 +62,7 @@ OP_READ = 0x05
 OP_SHUTDOWN = 0x06
 OP_PING = 0x07
 OP_TELEMETRY = 0x08
+OP_CLOCK = 0x09
 OP_REPLY_BIT = 0x80
 OP_FAILURE = 0xFF
 
@@ -167,6 +170,14 @@ class TcpTargetServer:
                 _send_frame(
                     conn, OP_TELEMETRY | OP_REPLY_BIT,
                     pickle.dumps(rows, protocol=4),
+                )
+            elif op == OP_CLOCK:
+                # Clock ping-pong: reply with this process's monotonic
+                # clock so the client can estimate the offset between
+                # the two perf_counter epochs (see telemetry.distributed).
+                _send_frame(
+                    conn, OP_CLOCK | OP_REPLY_BIT,
+                    _U64.pack(time.perf_counter_ns()),
                 )
             elif op == OP_SHUTDOWN:
                 _send_frame(conn, OP_SHUTDOWN | OP_REPLY_BIT, b"")
@@ -284,6 +295,37 @@ class TcpBackend(Backend):
                 "offloadable catalogs differ between host and target "
                 "(both sides must import the same application modules)"
             )
+        #: Target->host clock mapping, estimated at connect by clock
+        #: ping-pong (see :mod:`repro.telemetry.distributed`) and
+        #: refreshed on every telemetry pull. Identity when the server
+        #: predates ``OP_CLOCK``, or when telemetry is off (untraced
+        #: workloads get zero extra connect traffic).
+        if telemetry.get() is not None:
+            self.clock_sync = self._estimate_clock()
+        else:
+            self.clock_sync = ClockSync.identity()
+
+    def _clock_probe(self, timeout: float) -> tuple[int, int, int]:
+        """One ping-pong round: ``(t0_host, t_target, t1_host)`` in ns."""
+        t0 = time.perf_counter_ns()
+        body = self._roundtrip(OP_CLOCK, b"", timeout=timeout)
+        t1 = time.perf_counter_ns()
+        return t0, _U64.unpack(body)[0], t1
+
+    def _estimate_clock(
+        self, rounds: int = 8, timeout: float | None = None
+    ) -> ClockSync:
+        """Ping-pong the server's clock; identity if it lacks OP_CLOCK."""
+        per_probe = timeout if timeout is not None else (self.op_timeout or 5.0)
+        try:
+            return ClockSync.estimate(
+                lambda: self._clock_probe(per_probe), rounds=rounds
+            )
+        except (RemoteExecutionError, OffloadTimeoutError, BackendError):
+            # Older server without OP_CLOCK (or one too wedged or broken
+            # to answer): fall back to the shared monotonic clock. If the
+            # probe killed the transport the next real op reports it.
+            return ClockSync.identity()
 
     # -- topology -------------------------------------------------------------
     def num_nodes(self) -> int:
@@ -481,7 +523,9 @@ class TcpBackend(Backend):
         return self._roundtrip(OP_READ, _U64.pack(addr) + _U64.pack(nbytes))
 
     # -- telemetry ----------------------------------------------------------------------
-    def fetch_target_telemetry(self) -> list:
+    def fetch_target_telemetry(
+        self, timeout: float | None = None, align: bool = True
+    ) -> list:
         """Pull (and clear) the target server's telemetry records.
 
         Returns :class:`~repro.telemetry.recorder.SpanRecord` /
@@ -489,12 +533,23 @@ class TcpBackend(Backend):
         in the server process — empty if telemetry is disabled there.
         Servers forked via :func:`spawn_local_server` inherit the
         client's enabled state, so enabling telemetry *before* spawning
-        captures target-side ``offload.execute`` spans too. On Linux,
-        ``perf_counter_ns`` reads the system-wide monotonic clock, so
-        fetched records share the host records' timeline.
+        captures target-side ``offload.execute`` spans too.
+
+        With ``align`` (the default) the clock offset is re-estimated
+        right before the pull and applied to the fetched timestamps, so
+        the records land on the host's ``perf_counter_ns`` timeline. On
+        a same-machine server the monotonic clock is shared and the
+        offset is near zero; across machines it is essential.
+        ``timeout`` bounds the pull round trip (falls back to
+        :attr:`op_timeout`).
         """
-        rows = pickle.loads(self._roundtrip(OP_TELEMETRY, b""))
-        return dicts_to_records(rows)
+        if align:
+            self.clock_sync = self._estimate_clock(rounds=4, timeout=timeout)
+        rows = pickle.loads(self._roundtrip(OP_TELEMETRY, b"", timeout=timeout))
+        records = dicts_to_records(rows)
+        if align and self.clock_sync.offset_ns:
+            records = align_records(records, self.clock_sync.offset_ns)
+        return records
 
     # -- health -------------------------------------------------------------------------
     def ping(self, node: NodeId) -> float:

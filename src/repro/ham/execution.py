@@ -26,7 +26,9 @@ from repro.ham.message import (
 )
 from repro.ham.registry import ProcessImage
 from repro.ham.serialization import deserialize, serialize
+from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
+from repro.telemetry.context import TraceContext
 
 __all__ = ["build_invoke", "execute_message", "unpack_result"]
 
@@ -40,10 +42,28 @@ def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
 
     Telemetry phase ``offload.serialize``: the cost of turning the typed
     functor into wire bytes, on whichever backend posts it.
+
+    When a distributed trace is active (the runtime opens one per
+    offload), its context is stamped into the version-2 header with the
+    ``offload.serialize`` span as the wire parent — the target-side
+    execution spans re-attach there, forming one causal tree across the
+    process boundary.
     """
     with telemetry.span("offload.serialize", functor=functor.type_name) as span:
         key = image.key_for(functor.type_name)
-        message = build_message(MSG_INVOKE, key, msg_id, functor.serialize_args())
+        ctx = trace_context.current()
+        if ctx is None:
+            message = build_message(MSG_INVOKE, key, msg_id, functor.serialize_args())
+        else:
+            message = build_message(
+                MSG_INVOKE, key, msg_id, functor.serialize_args(),
+                trace_id=ctx.trace_id,
+                # The serialize span itself (when recording) is the
+                # causal parent of the remote execution; fall back to
+                # the context's own parent when telemetry is off.
+                parent_span_id=span.span_id or ctx.span_id,
+                trace_flags=ctx.flags,
+            )
         span.set("bytes", len(message))
     return message
 
@@ -66,10 +86,24 @@ def execute_message(
         raise SerializationError(
             f"target received non-invoke message kind {header.kind}"
         )
+    # Re-enter the sender's distributed trace (version-2 headers carry
+    # it; version-1 messages execute untraced, exactly as before): the
+    # execute span below records the same trace_id and — when this
+    # process's local span stack is empty, i.e. a real remote target —
+    # parents itself to the host span named in the header.
+    if header.trace_id:
+        ctx = TraceContext(
+            trace_id=header.trace_id,
+            span_id=header.parent_span_id,
+            sampled=bool(header.trace_flags & trace_context.FLAG_SAMPLED),
+        )
+    else:
+        ctx = None
     # Telemetry phase ``offload.execute``: argument decode + handler run +
     # reply build on the target (the host process for the local backend,
     # the forked server for TCP).
-    with telemetry.span("offload.execute", bytes=len(data)) as span:
+    with trace_context.activate(ctx), \
+            telemetry.span("offload.execute", bytes=len(data)) as span:
         try:
             entry = image.entry_for_key(header.handler_key)
             span.set("handler", entry.type_name)
@@ -87,9 +121,19 @@ def execute_message(
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
             }
-            return build_message(MSG_ERROR, 0, header.msg_id, serialize(info)), True
+            return build_message(
+                MSG_ERROR, 0, header.msg_id, serialize(info),
+                trace_id=header.trace_id,
+                parent_span_id=span.span_id or header.parent_span_id,
+                trace_flags=header.trace_flags,
+            ), True
     telemetry.count("execute.messages")
-    return build_message(MSG_RESULT, 0, header.msg_id, reply_payload), True
+    return build_message(
+        MSG_RESULT, 0, header.msg_id, reply_payload,
+        trace_id=header.trace_id,
+        parent_span_id=span.span_id or header.parent_span_id,
+        trace_flags=header.trace_flags,
+    ), True
 
 
 def unpack_result(data: bytes) -> tuple[int, Any]:

@@ -1,6 +1,9 @@
 """Active-message wire format.
 
-Fixed little-endian header followed by the payload::
+Fixed little-endian header followed by the payload. Two header versions
+are in service:
+
+Version 1 (24 bytes, the original layout)::
 
     offset  size  field
     0       2     magic 0x48 0x4D ("HM")
@@ -10,6 +13,21 @@ Fixed little-endian header followed by the payload::
     12      8     message id (matches results to futures)
     20      4     payload length
     24      ...   payload
+
+Version 2 (49 bytes) appends the distributed trace context — the header
+is the one structure that always crosses the host/target boundary, which
+makes it the natural carrier (HAM treats the header the same way)::
+
+    24      16    trace id (128-bit, big-endian; zero = no trace)
+    40      8     parent span id (the sender span that built the message)
+    48      1     trace flags (bit 0: sampled)
+    49      ...   payload
+
+:func:`build_message` emits version 1 whenever no trace context is given
+— untraced messages pay zero header growth — and version 2 only when a
+trace rides along. :func:`parse_message` accepts both, so a peer that
+predates tracing (or runs with telemetry off) interoperates in both
+directions.
 
 The header is what the paper's protocols move through message buffers;
 the handler key field is the "globally valid handler key" of Fig. 6.
@@ -24,6 +42,7 @@ from repro.errors import SerializationError
 
 __all__ = [
     "HEADER_SIZE",
+    "HEADER_SIZE_V2",
     "MAGIC",
     "MSG_ERROR",
     "MSG_INVOKE",
@@ -35,9 +54,12 @@ __all__ = [
 ]
 
 MAGIC = b"HM"
-_VERSION = 1
-_HEADER = struct.Struct("<2sBBQQI")
-HEADER_SIZE = _HEADER.size
+_VERSION_1 = 1
+_VERSION_2 = 2
+_HEADER_V1 = struct.Struct("<2sBBQQI")
+_HEADER_V2 = struct.Struct("<2sBBQQI16sQB")
+HEADER_SIZE = _HEADER_V1.size
+HEADER_SIZE_V2 = _HEADER_V2.size
 
 MSG_INVOKE = 1
 MSG_RESULT = 2
@@ -49,25 +71,74 @@ _KINDS = {MSG_INVOKE, MSG_RESULT, MSG_ERROR, MSG_SHUTDOWN}
 
 @dataclass(frozen=True)
 class MessageHeader:
-    """Parsed header of one active message."""
+    """Parsed header of one active message.
+
+    ``trace_id`` / ``parent_span_id`` / ``trace_flags`` are zero for
+    version-1 messages (no trace context on the wire).
+    """
 
     kind: int
     handler_key: int
     msg_id: int
     payload_len: int
+    trace_id: int = 0
+    parent_span_id: int = 0
+    trace_flags: int = 0
 
 
-def build_message(kind: int, handler_key: int, msg_id: int, payload: bytes) -> bytes:
-    """Assemble one wire message."""
+def build_message(
+    kind: int,
+    handler_key: int,
+    msg_id: int,
+    payload: bytes,
+    *,
+    trace_id: int = 0,
+    parent_span_id: int = 0,
+    trace_flags: int = 0,
+) -> bytes:
+    """Assemble one wire message.
+
+    A non-zero ``trace_id`` selects the version-2 header and stamps the
+    trace context fields; otherwise the compact version-1 header is
+    emitted unchanged from the original format.
+    """
     if kind not in _KINDS:
         raise SerializationError(f"invalid message kind {kind}")
     if handler_key < 0 or msg_id < 0:
         raise SerializationError("handler key and message id must be non-negative")
-    return _HEADER.pack(MAGIC, _VERSION, kind, handler_key, msg_id, len(payload)) + payload
+    if trace_id == 0:
+        return (
+            _HEADER_V1.pack(MAGIC, _VERSION_1, kind, handler_key, msg_id, len(payload))
+            + payload
+        )
+    if not 0 < trace_id < 1 << 128:
+        raise SerializationError(f"trace id must be a 128-bit int, got {trace_id:#x}")
+    if not 0 <= parent_span_id < 1 << 64:
+        raise SerializationError(
+            f"parent span id must fit in 64 bits, got {parent_span_id:#x}"
+        )
+    return (
+        _HEADER_V2.pack(
+            MAGIC,
+            _VERSION_2,
+            kind,
+            handler_key,
+            msg_id,
+            len(payload),
+            trace_id.to_bytes(16, "big"),
+            parent_span_id,
+            trace_flags & 0xFF,
+        )
+        + payload
+    )
 
 
 def parse_message(data: bytes) -> tuple[MessageHeader, bytes]:
     """Split wire bytes into ``(header, payload)``.
+
+    Accepts both header versions: a version-1 message (no trace context,
+    e.g. from a sender running with telemetry off or a pre-tracing
+    build) parses with zeroed trace fields.
 
     Raises
     ------
@@ -78,19 +149,39 @@ def parse_message(data: bytes) -> tuple[MessageHeader, bytes]:
         raise SerializationError(
             f"message truncated: {len(data)} bytes < header size {HEADER_SIZE}"
         )
-    magic, version, kind, handler_key, msg_id, payload_len = _HEADER.unpack_from(data)
+    magic, version, kind, handler_key, msg_id, payload_len = _HEADER_V1.unpack_from(data)
     if magic != MAGIC:
         raise SerializationError(f"bad message magic {magic!r}")
-    if version != _VERSION:
+    trace_id = 0
+    parent_span_id = 0
+    trace_flags = 0
+    if version == _VERSION_1:
+        header_size = HEADER_SIZE
+    elif version == _VERSION_2:
+        header_size = HEADER_SIZE_V2
+        if len(data) < header_size:
+            raise SerializationError(
+                f"message truncated: {len(data)} bytes < v2 header size {header_size}"
+            )
+        (_m, _v, _k, _hk, _mid, _pl,
+         trace_bytes, parent_span_id, trace_flags) = _HEADER_V2.unpack_from(data)
+        trace_id = int.from_bytes(trace_bytes, "big")
+    else:
         raise SerializationError(f"unsupported message version {version}")
     if kind not in _KINDS:
         raise SerializationError(f"invalid message kind {kind}")
-    payload = data[HEADER_SIZE : HEADER_SIZE + payload_len]
+    payload = data[header_size : header_size + payload_len]
     if len(payload) != payload_len:
         raise SerializationError(
             f"message truncated: payload {len(payload)} bytes < declared {payload_len}"
         )
     header = MessageHeader(
-        kind=kind, handler_key=handler_key, msg_id=msg_id, payload_len=payload_len
+        kind=kind,
+        handler_key=handler_key,
+        msg_id=msg_id,
+        payload_len=payload_len,
+        trace_id=trace_id,
+        parent_span_id=parent_span_id,
+        trace_flags=trace_flags,
     )
     return header, payload

@@ -35,6 +35,7 @@ from repro.offload.node import NodeDescriptor, NodeId
 from repro.offload.resilience import ResiliencePolicy
 from repro.offload.runtime import Runtime
 from repro.telemetry import recorder as _telemetry
+from repro.telemetry.promexport import MetricsServer, TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
@@ -54,46 +55,74 @@ __all__ = [
     "num_nodes",
     "this_node",
     "get_node_descriptor",
+    "metrics_server",
 ]
 
 _runtime: Runtime | None = None
+_metrics_server: MetricsServer | None = None
 
 
 def init(
     backend: "Backend",
     policy: ResiliencePolicy | None = None,
     *,
-    telemetry: bool = False,
+    telemetry: "bool | dict | TelemetryConfig" = False,
 ) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
 
     ``policy`` optionally installs a
     :class:`~repro.offload.resilience.ResiliencePolicy` (deadlines,
-    retries, health monitoring) on the runtime. ``telemetry=True``
-    enables the process-global telemetry recorder
+    retries, health monitoring) on the runtime.
+
+    ``telemetry`` enables the process-global recorder
     (:func:`repro.telemetry.enable`) before any operation runs, so the
-    whole session is traced; see ``docs/observability.md``.
+    whole session is traced; see ``docs/observability.md``. It accepts:
+
+    * ``True`` — plain recording, default capacity;
+    * a :class:`~repro.telemetry.promexport.TelemetryConfig` (or a dict
+      with its field names) — additionally, ``metrics_port`` (0 for an
+      ephemeral port) starts a live Prometheus ``/metrics`` +
+      ``/healthz`` HTTP endpoint over the recorder's metrics; query its
+      bound address via :func:`metrics_server`.
 
     Raises
     ------
     OffloadError
         If a runtime is already initialized (call :func:`finalize` first).
     """
-    global _runtime
+    global _runtime, _metrics_server
     if _runtime is not None:
         raise OffloadError("offload API already initialized; call finalize() first")
-    if telemetry:
-        _telemetry.enable()
+    config = TelemetryConfig.coerce(telemetry)
+    if config.enabled:
+        recorder = _telemetry.enable(config.capacity)
+        if config.metrics_port is not None:
+            _metrics_server = MetricsServer(
+                recorder.metrics.snapshot,
+                host=config.metrics_host,
+                port=config.metrics_port,
+            )
     _runtime = Runtime(backend, policy=policy)
     return _runtime
 
 
 def finalize() -> None:
-    """Shut the global runtime down (idempotent)."""
-    global _runtime
+    """Shut the global runtime down (idempotent).
+
+    Also stops the ``/metrics`` endpoint if :func:`init` started one.
+    """
+    global _runtime, _metrics_server
     if _runtime is not None:
         _runtime.shutdown()
         _runtime = None
+    if _metrics_server is not None:
+        _metrics_server.close()
+        _metrics_server = None
+
+
+def metrics_server() -> MetricsServer | None:
+    """The live ``/metrics`` endpoint, or ``None`` if not started."""
+    return _metrics_server
 
 
 def is_initialized() -> bool:

@@ -17,7 +17,9 @@ from __future__ import annotations
 from typing import Any, Protocol
 
 from repro.errors import FutureError, OffloadTimeoutError
+from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
+from repro.telemetry.context import TraceContext
 
 __all__ = ["Future", "OperationHandle", "CompletedHandle"]
 
@@ -57,9 +59,18 @@ class CompletedHandle:
 class Future:
     """Handle to an asynchronous offload operation's result."""
 
-    def __init__(self, handle: OperationHandle, label: str = "") -> None:
+    def __init__(
+        self,
+        handle: OperationHandle,
+        label: str = "",
+        trace: TraceContext | None = None,
+    ) -> None:
         self._handle: OperationHandle | None = handle
         self._label = label
+        #: Distributed trace opened at offload() time; re-activated
+        #: around the settle so the wait/decode spans join the same
+        #: causal tree even when get() runs far from async_().
+        self._trace = trace
         self._done = False
         self._value: Any = None
         self._error: BaseException | None = None
@@ -92,7 +103,8 @@ class Future:
         if self._handle is None:
             raise FutureError(f"future {self._label!r} detached from its backend")
         try:
-            self._value = self._handle.wait(timeout=timeout)
+            with trace_context.activate(self._trace):
+                self._value = self._handle.wait(timeout=timeout)
         except OffloadTimeoutError:
             # Deadline expired but the operation may still be in flight:
             # stay pending so a later get() can collect the reply (a

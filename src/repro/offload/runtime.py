@@ -34,6 +34,7 @@ from repro.offload.buffer import BufferPtr
 from repro.offload.future import CompletedHandle, Future
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
 from repro.offload.resilience import HealthMonitor, ResiliencePolicy
+from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -110,6 +111,20 @@ class Runtime:
         return list(range(1, self.num_nodes()))
 
     # -- offloading --------------------------------------------------------------
+    def _offload_trace(self) -> "trace_context.TraceContext | None":
+        """The distributed trace for one offload.
+
+        While telemetry records, every offload runs inside a trace
+        context: the caller's active one if there is one (so an
+        application can group several offloads under one trace), else a
+        fresh root generated here — "generated at offload()". With
+        telemetry off, no context exists and the path stays free.
+        """
+        if not telemetry.enabled():
+            return None
+        ctx = trace_context.current()
+        return ctx if ctx is not None else trace_context.new_trace()
+
     def async_(self, node: NodeId, functor: Functor) -> Future:
         """Asynchronous offload of ``functor`` to ``node`` (paper ``async``)."""
         self._check_running()
@@ -120,8 +135,10 @@ class Runtime:
             )
         if self.monitor is not None:
             self.monitor.check(node)
+        ctx = self._offload_trace()
         try:
-            handle = self.backend.post_invoke(node, functor)
+            with trace_context.activate(ctx):
+                handle = self.backend.post_invoke(node, functor)
         except _TRANSPORT_ERRORS:
             if self.monitor is not None:
                 self.monitor.record_failure(node)
@@ -129,7 +146,7 @@ class Runtime:
             raise
         self._offloads_posted += 1
         telemetry.count("offload.issued")
-        return Future(handle, label=functor.type_name)
+        return Future(handle, label=functor.type_name, trace=ctx)
 
     def sync(
         self,
@@ -163,6 +180,27 @@ class Runtime:
         target = node
         tried: list[NodeId] = []
         last_error: Exception | None = None
+        # One trace spans the whole resilient operation: every retry and
+        # failover re-posts under the same trace_id, so the merged trace
+        # shows attempt N's spans (and the resilience.* events between
+        # them) re-parented onto the one logical offload.
+        with trace_context.activate(self._offload_trace()):
+            return self._sync_attempts(
+                functor, deadline, attempts, node, tried, last_error
+            )
+
+    def _sync_attempts(
+        self,
+        functor: Functor,
+        deadline: float | None,
+        attempts: int,
+        target: NodeId,
+        tried: list[NodeId],
+        last_error: Exception | None,
+    ) -> Any:
+        """The retry/failover loop of :meth:`sync` (trace already active)."""
+        policy = self.policy
+        node = target
         for attempt in range(attempts):
             if attempt:
                 self._sleep(policy.delay_for(attempt - 1, self._retry_rng))
@@ -389,6 +427,34 @@ class Runtime:
             data["telemetry"] = telemetry.get().metrics.snapshot()
         return data
 
+    def _drain_target_telemetry(self, timeout: float = 1.0) -> None:
+        """Pull remaining target-side telemetry, best effort.
+
+        Backends exposing ``fetch_target_telemetry`` (the TCP backend's
+        ``OP_TELEMETRY``) hold target-process spans the host has not yet
+        merged; shutdown is the last chance to collect them. The pull is
+        bounded by ``timeout`` and never raises — a hung or dead target
+        must not block shutdown — recording a ``telemetry.pull_failed``
+        event instead so the loss is visible in the trace.
+        """
+        recorder = telemetry.get()
+        if recorder is None:
+            return
+        fetch = getattr(self.backend, "fetch_target_telemetry", None)
+        if fetch is None:
+            return
+        try:
+            records = fetch(timeout=timeout)
+        except Exception as exc:  # noqa: BLE001 - best effort by contract
+            telemetry.event(
+                "telemetry.pull_failed", category="telemetry",
+                error=type(exc).__name__, detail=str(exc),
+            )
+            telemetry.count("telemetry.pull_failures")
+            return
+        if records:
+            recorder.ingest(records)
+
     def shutdown(self) -> None:
         """Terminate target message loops and the backend (idempotent).
 
@@ -398,9 +464,14 @@ class Runtime:
         size and, when telemetry was enabled at allocation time, the
         ``offload.allocate`` span id, so the trace pinpoints the leaking
         call site (span id 0 means telemetry was off).
+
+        When telemetry is recording and the backend can fetch
+        target-side records, they are drained (best effort, short
+        timeout) before the transport closes.
         """
         if not self._shutdown:
             self._shutdown = True
+            self._drain_target_telemetry()
             if self._live_buffers:
                 pointers = ", ".join(
                     f"node {node} @ {addr:#x} "

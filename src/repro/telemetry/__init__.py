@@ -17,8 +17,18 @@ Layout:
   exporters (round-trippable);
 * :mod:`repro.telemetry.simbridge` — exports sim-tracer records to the
   same Chrome format for side-by-side simulated-vs-real timelines;
+* :mod:`repro.telemetry.context` — the distributed trace context
+  (``trace_id`` / parent span / sampled flag) minted per offload and
+  carried in the version-2 active-message header across processes;
+* :mod:`repro.telemetry.distributed` — clock-offset estimation
+  (ping-pong), record alignment, trace merging and per-message critical
+  paths for two-process timelines;
+* :mod:`repro.telemetry.promexport` — Prometheus text-format rendering
+  of the metrics snapshot plus a stdlib ``/metrics`` + ``/healthz``
+  HTTP endpoint (:class:`~repro.telemetry.promexport.MetricsServer`);
 * :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``,
-  per-phase latency percentiles from a trace file.
+  per-phase latency percentiles, per-message groupings and critical
+  paths from a trace file.
 
 Quick start::
 
@@ -35,12 +45,32 @@ Phase taxonomy (span names) of one offload, host then target:
 See ``docs/observability.md`` for the full catalog.
 """
 
+from repro.telemetry.context import (
+    TraceContext,
+    activate,
+    current,
+    current_trace_id_hex,
+    new_trace,
+)
+from repro.telemetry.distributed import (
+    ClockSync,
+    align_records,
+    critical_path,
+    group_by_trace,
+    merge_traces,
+    trace_summary,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     percentile,
+)
+from repro.telemetry.promexport import (
+    MetricsServer,
+    TelemetryConfig,
+    to_prometheus,
 )
 from repro.telemetry.recorder import (
     EventRecord,
@@ -59,22 +89,36 @@ from repro.telemetry.recorder import (
 )
 
 __all__ = [
+    "ClockSync",
     "Counter",
     "EventRecord",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "Recorder",
     "SpanRecord",
+    "TelemetryConfig",
+    "TraceContext",
+    "activate",
+    "align_records",
     "count",
+    "critical_path",
+    "current",
     "current_span_id",
+    "current_trace_id_hex",
     "disable",
     "enable",
     "enabled",
     "event",
     "gauge",
     "get",
+    "group_by_trace",
+    "merge_traces",
+    "new_trace",
     "observe",
     "percentile",
     "span",
+    "to_prometheus",
+    "trace_summary",
 ]

@@ -76,6 +76,7 @@ def records_to_dicts(source: Recorder | Iterable[Record]) -> list[dict[str, Any]
                 "pid": record.pid,
                 "tid": record.tid,
                 "attrs": record.attrs,
+                "trace_id": record.trace_id,
             })
         else:
             rows.append({
@@ -88,6 +89,7 @@ def records_to_dicts(source: Recorder | Iterable[Record]) -> list[dict[str, Any]
                 "pid": record.pid,
                 "tid": record.tid,
                 "attrs": record.attrs,
+                "trace_id": record.trace_id,
             })
     return rows
 
@@ -107,6 +109,7 @@ def dicts_to_records(rows: Iterable[dict[str, Any]]) -> list[Record]:
                 pid=int(row.get("pid", 0)),
                 tid=int(row.get("tid", 0)),
                 attrs=dict(row.get("attrs") or {}),
+                trace_id=str(row.get("trace_id", "")),
             ))
         elif row.get("type") == "event":
             records.append(EventRecord(
@@ -118,6 +121,7 @@ def dicts_to_records(rows: Iterable[dict[str, Any]]) -> list[Record]:
                 pid=int(row.get("pid", 0)),
                 tid=int(row.get("tid", 0)),
                 attrs=dict(row.get("attrs") or {}),
+                trace_id=str(row.get("trace_id", "")),
             ))
         else:
             raise ValueError(f"unknown record row type {row.get('type')!r}")
@@ -152,6 +156,7 @@ def to_chrome(
                 "args": record.attrs,
                 "span_id": record.span_id,
                 "parent_id": record.parent_id,
+                "trace_id": record.trace_id,
             })
         else:
             trace_events.append({
@@ -165,6 +170,7 @@ def to_chrome(
                 "args": record.attrs,
                 "span_id": record.span_id,
                 "parent_id": record.parent_id,
+                "trace_id": record.trace_id,
             })
     return {
         "traceEvents": trace_events,
@@ -212,6 +218,7 @@ def parse_chrome_trace(source: str | Path | dict[str, Any]) -> list[Record]:
             pid=int(entry.get("pid", 0)),
             tid=int(entry.get("tid", 0)),
             attrs=dict(entry.get("args") or {}),
+            trace_id=str(entry.get("trace_id", "")),
         )
         if phase == "X":
             records.append(SpanRecord(

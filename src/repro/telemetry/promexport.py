@@ -1,0 +1,211 @@
+"""Prometheus text-format export and a stdlib ``/metrics`` endpoint.
+
+The metrics registry already produces a JSON-friendly
+:meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`; this module
+renders that snapshot in the Prometheus text exposition format (0.0.4)
+and serves it live from a daemon-thread HTTP server, so a running
+offload session can be scraped without touching the trace ring:
+
+* counters  -> ``repro_<name>_total``
+* gauges    -> ``repro_<name>``
+* histograms-> summaries: ``{quantile="0.5"|"0.95"}`` series plus
+  ``_sum`` / ``_count`` (the per-phase ``phase.offload.*`` latency
+  distributions land here)
+
+Everything is standard library (``http.server``); no Prometheus client
+dependency. :class:`MetricsServer` binds ``127.0.0.1:0`` by default —
+an ephemeral loopback port, printed/queried via :attr:`~MetricsServer.address`
+— and also answers ``/healthz`` for liveness probes.
+:class:`TelemetryConfig` is the declarative knob accepted by
+``offload.init(telemetry=...)``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "MetricsServer",
+    "TelemetryConfig",
+    "sanitize_metric_name",
+    "to_prometheus",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Map an internal dotted metric name onto the Prometheus grammar.
+
+    ``offload.sync.time`` -> ``repro_offload_sync_time``; any character
+    outside ``[a-zA-Z0-9_:]`` becomes ``_`` and a leading digit gets an
+    underscore escape.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if _LEADING_DIGIT.match(sanitized):
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting (repr keeps full float precision)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(
+    snapshot: Mapping[str, Any], prefix: str = "repro_"
+) -> str:
+    """Render a metrics snapshot as Prometheus text format 0.0.4.
+
+    ``snapshot`` is the dict from
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`:
+    ``{"counters": {...}, "gauges": {...}, "histograms": {name: summary}}``.
+    Histogram summaries (count/mean/min/max/p50/p95) become Prometheus
+    *summary* series with ``quantile`` labels; ``_sum`` is reconstructed
+    as ``mean * count`` (exact: mean is total/count).
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# HELP {metric} Counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} Gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        count = summary.get("count", 0)
+        lines.append(f"# HELP {metric} Histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f'{metric}{{quantile="0.5"}} {_fmt(summary.get("p50", 0.0))}')
+        lines.append(f'{metric}{{quantile="0.95"}} {_fmt(summary.get("p95", 0.0))}')
+        lines.append(f"{metric}_sum {_fmt(summary.get('mean', 0.0) * count)}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Declarative telemetry setup for ``offload.init(telemetry=...)``.
+
+    ``init`` accepts ``True`` (plain recording), this class, or a dict
+    with the same field names. ``metrics_port=None`` means no HTTP
+    endpoint; ``0`` binds an ephemeral port (query it via
+    ``runtime-returned`` server's :attr:`MetricsServer.address`).
+    """
+
+    enabled: bool = True
+    capacity: int = 65536
+    metrics_port: int | None = None
+    metrics_host: str = "127.0.0.1"
+
+    @classmethod
+    def coerce(
+        cls, value: "bool | Mapping[str, Any] | TelemetryConfig"
+    ) -> "TelemetryConfig":
+        """Normalize the ``init(telemetry=...)`` argument."""
+        if isinstance(value, TelemetryConfig):
+            return value
+        if isinstance(value, bool):
+            return cls(enabled=value)
+        if isinstance(value, Mapping):
+            return cls(**dict(value))
+        raise TypeError(
+            "telemetry must be a bool, dict or TelemetryConfig, "
+            f"got {type(value).__name__}"
+        )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (Prometheus text) and ``/healthz`` (JSON)."""
+
+    # Set per-server via the factory in MetricsServer.
+    snapshot_fn: Callable[[], Mapping[str, Any]]
+    prefix: str
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = to_prometheus(self.snapshot_fn(), self.prefix).encode()
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/healthz":
+            body = json.dumps({"status": "ok"}).encode()
+            self._reply(200, body, "application/json")
+        else:
+            self._reply(404, b"not found\n", "text/plain")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args: Any) -> None:  # noqa: D102 - silence stderr
+        pass
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` endpoint over a snapshot fn.
+
+    Parameters
+    ----------
+    snapshot_fn:
+        Zero-argument callable returning the metrics snapshot dict —
+        typically ``recorder.metrics.snapshot`` of the live recorder, so
+        every scrape sees current values.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see
+        :attr:`address` for the actual one).
+    prefix:
+        Metric name prefix (default ``repro_``).
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Mapping[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prefix: str = "repro_",
+    ) -> None:
+        handler = type(
+            "_BoundHandler", (_Handler,),
+            {"snapshot_fn": staticmethod(snapshot_fn), "prefix": prefix},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ephemeral ports)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.telemetry import context as trace_context
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = [
@@ -71,6 +72,10 @@ class SpanRecord:
     pid: int
     tid: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: 32-char hex id of the distributed trace this span belongs to
+    #: ("" when recorded outside any trace). Spans of one offload share
+    #: it across processes; see :mod:`repro.telemetry.context`.
+    trace_id: str = ""
 
     kind = "span"
 
@@ -91,6 +96,8 @@ class EventRecord:
     pid: int
     tid: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: Distributed-trace id, as on :class:`SpanRecord`.
+    trace_id: str = ""
 
     kind = "event"
 
@@ -140,8 +147,15 @@ class _Span:
     def __enter__(self) -> "_Span":
         recorder = self._recorder
         stack = recorder._stack()
-        self.parent_id = stack[-1] if stack else 0
-        self.span_id = next(recorder._ids)
+        if stack:
+            self.parent_id = stack[-1]
+        else:
+            # Top of the local stack: adopt the distributed trace's
+            # remote parent (the host span that built the message this
+            # process is executing), if one is active.
+            ctx = trace_context.current()
+            self.parent_id = ctx.span_id if ctx is not None else 0
+        self.span_id = recorder._next_id()
         stack.append(self.span_id)
         self._start_ns = recorder._clock()
         return self
@@ -164,6 +178,7 @@ class _Span:
             pid=os.getpid(),
             tid=threading.get_ident(),
             attrs=self.attrs,
+            trace_id=trace_context.current_trace_id_hex(),
         ))
         return False
 
@@ -204,7 +219,27 @@ class Recorder:
             stack = self._tls.stack = []
         return stack
 
+    def _next_id(self) -> int:
+        """Process-unique record id: ``pid`` in the high bits.
+
+        Span ids cross process boundaries (the active-message header
+        carries the sender's span id as the remote parent, and a TCP
+        target's records merge into the host trace), so two processes
+        must never mint the same id — which a forked server would do if
+        ids were a bare counter, since fork copies the counter state.
+        Linux pids fit in 22 bits (``pid_max`` <= 4194304); 40 bits of
+        counter keeps the combined id well inside a signed 64-bit int.
+        """
+        return (os.getpid() << 40) | next(self._ids)
+
     def _append(self, record: SpanRecord | EventRecord) -> None:
+        if record.kind == "span":
+            # Per-phase latency distribution, live-queryable through the
+            # metrics snapshot (and the /metrics endpoint) without
+            # draining the trace ring.
+            self.metrics.histogram("phase." + record.name).observe(
+                record.duration_ns / 1e9
+            )
         with self._lock:
             self._ring.append(record)
             self._recorded += 1
@@ -218,15 +253,21 @@ class Recorder:
               **attrs: Any) -> None:
         """Record an instantaneous event at the current time."""
         stack = self._stack()
+        if stack:
+            parent_id = stack[-1]
+        else:
+            ctx = trace_context.current()
+            parent_id = ctx.span_id if ctx is not None else 0
         self._append(EventRecord(
             name=name,
             category=category,
             ts_ns=self._clock(),
-            span_id=next(self._ids),
-            parent_id=stack[-1] if stack else 0,
+            span_id=self._next_id(),
+            parent_id=parent_id,
             pid=os.getpid(),
             tid=threading.get_ident(),
             attrs=attrs,
+            trace_id=trace_context.current_trace_id_hex(),
         ))
 
     def ingest(self, records: "list[SpanRecord | EventRecord]") -> None:

@@ -5,24 +5,41 @@ flat JSONL, auto-detected) and prints per-phase latency percentiles::
 
     python -m repro.telemetry.report trace.json
     python -m repro.telemetry.report trace.jsonl --prefix offload.
+    python -m repro.telemetry.report trace.json --per-message
+    python -m repro.telemetry.report trace.json --critical-path
+    python -m repro.telemetry.report trace.json --format json
 
-The table covers every span name (one row per phase: serialize,
+The default table covers every span name (one row per phase: serialize,
 enqueue, transport, execute, reply, deserialize, ...), with count,
 p50/p95, mean and total time, plus the trace's instantaneous events
 (faults, retries, health transitions) grouped by name.
+
+``--per-message`` groups the records by distributed ``trace_id`` (one
+row per offload, across processes); ``--critical-path`` prints each
+message's exact phase-by-phase timeline, including the uncovered
+``(wait)`` stretches where the wire time lives. ``--format json`` emits
+the same data machine-readably.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from collections import Counter as _TallyCounter
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.bench.tables import format_time, render_table
+from repro.telemetry.distributed import group_by_trace, trace_summary
 from repro.telemetry.export import Record, durations_by_name, load_any
 from repro.telemetry.metrics import percentile
 
-__all__ = ["main", "render_report", "summarize"]
+__all__ = [
+    "main",
+    "render_critical_paths",
+    "render_per_message",
+    "render_report",
+    "summarize",
+]
 
 
 def summarize(
@@ -74,6 +91,59 @@ def render_report(records: Sequence[Record], prefix: str = "") -> str:
     return span_table + "\n\n" + render_table(event_rows, title="events")
 
 
+def per_message_summaries(records: Sequence[Record]) -> list[dict[str, Any]]:
+    """One digest per distributed trace, ordered by first timestamp."""
+    groups = group_by_trace(records)
+    summaries = [trace_summary(group) for group in groups.values()]
+    summaries.sort(key=lambda s: min(
+        (seg["start_ns"] for seg in s["critical_path"]), default=0
+    ))
+    return summaries
+
+
+def render_per_message(records: Sequence[Record]) -> str:
+    """Table with one row per distributed trace (= one offload)."""
+    summaries = per_message_summaries(records)
+    if not summaries:
+        return "no traced messages (records carry no trace_id)"
+    rows = [
+        {
+            "trace": summary["trace_id"][:16],
+            "spans": summary["spans"],
+            "events": summary["events"],
+            "pids": "+".join(str(pid) for pid in summary["pids"]),
+            "total": format_time(summary["total_ns"] / 1e9),
+        }
+        for summary in summaries
+    ]
+    return render_table(rows, title="per-message traces")
+
+
+def render_critical_paths(records: Sequence[Record]) -> str:
+    """Phase-by-phase breakdown of every distributed trace."""
+    summaries = per_message_summaries(records)
+    if not summaries:
+        return "no traced messages (records carry no trace_id)"
+    blocks: list[str] = []
+    for summary in summaries:
+        total = summary["total_ns"]
+        rows = []
+        for segment in summary["critical_path"]:
+            duration = segment["duration_ns"]
+            rows.append({
+                "phase": segment["phase"],
+                "pid": segment["pid"] or "-",
+                "time": format_time(duration / 1e9),
+                "share": f"{100.0 * duration / total:.1f}%" if total else "-",
+            })
+        blocks.append(render_table(
+            rows,
+            title=f"critical path {summary['trace_id'][:16]} "
+                  f"(total {format_time(total / 1e9)})",
+        ))
+    return "\n\n".join(blocks)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -86,12 +156,42 @@ def main(argv: list[str] | None = None) -> int:
         "--prefix", default="",
         help="only summarize spans whose name starts with this prefix",
     )
+    parser.add_argument(
+        "--per-message", action="store_true",
+        help="group by distributed trace_id: one row per offload",
+    )
+    parser.add_argument(
+        "--critical-path", action="store_true",
+        help="per-message phase-by-phase timeline (implies trace grouping)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
     args = parser.parse_args(argv)
     try:
         records = load_any(args.trace)
     except (OSError, ValueError) as exc:
         parser.error(f"cannot load {args.trace!r}: {exc}")
-    print(render_report(records, args.prefix))
+    if not records:
+        # An empty trace is a fact worth one line, not a crash: report
+        # it and exit cleanly so pipelines can treat it as "nothing ran".
+        print("no records")
+        return 0
+    if args.format == "json":
+        payload: dict[str, Any] = {"phases": summarize(records, args.prefix)}
+        if args.per_message or args.critical_path:
+            payload["messages"] = per_message_summaries(records)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    sections = []
+    if args.per_message:
+        sections.append(render_per_message(records))
+    if args.critical_path:
+        sections.append(render_critical_paths(records))
+    if not sections:
+        sections.append(render_report(records, args.prefix))
+    print("\n\n".join(sections))
     return 0
 
 

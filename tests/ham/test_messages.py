@@ -73,6 +73,61 @@ class TestWireFormat:
             build_message(MSG_INVOKE, -1, 0, b"")
 
 
+class TestHeaderVersions:
+    """Version-1 / version-2 interop: trace context on the wire."""
+
+    def test_untraced_message_stays_version_1(self):
+        from repro.ham.message import HEADER_SIZE
+
+        data = build_message(MSG_INVOKE, 7, 1, b"x")
+        assert len(data) == HEADER_SIZE + 1
+        assert data[2] == 1  # version byte
+
+    def test_traced_message_uses_version_2(self):
+        from repro.ham.message import HEADER_SIZE_V2
+
+        data = build_message(MSG_INVOKE, 7, 1, b"x", trace_id=0xFEED,
+                             parent_span_id=42, trace_flags=1)
+        assert len(data) == HEADER_SIZE_V2 + 1
+        assert data[2] == 2
+
+    def test_v2_round_trip_preserves_trace_fields(self):
+        trace_id = (1 << 127) | 0xCAFE
+        data = build_message(MSG_RESULT, 0, 5, b"p", trace_id=trace_id,
+                             parent_span_id=1 << 63, trace_flags=1)
+        header, payload = parse_message(data)
+        assert payload == b"p"
+        assert header.trace_id == trace_id
+        assert header.parent_span_id == 1 << 63
+        assert header.trace_flags == 1
+
+    def test_v1_message_parses_with_zeroed_trace_fields(self):
+        header, _ = parse_message(build_message(MSG_INVOKE, 7, 1, b""))
+        assert header.trace_id == 0
+        assert header.parent_span_id == 0
+        assert header.trace_flags == 0
+
+    def test_v2_truncated_after_v1_header_rejected(self):
+        data = build_message(MSG_INVOKE, 7, 1, b"", trace_id=1)
+        from repro.ham.message import HEADER_SIZE
+
+        with pytest.raises(SerializationError, match="truncated"):
+            parse_message(data[:HEADER_SIZE])
+
+    def test_unsupported_version_rejected(self):
+        data = bytearray(build_message(MSG_INVOKE, 7, 1, b""))
+        data[2] = 9
+        with pytest.raises(SerializationError, match="version"):
+            parse_message(bytes(data))
+
+    def test_out_of_range_trace_fields_rejected(self):
+        with pytest.raises(SerializationError, match="128-bit"):
+            build_message(MSG_INVOKE, 0, 0, b"", trace_id=1 << 128)
+        with pytest.raises(SerializationError, match="64 bits"):
+            build_message(MSG_INVOKE, 0, 0, b"", trace_id=1,
+                          parent_span_id=1 << 64)
+
+
 class TestFunctor:
     def test_f2f_requires_registration(self, catalog):
         def unregistered():
@@ -117,6 +172,31 @@ class TestExecuteMessage:
         assert keep_running
         msg_id, value = unpack_result(reply)
         assert (msg_id, value) == (9, 42)
+
+    def test_v1_invoke_executes(self, catalog, images):
+        # Outside any trace, build_invoke emits the compact v1 header —
+        # and a v1 message (e.g. from a pre-tracing peer) must execute.
+        host, target = images
+        invoke = build_invoke(host, Functor("app::add", (1, 2)), msg_id=3)
+        assert invoke[2] == 1  # version byte
+        reply, _keep = execute_message(target, invoke)
+        assert unpack_result(reply) == (3, 3)
+        assert reply[2] == 1  # untraced reply stays v1 too
+
+    def test_traced_invoke_propagates_context_to_reply(self, catalog, images):
+        from repro.telemetry import context as trace_context
+
+        host, target = images
+        ctx = trace_context.new_trace()
+        with trace_context.activate(ctx):
+            invoke = build_invoke(host, Functor("app::add", (1, 2)), msg_id=3)
+        assert invoke[2] == 2
+        header, _ = parse_message(invoke)
+        assert header.trace_id == ctx.trace_id
+        reply, _keep = execute_message(target, invoke)
+        reply_header, _ = parse_message(reply)
+        assert reply_header.trace_id == ctx.trace_id
+        assert unpack_result(reply) == (3, 3)
 
     def test_numpy_args(self, catalog, images):
         host, target = images

@@ -162,3 +162,92 @@ class TestSimBridge:
         back = parse_chrome_trace(path)
         assert [r.name for r in back] == ["x"]
         assert back[0].duration_ns == 1000
+
+
+def traced_records(trace="aa" * 16):
+    """Two-process records of one distributed trace."""
+    return [
+        SpanRecord(
+            name="offload.serialize", category="offload", start_ns=1000,
+            duration_ns=500, span_id=1, parent_id=0, pid=10, tid=20,
+            attrs={}, trace_id=trace,
+        ),
+        SpanRecord(
+            name="offload.execute", category="offload", start_ns=1800,
+            duration_ns=700, span_id=2, parent_id=1, pid=11, tid=21,
+            attrs={}, trace_id=trace,
+        ),
+        SpanRecord(
+            name="offload.deserialize", category="offload", start_ns=2700,
+            duration_ns=200, span_id=3, parent_id=0, pid=10, tid=20,
+            attrs={}, trace_id=trace,
+        ),
+    ]
+
+
+class TestReportCliModes:
+    def test_empty_trace_prints_no_records_and_exits_zero(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "empty.json", [])
+        assert report_main([str(path)]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_empty_jsonl_too(self, tmp_path, capsys):
+        path = write_jsonl(tmp_path / "empty.jsonl", [])
+        assert report_main([str(path)]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_format_json(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "trace.json", sample_records())
+        assert report_main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "offload.serialize" in payload["phases"]
+        assert payload["phases"]["offload.execute"]["count"] == 1
+
+    def test_format_json_with_messages(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "trace.json", traced_records())
+        assert report_main([str(path), "--format", "json",
+                            "--per-message"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (message,) = payload["messages"]
+        assert message["trace_id"] == "aa" * 16
+        assert message["spans"] == 3
+        phases = [seg["phase"] for seg in message["critical_path"]]
+        assert "offload.execute" in phases
+
+    def test_per_message_table(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "trace.json", traced_records())
+        assert report_main([str(path), "--per-message"]) == 0
+        out = capsys.readouterr().out
+        assert "per-message traces" in out
+        assert ("aa" * 16)[:16] in out
+
+    def test_critical_path_table(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "trace.json", traced_records())
+        assert report_main([str(path), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "offload.execute" in out
+        assert "(wait)" in out
+
+    def test_untraced_records_yield_helpful_message(self, tmp_path, capsys):
+        path = write_chrome_trace(tmp_path / "trace.json", sample_records())
+        assert report_main([str(path), "--per-message"]) == 0
+        assert "no traced messages" in capsys.readouterr().out
+
+
+class TestSimBridgeReportRoundTrip:
+    def test_sim_trace_flows_through_report_cli(self, tmp_path, capsys):
+        # The full bridge: sim Tracer -> Chrome file -> report table.
+        sim = Simulator()
+        tracer = Tracer().attach(sim)
+        sim.run(until=sim.timeout(5e-6))
+        tracer.span("dma.descriptor", start=0.0)
+        tracer.span("dma.transfer", start=1e-6)
+        tracer.point("dma.done")
+        path = write_sim_chrome_trace(tmp_path / "sim.json", tracer)
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dma.descriptor" in out
+        assert "dma.transfer" in out
+        assert "dma.done" in out
+        assert "p95" in out

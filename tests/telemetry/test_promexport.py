@@ -1,0 +1,135 @@
+"""Tests for the Prometheus text exporter and the /metrics endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.promexport import (
+    MetricsServer,
+    TelemetryConfig,
+    sanitize_metric_name,
+    to_prometheus,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("offload.sync.time") == \
+            "repro_offload_sync_time"
+
+    def test_invalid_chars_and_leading_digit(self):
+        assert sanitize_metric_name("4dma-rate") == "repro__4dma_rate"
+
+    def test_custom_prefix(self):
+        assert sanitize_metric_name("x", prefix="app_") == "app_x"
+
+
+class TestToPrometheus:
+    @pytest.fixture()
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("offload.issued").inc(5)
+        reg.gauge("tcp.pending_replies").set(1.5)
+        hist = reg.histogram("phase.offload.execute")
+        for value in (0.010, 0.020, 0.030):
+            hist.observe(value)
+        return reg
+
+    def test_counter_rendering(self, registry):
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_offload_issued_total counter" in text
+        assert "repro_offload_issued_total 5" in text
+
+    def test_gauge_rendering(self, registry):
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_tcp_pending_replies gauge" in text
+        assert "repro_tcp_pending_replies 1.5" in text
+
+    def test_histogram_as_summary(self, registry):
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_phase_offload_execute summary" in text
+        assert 'repro_phase_offload_execute{quantile="0.5"} 0.02' in text
+        assert 'repro_phase_offload_execute{quantile="0.95"}' in text
+        assert "repro_phase_offload_execute_count 3" in text
+        # _sum reconstructed as mean * count (exact).
+        sum_line = next(line for line in text.splitlines()
+                        if line.startswith("repro_phase_offload_execute_sum"))
+        assert float(sum_line.split()[1]) == pytest.approx(0.060)
+
+    def test_empty_snapshot(self):
+        text = to_prometheus({"counters": {}, "gauges": {}, "histograms": {}})
+        assert text == "\n"
+
+    def test_ends_with_newline(self, registry):
+        assert to_prometheus(registry.snapshot()).endswith("\n")
+
+
+class TestTelemetryConfig:
+    def test_coerce_bool(self):
+        assert TelemetryConfig.coerce(True).enabled is True
+        assert TelemetryConfig.coerce(False).enabled is False
+
+    def test_coerce_dict(self):
+        config = TelemetryConfig.coerce({"metrics_port": 9100, "capacity": 16})
+        assert config.metrics_port == 9100
+        assert config.capacity == 16
+        assert config.enabled is True
+
+    def test_coerce_passthrough(self):
+        config = TelemetryConfig(metrics_port=0)
+        assert TelemetryConfig.coerce(config) is config
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            TelemetryConfig.coerce(42)
+        with pytest.raises(TypeError):
+            TelemetryConfig.coerce({"bogus_field": 1})
+
+
+class TestMetricsServer:
+    @pytest.fixture()
+    def server(self):
+        reg = MetricsRegistry()
+        reg.counter("offload.issued").inc(2)
+        srv = MetricsServer(reg.snapshot)
+        yield srv
+        srv.close()
+
+    def test_serves_metrics(self, server):
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as rsp:
+            assert rsp.status == 200
+            assert "version=0.0.4" in rsp.headers["Content-Type"]
+            body = rsp.read().decode()
+        assert "repro_offload_issued_total 2" in body
+
+    def test_serves_healthz(self, server):
+        with urllib.request.urlopen(server.url + "/healthz", timeout=5) as rsp:
+            assert json.load(rsp) == {"status": "ok"}
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + "/nope", timeout=5)
+        assert err.value.code == 404
+
+    def test_ephemeral_port_resolved(self, server):
+        host, port = server.address
+        assert host == "127.0.0.1"
+        assert port > 0
+
+    def test_scrape_sees_live_updates(self):
+        reg = MetricsRegistry()
+        srv = MetricsServer(reg.snapshot)
+        try:
+            reg.counter("live").inc()
+            body = urllib.request.urlopen(
+                srv.url + "/metrics", timeout=5).read().decode()
+            assert "repro_live_total 1" in body
+            reg.counter("live").inc(9)
+            body = urllib.request.urlopen(
+                srv.url + "/metrics", timeout=5).read().decode()
+            assert "repro_live_total 10" in body
+        finally:
+            srv.close()

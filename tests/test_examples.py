@@ -12,6 +12,7 @@ EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 EXPECTED_MARKERS = {
     "quickstart.py": "match                   : True",
     "dgemm_loadbalance.py": "host + VE balanced",
+    "distributed_trace.py": "merged trace written:",
     "pipeline_overlap.py": "overlap gain",
     "tcp_remote_offload.py": "server shut down cleanly: True",
     "traced_offload.py": "trace written:",
