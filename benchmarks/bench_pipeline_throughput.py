@@ -1,0 +1,55 @@
+"""Experiment P2 — pipelined channel transport throughput.
+
+Beyond the paper: the TCP backend's correlation-id reply matching plus
+the target-side worker pool let many invocations overlap in flight,
+bounded by the in-flight window. The acceptance criterion of the
+pipelined transport is a >= 2x sustained invoke throughput over the
+serial ``sync`` baseline on the same server.
+"""
+
+import pytest
+
+from repro.bench.experiments import measure_pipeline_throughput
+from repro.bench.tables import format_time, render_table
+
+
+@pytest.fixture(scope="module")
+def pipeline_data():
+    data = measure_pipeline_throughput(invokes=24, kernel_seconds=0.02)
+    if data["speedup"] < 2.0:  # one retry absorbs scheduler noise
+        data = measure_pipeline_throughput(invokes=24, kernel_seconds=0.02)
+    return data
+
+
+@pytest.fixture(scope="module")
+def pipeline_report(report, pipeline_data):
+    rows = [
+        {"mode": "serial sync",
+         "throughput": f"{pipeline_data['serial_throughput']:,.0f} invokes/s",
+         "wall time": format_time(pipeline_data["serial_seconds"])},
+        {"mode": f"pipelined (window {int(pipeline_data['window'])}, "
+                 f"{int(pipeline_data['workers'])} workers)",
+         "throughput": f"{pipeline_data['pipelined_throughput']:,.0f} invokes/s",
+         "wall time": format_time(pipeline_data["pipelined_seconds"])},
+        {"mode": "speedup",
+         "throughput": f"{pipeline_data['speedup']:.1f}x", "wall time": "-"},
+    ]
+    text = render_table(
+        rows, title="P2 — pipelined TCP invoke throughput (wall clock)"
+    )
+    report("pipeline_throughput", text)
+    return rows
+
+
+class TestPipelineThroughput:
+    def test_pipelined_at_least_2x_serial(self, pipeline_data, pipeline_report):
+        """The tentpole acceptance criterion: >= 2x sustained invoke
+        throughput over the serial TCP baseline."""
+        assert pipeline_data["speedup"] >= 2.0
+
+    def test_serial_baseline_is_latency_bound(self, pipeline_data):
+        # One sync per kernel_seconds at most — if serial were faster,
+        # the baseline (and hence the speedup) would be meaningless.
+        assert pipeline_data["serial_throughput"] <= 1.0 / pipeline_data[
+            "kernel_seconds"
+        ]

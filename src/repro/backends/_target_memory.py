@@ -10,6 +10,7 @@ raises instead of aliasing a new allocation).
 from __future__ import annotations
 
 import bisect
+import threading
 
 import numpy as np
 
@@ -30,39 +31,48 @@ class HostedBuffers:
         self._buffers: dict[int, np.ndarray] = {}
         #: sorted base addresses for containment lookups
         self._bases: list[int] = []
+        #: Table mutations and lookups may race between a server's
+        #: receive thread (alloc/free/write/read) and its worker pool
+        #: (BufferPtr resolution) — the lock keeps the address table
+        #: consistent. Access to the returned storage itself is the
+        #: application's concern, as with real device memory.
+        self._lock = threading.Lock()
 
     def alloc(self, nbytes: int) -> int:
         """Allocate ``nbytes``; returns the (never-reused) base address."""
         if nbytes <= 0:
             raise BadAddressError(f"allocation size must be positive, got {nbytes}")
-        addr = self._next_addr
-        self._next_addr += -(-nbytes // _ALIGN) * _ALIGN + _ALIGN
-        self._buffers[addr] = np.zeros(nbytes, dtype=np.uint8)
-        bisect.insort(self._bases, addr)
+        with self._lock:
+            addr = self._next_addr
+            self._next_addr += -(-nbytes // _ALIGN) * _ALIGN + _ALIGN
+            self._buffers[addr] = np.zeros(nbytes, dtype=np.uint8)
+            bisect.insort(self._bases, addr)
         return addr
 
     def free(self, addr: int) -> None:
         """Free an allocation by its base address."""
-        if self._buffers.pop(addr, None) is None:
-            raise DoubleFreeError(f"free of unknown address {addr:#x}")
-        self._bases.remove(addr)
+        with self._lock:
+            if self._buffers.pop(addr, None) is None:
+                raise DoubleFreeError(f"free of unknown address {addr:#x}")
+            self._bases.remove(addr)
 
     def _locate(self, addr: int, nbytes: int) -> tuple[np.ndarray, int]:
         """Find ``(storage, offset)`` for a range, which may start inside
         an allocation (offset pointers)."""
-        index = bisect.bisect_right(self._bases, addr) - 1
-        if index >= 0:
-            base = self._bases[index]
-            storage = self._buffers[base]
-            offset = addr - base
-            if offset + nbytes <= storage.size:
-                return storage, offset
+        with self._lock:
+            index = bisect.bisect_right(self._bases, addr) - 1
+            if index >= 0:
+                base = self._bases[index]
+                storage = self._buffers[base]
+                offset = addr - base
+                if offset + nbytes <= storage.size:
+                    return storage, offset
         raise BadAddressError(
             f"range [{addr:#x}, {addr + nbytes:#x}) is not inside a live buffer"
         )
 
-    def write(self, addr: int, data: bytes) -> None:
-        """Copy bytes into a live buffer range."""
+    def write(self, addr: int, data) -> None:
+        """Copy bytes into a live buffer range (accepts any bytes-like)."""
         storage, offset = self._locate(addr, len(data))
         storage[offset : offset + len(data)] = np.frombuffer(data, dtype=np.uint8)
 
@@ -79,4 +89,5 @@ class HostedBuffers:
     @property
     def live_count(self) -> int:
         """Number of live allocations."""
-        return len(self._buffers)
+        with self._lock:
+            return len(self._buffers)

@@ -1,21 +1,41 @@
-"""Abstract communication backend.
+"""Abstract communication backend — the pipelined **Channel** contract.
 
 A backend connects the host process to one or more offload targets. The
 runtime (:class:`repro.offload.runtime.Runtime`) delegates every remote
 operation here; the backend owns transport, timing domain (wall clock or
 simulated clock) and the target-side message loop.
 
-Message-level contract: the host posts serialized HAM invoke messages;
-the target executes them through :func:`repro.ham.execution.execute_message`
-and returns reply bytes; the backend matches replies to
-:class:`InvokeHandle` objects wrapped into futures by the runtime.
+Message-level contract (the *channel*):
+
+* Every posted invocation carries a process-unique **correlation id**
+  (:attr:`InvokeHandle.correlation_id`). Frames on the wire are tagged
+  with it, replies echo it, and the backend matches replies through an
+  id-keyed in-flight table — never by arrival order. Replies may
+  therefore complete **out of order**, which is what lets independent
+  offloads overlap on a pipelined transport.
+* In-flight invocations are bounded by an :class:`InflightWindow`
+  (default :data:`DEFAULT_INFLIGHT_LIMIT`). ``post_invoke`` acquires a
+  window slot first — blocking (with the backend's window timeout) or
+  making progress via a drive callback on single-threaded backends —
+  so a runaway producer gets backpressure instead of unbounded queues.
+* Completion is **thread-safe**: transports with receiver threads call
+  :meth:`InvokeHandle.complete_with_reply` /
+  :meth:`InvokeHandle.complete_with_error` from any thread; waiters
+  block on an event, not on polling loops.
+
+The target executes messages through
+:func:`repro.ham.execution.execute_message` and returns reply bytes; the
+backend matches replies to :class:`InvokeHandle` objects wrapped into
+futures by the runtime.
 """
 
 from __future__ import annotations
 
 import abc
 import itertools
-from typing import Any
+import threading
+import time
+from typing import Any, Callable
 
 import numpy as np
 
@@ -25,41 +45,190 @@ from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
 from repro.telemetry import recorder as telemetry
 
-__all__ = ["Backend", "InvokeHandle"]
+__all__ = [
+    "Backend",
+    "DEFAULT_INFLIGHT_LIMIT",
+    "InflightWindow",
+    "InvokeHandle",
+]
+
+#: Default bound on invocations in flight per backend. Large enough to
+#: keep a pipelined transport busy, small enough that a runaway producer
+#: hits backpressure before exhausting memory.
+DEFAULT_INFLIGHT_LIMIT = 64
+
+
+class InflightWindow:
+    """Bounded, id-keyed table of in-flight invocations.
+
+    The window is the flow-control half of the channel contract:
+    :meth:`acquire` reserves capacity before a post (blocking, failing
+    fast, or driving backend progress when the backend is
+    single-threaded), :meth:`register` files the posted handle under its
+    correlation id, and :meth:`release` frees the slot when the handle
+    completes — from whichever thread delivers the reply.
+    """
+
+    def __init__(self, limit: int = DEFAULT_INFLIGHT_LIMIT) -> None:
+        if limit < 1:
+            raise BackendError(f"in-flight window needs a positive limit, got {limit}")
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        #: correlation id -> in-flight handle (the id-keyed table).
+        self._inflight: dict[int, "InvokeHandle"] = {}
+        #: Slots acquired but not yet registered (post in progress).
+        self._reserved = 0
+
+    @property
+    def limit(self) -> int:
+        """Maximum invocations in flight."""
+        return self._limit
+
+    def set_limit(self, limit: int) -> None:
+        """Resize the window (waking waiters when it grows)."""
+        if limit < 1:
+            raise BackendError(f"in-flight window needs a positive limit, got {limit}")
+        with self._lock:
+            self._limit = limit
+            self._slot_freed.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        """Invocations currently occupying the window."""
+        with self._lock:
+            return len(self._inflight) + self._reserved
+
+    def handles(self) -> dict[int, "InvokeHandle"]:
+        """Snapshot of the in-flight table (correlation id -> handle)."""
+        with self._lock:
+            return dict(self._inflight)
+
+    def acquire(
+        self,
+        *,
+        timeout: float | None = None,
+        progress: Callable[[], None] | None = None,
+        label: str = "",
+    ) -> None:
+        """Reserve one window slot, applying backpressure when full.
+
+        Without ``progress``, blocks on the window condition until a
+        completion (from a receiver thread) frees a slot, raising
+        :class:`~repro.errors.OffloadTimeoutError` after ``timeout``
+        seconds. With ``progress`` — required on single-threaded
+        backends where completions only happen when the caller drives
+        the transport — the callback is invoked repeatedly (lock
+        released) until capacity appears.
+
+        Telemetry: the wait, when one actually happens, is recorded as
+        an ``offload.window_wait`` span.
+        """
+        with self._lock:
+            if len(self._inflight) + self._reserved < self._limit:
+                self._reserved += 1
+                return
+        with telemetry.span(
+            "offload.window_wait", label=label, limit=self._limit
+        ):
+            deadline = None if timeout is None else time.monotonic() + timeout
+            with self._lock:
+                while len(self._inflight) + self._reserved >= self._limit:
+                    if progress is not None:
+                        self._lock.release()
+                        try:
+                            progress()
+                        finally:
+                            self._lock.acquire()
+                        continue
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise OffloadTimeoutError(
+                                f"in-flight window full ({self._limit} "
+                                "operations outstanding) and no completion "
+                                "within the deadline"
+                            )
+                    self._slot_freed.wait(remaining)
+                self._reserved += 1
+
+    def register(self, handle: "InvokeHandle") -> None:
+        """File a posted handle under its correlation id."""
+        with self._lock:
+            if self._reserved > 0:
+                self._reserved -= 1
+            self._inflight[handle.correlation_id] = handle
+
+    def cancel(self) -> None:
+        """Return an acquired-but-unposted slot (post failed)."""
+        with self._lock:
+            if self._reserved > 0:
+                self._reserved -= 1
+            self._slot_freed.notify()
+
+    def release(self, handle: "InvokeHandle") -> None:
+        """Free a completed handle's slot (idempotent)."""
+        with self._lock:
+            if self._inflight.pop(handle.correlation_id, None) is not None:
+                self._slot_freed.notify()
 
 
 class InvokeHandle:
     """Pending remote invocation; satisfies the future's handle protocol.
 
+    Each handle carries a process-unique :attr:`correlation_id` — the
+    key frames are tagged with on the wire and replies are matched by.
     Backends complete it by calling :meth:`complete_with_reply` (raw HAM
-    reply bytes) or :meth:`complete_with_error`. ``wait`` delegates to the
-    backend's :meth:`Backend.drive` so each backend decides how to make
-    progress (drain a socket, advance the simulator, ...).
+    reply bytes) or :meth:`complete_with_error` from any thread; both
+    set the completion event and release the backend's in-flight window
+    slot. ``wait`` delegates to the backend's :meth:`Backend.drive` so
+    each backend decides how to make progress (wait on the receiver
+    thread's event, advance the simulator, ...).
     """
 
     _ids = itertools.count(1)
 
     def __init__(self, backend: "Backend", label: str = "") -> None:
         self.backend = backend
-        self.handle_id = next(self._ids)
+        self.correlation_id = next(self._ids)
         self.label = label
-        self._reply: bytes | None = None
+        self._reply: Any = None
         self._error: BaseException | None = None
+        self._done = threading.Event()
+        # Synchronous backends that record their own transport span set
+        # this so ``wait`` doesn't add a redundant zero-duration one.
+        self._transport_spanned = False
+
+    @property
+    def handle_id(self) -> int:
+        """Backward-compatible alias of :attr:`correlation_id`."""
+        return self.correlation_id
 
     # -- backend side --------------------------------------------------------
     def complete_with_reply(self, reply: bytes) -> None:
-        """Deliver the raw reply message."""
+        """Deliver the raw reply message (thread-safe)."""
         self._reply = reply
+        self._finish()
 
     def complete_with_error(self, error: BaseException) -> None:
-        """Deliver a transport-level failure."""
+        """Deliver a transport-level failure (thread-safe)."""
         self._error = error
+        self._finish()
+
+    def _finish(self) -> None:
+        self._done.set()
+        self.backend._handle_completed(self)
 
     # -- future side ------------------------------------------------------------
     @property
     def completed(self) -> bool:
         """Whether a reply or error has been delivered."""
-        return self._reply is not None or self._error is not None
+        return self._done.is_set()
+
+    def wait_event(self, timeout: float | None = None) -> bool:
+        """Block on the completion event; used by threaded transports."""
+        return self._done.wait(timeout)
 
     def test(self) -> bool:
         """Non-blocking probe; lets the backend poll without blocking."""
@@ -76,12 +245,16 @@ class InvokeHandle:
 
         Telemetry phase ``offload.transport``: the wait from "posted"
         until the reply (or a transport error) arrives — wire plus
-        remote-execution time as seen by the host.
+        remote-execution time as seen by the host. Recorded even when a
+        pipelined receiver already completed the handle (a ~0-duration
+        span), so every awaited offload shows the full phase taxonomy.
         """
-        if not self.completed:
+        if not self.completed or not self._transport_spanned:
             try:
                 with telemetry.span("offload.transport", label=self.label):
-                    self.backend.drive(self, blocking=True, timeout=timeout)
+                    if not self.completed:
+                        self.backend.drive(self, blocking=True, timeout=timeout)
+                self._transport_spanned = True
             except OffloadTimeoutError:
                 telemetry.count("offload.timeouts")
                 raise
@@ -95,10 +268,70 @@ class InvokeHandle:
 
 
 class Backend(abc.ABC):
-    """Base class of all communication backends."""
+    """Base class of all communication backends.
+
+    Subclasses should call ``super().__init__()``; backends that predate
+    the channel contract (or test stubs that skip it) still work — the
+    window is created lazily on first use.
+    """
 
     #: Backend name used in node descriptors and reports.
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._window = InflightWindow()
+        self._window_timeout: float | None = None
+
+    # -- the in-flight window --------------------------------------------------
+    @property
+    def window(self) -> InflightWindow:
+        """This backend's in-flight window (lazily created)."""
+        window = getattr(self, "_window", None)
+        if window is None:
+            window = self._window = InflightWindow()
+        return window
+
+    @property
+    def inflight_count(self) -> int:
+        """Invocations currently in flight on this backend."""
+        return self.window.in_flight
+
+    def set_inflight_limit(self, limit: int) -> None:
+        """Bound the number of in-flight invocations (backpressure)."""
+        self.window.set_limit(limit)
+
+    def set_window_timeout(self, seconds: float | None) -> None:
+        """Deadline for acquiring a window slot when the window is full.
+
+        ``None`` (the default) blocks until capacity frees up — on
+        threaded transports a completion always wakes the waiter; on
+        single-threaded backends the acquire drives progress instead of
+        sleeping. The runtime sets this from the resilience policy so a
+        full window against a dead target fails fast.
+        """
+        self._window_timeout = seconds
+
+    def _admit_invoke(
+        self, label: str = "", progress: Callable[[], None] | None = None
+    ) -> None:
+        """Reserve window capacity for one invoke (backpressure point)."""
+        self.window.acquire(
+            timeout=getattr(self, "_window_timeout", None),
+            progress=progress,
+            label=label,
+        )
+
+    def _register_invoke(self, handle: "InvokeHandle") -> None:
+        """File a posted handle in the in-flight table; updates the gauge."""
+        window = self.window
+        window.register(handle)
+        telemetry.gauge("offload.inflight", window.in_flight)
+
+    def _handle_completed(self, handle: "InvokeHandle") -> None:
+        """Completion hook: frees the handle's window slot (any thread)."""
+        window = self.window
+        window.release(handle)
+        telemetry.gauge("offload.inflight", window.in_flight)
 
     # -- topology ---------------------------------------------------------
     @abc.abstractmethod
@@ -121,7 +354,14 @@ class Backend(abc.ABC):
     # -- invocation -----------------------------------------------------------
     @abc.abstractmethod
     def post_invoke(self, node: NodeId, functor: Any) -> InvokeHandle:
-        """Send a functor to ``node`` for execution; returns a handle."""
+        """Send a functor to ``node`` for execution; returns a handle.
+
+        Implementations acquire an in-flight window slot first (via
+        :meth:`_admit_invoke`) and register the handle in the window's
+        id-keyed table (:meth:`_register_invoke`) before the frame hits
+        the transport, so backpressure and reply matching are uniform
+        across backends.
+        """
 
     @abc.abstractmethod
     def drive(

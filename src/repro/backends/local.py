@@ -45,6 +45,7 @@ class LocalBackend(Backend):
     def __init__(self, num_targets: int = 1, catalog: Catalog | None = None) -> None:
         if num_targets < 1:
             raise BackendError(f"need at least one target, got {num_targets}")
+        super().__init__()
         self.host_image = ProcessImage("local-host", catalog)
         self._targets = {
             node: _Target(node, catalog) for node in range(1, num_targets + 1)
@@ -66,10 +67,19 @@ class LocalBackend(Backend):
     def post_invoke(self, node: NodeId, functor: Functor) -> InvokeHandle:
         self._check_alive()
         self.check_target(node)
-        target = self._targets[node]
-        self._msg_id += 1
-        invoke = build_invoke(self.host_image, functor, self._msg_id)
-        handle = InvokeHandle(self, label=functor.type_name)
+        # Execution is synchronous, so the slot frees again before this
+        # method returns — the admission still goes through the window so
+        # limits, gauges and the channel contract behave uniformly.
+        self._admit_invoke(label=functor.type_name)
+        try:
+            target = self._targets[node]
+            self._msg_id += 1
+            invoke = build_invoke(self.host_image, functor, self._msg_id)
+            handle = InvokeHandle(self, label=functor.type_name)
+        except BaseException:
+            self.window.cancel()
+            raise
+        self._register_invoke(handle)
         # Telemetry phase ``offload.transport``: for the in-process
         # backend the "wire" is a synchronous call, so transport time is
         # the handoff around the nested ``offload.execute`` span.
@@ -79,6 +89,7 @@ class LocalBackend(Backend):
                 invoke,
                 resolver=lambda arg: self._resolve(target, arg),
             )
+        handle._transport_spanned = True
         target.messages_executed += 1
         handle.complete_with_reply(reply)
         return handle

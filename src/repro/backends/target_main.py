@@ -24,7 +24,7 @@ import argparse
 import importlib
 import sys
 
-from repro.backends.tcp import TcpTargetServer
+from repro.backends.tcp import DEFAULT_SERVER_WORKERS, TcpTargetServer
 
 __all__ = ["main"]
 
@@ -37,6 +37,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=0, help="port (0 = ephemeral)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_SERVER_WORKERS,
+        help="size of the concurrent-execution worker pool "
+        f"(default {DEFAULT_SERVER_WORKERS})",
+    )
     parser.add_argument(
         "--import",
         dest="imports",
@@ -55,7 +62,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: cannot import {module_name!r}: {exc}", file=sys.stderr)
             return 2
 
-    server = TcpTargetServer(host=args.host, port=args.port)
+    server = TcpTargetServer(host=args.host, port=args.port, workers=args.workers)
     host, port = server.address
     print(f"HAM-Offload target listening on {host}:{port}", flush=True)
     print(

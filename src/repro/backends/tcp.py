@@ -1,4 +1,4 @@
-"""TCP/IP communication backend.
+"""TCP/IP communication backend — the pipelined channel transport.
 
 The functional counterpart of the paper's generic TCP backend
 ("interoperability rather than performance", Sec. I-A): real sockets,
@@ -10,7 +10,7 @@ sides") or started manually on another machine.
 
 Wire protocol (all integers little-endian)::
 
-    frame   := length:u32 | op:u8 | body
+    frame   := length:u32 | op:u8 | corr:u64 | body      (length = 9 + len(body))
     op 0x01 INVOKE    body = HAM message          -> 0x81 body = HAM reply
     op 0x02 ALLOC     body = nbytes:u64           -> 0x82 body = addr:u64
     op 0x03 FREE      body = addr:u64             -> 0x83 body = ""
@@ -22,10 +22,15 @@ Wire protocol (all integers little-endian)::
     op 0x09 CLOCK     body = ""                   -> 0x89 body = perf_ns:u64
     any failure                                    -> 0xFF body = pickled info
 
-Replies arrive strictly in request order, so the client matches them with
-a FIFO of expectations — which is what allows multiple INVOKEs to be in
-flight (asynchronous offloading) while memory operations stay
-synchronous.
+Every frame carries a **correlation id**; replies (including failure
+replies) echo the request's id. The client matches replies through an
+id-keyed table instead of a FIFO, so they may arrive in any order —
+which is what lets the target execute invocations concurrently (worker
+pool) while memory operations stay synchronous roundtrips.
+
+Frames are assembled with vectored I/O (``sendmsg``): large array
+payloads travel as ``memoryview`` parts straight from the arrays' own
+storage, never concatenated host-side.
 """
 
 from __future__ import annotations
@@ -35,15 +40,16 @@ import pickle
 import select
 import socket
 import struct
+import threading
 import time
 import traceback
-from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.backends._target_memory import HostedBuffers
 from repro.backends.base import Backend, InvokeHandle
 from repro.errors import BackendError, OffloadTimeoutError, RemoteExecutionError
-from repro.ham.execution import build_invoke, execute_message
+from repro.ham.execution import build_invoke_parts, execute_message
 from repro.ham.functor import Functor
 from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
@@ -68,98 +74,229 @@ OP_FAILURE = 0xFF
 
 _LEN = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
+#: op byte + correlation id, counted inside the frame length.
+_FRAME_META = 1 + _U64.size
+#: Full on-wire overhead of one frame (length prefix + op + corr).
+FRAME_OVERHEAD = _LEN.size + _FRAME_META
+
+#: Default size of the target-side worker pool (concurrent INVOKEs).
+DEFAULT_SERVER_WORKERS = 4
 
 
-def _send_frame(sock: socket.socket, op: int, body: bytes) -> None:
-    sock.sendall(_LEN.pack(1 + len(body)) + bytes([op]) + body)
+def _sendmsg_all(sock: socket.socket, parts: list) -> None:
+    """Send every buffer in ``parts`` with scatter-gather writes.
+
+    ``sendmsg`` hands the kernel the buffer list directly, so large
+    array payloads are never concatenated in user space. Partial sends
+    are resumed by slicing the remaining views.
+    """
+    views = [memoryview(part) for part in parts if len(part)]
+    while views:
+        sent = sock.sendmsg(views)
+        while sent:
+            head = views[0]
+            if sent >= len(head):
+                sent -= len(head)
+                views.pop(0)
+            else:
+                views[0] = head[sent:]
+                sent = 0
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise BackendError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+def _send_frame(sock: socket.socket, op: int, corr: int, *parts) -> int:
+    """Send one frame; returns the number of wire bytes."""
+    body_len = sum(len(part) for part in parts)
+    prefix = (
+        _LEN.pack(_FRAME_META + body_len) + bytes([op]) + _U64.pack(corr)
+    )
+    _sendmsg_all(sock, [prefix, *parts])
+    return _LEN.size + _FRAME_META + body_len
 
 
-def _recv_frame(sock: socket.socket) -> tuple[int, bytes]:
-    header = _recv_exact(sock, _LEN.size)
+def _recv_into_exact(
+    sock: socket.socket,
+    view: memoryview,
+    what: str,
+    pending: Callable[[], int] | None = None,
+) -> None:
+    """Fill ``view`` completely from the socket.
+
+    Raises :class:`BackendError` on EOF, reporting how much of the
+    expected data arrived and — when the caller supplies a ``pending``
+    counter — how many operations were left waiting on the connection.
+    """
+    received = 0
+    total = len(view)
+    while received < total:
+        n = sock.recv_into(view[received:])
+        if n == 0:
+            context = ""
+            if pending is not None:
+                count = pending()
+                context = (
+                    f"; {count} pending operation{'s' if count != 1 else ''}"
+                    " can no longer be matched"
+                )
+            raise BackendError(
+                f"connection closed mid-{what}: received {received} of "
+                f"{total} expected bytes{context}"
+            )
+        received += n
+
+
+def _recv_frame(
+    sock: socket.socket, pending: Callable[[], int] | None = None
+) -> tuple[int, int, memoryview]:
+    """Read one frame; returns ``(op, correlation_id, body_view)``.
+
+    The body is a :class:`memoryview` over a freshly allocated buffer —
+    safe to hand to another thread, decoded without further copies.
+    """
+    header = bytearray(_LEN.size)
+    _recv_into_exact(sock, memoryview(header), "frame header", pending)
     (length,) = _LEN.unpack(header)
-    if length < 1:
-        raise BackendError("empty frame")
-    payload = _recv_exact(sock, length)
-    return payload[0], payload[1:]
+    if length < _FRAME_META:
+        raise BackendError(
+            f"short frame: length {length} < op + correlation header "
+            f"({_FRAME_META} bytes)"
+        )
+    payload = bytearray(length)
+    _recv_into_exact(sock, memoryview(payload), "frame payload", pending)
+    op = payload[0]
+    (corr,) = _U64.unpack_from(payload, 1)
+    return op, corr, memoryview(payload)[_FRAME_META:]
 
 
 class TcpTargetServer:
-    """The target-side message loop: one client, sequential requests."""
+    """The target-side message loop: one client, concurrent execution.
+
+    Invocations are dispatched to a pool of ``workers`` threads, so
+    independent offloads execute concurrently and replies return in
+    completion order (each tagged with its correlation id). Memory and
+    control operations are handled inline on the receive thread —
+    they are cheap and their strict ordering keeps alloc/free races out
+    of the picture.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
         catalog: Catalog | None = None,
+        workers: int = DEFAULT_SERVER_WORKERS,
     ) -> None:
+        if workers < 1:
+            raise BackendError(f"worker pool needs at least 1 thread, got {workers}")
         self.image = ProcessImage("tcp-target", catalog)
         self.buffers = HostedBuffers()
+        self.workers = workers
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self.messages_executed = 0
+        self._count_lock = threading.Lock()
+        #: Workers and the receive loop share the socket for replies.
+        self._send_lock = threading.Lock()
 
     def serve_forever(self) -> None:
         """Accept one client and serve requests until SHUTDOWN/EOF."""
         conn, _peer = self._listener.accept()
+        pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="ham-worker"
+        )
         try:
             with conn:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 while True:
                     try:
-                        op, body = _recv_frame(conn)
+                        op, corr, body = _recv_frame(conn)
                     except BackendError:
                         return  # client went away
-                    if not self._handle(conn, op, body):
+                    if op == OP_INVOKE:
+                        pool.submit(self._execute_invoke, conn, corr, body)
+                        continue
+                    if op == OP_SHUTDOWN:
+                        # Drain in-flight invocations before acknowledging,
+                        # so the shutdown reply is the last frame sent.
+                        pool.shutdown(wait=True)
+                        self._reply(conn, OP_SHUTDOWN | OP_REPLY_BIT, corr, b"")
                         return
+                    self._handle_inline(conn, op, corr, body)
         finally:
+            pool.shutdown(wait=True)
             self._listener.close()
 
-    def _handle(self, conn: socket.socket, op: int, body: bytes) -> bool:
+    def _reply(self, conn: socket.socket, op: int, corr: int, *parts) -> None:
+        with self._send_lock:
+            _send_frame(conn, op, corr, *parts)
+
+    def _send_failure(
+        self, conn: socket.socket, corr: int, exc: BaseException
+    ) -> None:
+        info = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
         try:
-            if op == OP_INVOKE:
-                reply, _keep = execute_message(
-                    self.image, body, resolver=self._resolve
-                )
+            self._reply(conn, OP_FAILURE, corr, pickle.dumps(info))
+        except OSError:  # pragma: no cover - client is already gone
+            pass
+
+    def _execute_invoke(
+        self, conn: socket.socket, corr: int, body: memoryview
+    ) -> None:
+        """Worker-pool entry: execute one invocation, reply with its id."""
+        worker = threading.current_thread().name
+        try:
+            reply, _keep = execute_message(self.image, body, resolver=self._resolve)
+            with self._count_lock:
                 self.messages_executed += 1
-                _send_frame(conn, OP_INVOKE | OP_REPLY_BIT, reply)
-            elif op == OP_ALLOC:
+            # Per-worker reply span: which pool thread produced which
+            # correlation id (the execute span itself is recorded inside
+            # execute_message, parented to the sender's trace).
+            with telemetry.span(
+                "tcp.server.reply", worker=worker, corr=corr, bytes=len(reply)
+            ):
+                self._reply(conn, OP_INVOKE | OP_REPLY_BIT, corr, reply)
+        except OSError:  # pragma: no cover - client is already gone
+            pass
+        except Exception as exc:  # noqa: BLE001 - shipped to the client
+            self._send_failure(conn, corr, exc)
+
+    def _handle_inline(
+        self, conn: socket.socket, op: int, corr: int, body: memoryview
+    ) -> None:
+        try:
+            if op == OP_ALLOC:
                 (nbytes,) = _U64.unpack(body)
                 addr = self.buffers.alloc(nbytes)
-                _send_frame(conn, OP_ALLOC | OP_REPLY_BIT, _U64.pack(addr))
+                self._reply(conn, OP_ALLOC | OP_REPLY_BIT, corr, _U64.pack(addr))
             elif op == OP_FREE:
                 (addr,) = _U64.unpack(body)
                 self.buffers.free(addr)
-                _send_frame(conn, OP_FREE | OP_REPLY_BIT, b"")
+                self._reply(conn, OP_FREE | OP_REPLY_BIT, corr, b"")
             elif op == OP_WRITE:
                 (addr,) = _U64.unpack(body[:8])
                 self.buffers.write(addr, body[8:])
-                _send_frame(conn, OP_WRITE | OP_REPLY_BIT, b"")
+                self._reply(conn, OP_WRITE | OP_REPLY_BIT, corr, b"")
             elif op == OP_READ:
-                addr, nbytes = _U64.unpack(body[:8])[0], _U64.unpack(body[8:16])[0]
-                _send_frame(conn, OP_READ | OP_REPLY_BIT, self.buffers.read(addr, nbytes))
+                (addr,) = _U64.unpack(body[:8])
+                (nbytes,) = _U64.unpack(body[8:16])
+                self._reply(
+                    conn, OP_READ | OP_REPLY_BIT, corr,
+                    self.buffers.read(addr, nbytes),
+                )
             elif op == OP_PING:
                 # Handshake: the body carries the client's catalog digest;
                 # a mismatch means host and target were "built" from
                 # different type sets and keys would not translate.
                 digest = self.image.digest()
-                if body and body != digest:
+                if len(body) and bytes(body) != digest:
                     raise BackendError(
                         "offloadable catalogs differ between host and target "
                         "(both sides must import the same application modules)"
                     )
-                _send_frame(conn, OP_PING | OP_REPLY_BIT, digest)
+                self._reply(conn, OP_PING | OP_REPLY_BIT, corr, digest)
             elif op == OP_TELEMETRY:
                 # Drain this process's telemetry so the host can merge
                 # target-side spans (offload.execute, ...) into one
@@ -167,31 +304,24 @@ class TcpTargetServer:
                 # forked server inherits the parent's enabled state.
                 recorder = telemetry.get()
                 rows = records_to_dicts(recorder.drain()) if recorder else []
-                _send_frame(
-                    conn, OP_TELEMETRY | OP_REPLY_BIT,
+                self._reply(
+                    conn, OP_TELEMETRY | OP_REPLY_BIT, corr,
                     pickle.dumps(rows, protocol=4),
                 )
             elif op == OP_CLOCK:
                 # Clock ping-pong: reply with this process's monotonic
                 # clock so the client can estimate the offset between
                 # the two perf_counter epochs (see telemetry.distributed).
-                _send_frame(
-                    conn, OP_CLOCK | OP_REPLY_BIT,
+                self._reply(
+                    conn, OP_CLOCK | OP_REPLY_BIT, corr,
                     _U64.pack(time.perf_counter_ns()),
                 )
-            elif op == OP_SHUTDOWN:
-                _send_frame(conn, OP_SHUTDOWN | OP_REPLY_BIT, b"")
-                return False
             else:
                 raise BackendError(f"unknown op {op:#x}")
+        except OSError:  # pragma: no cover - client is already gone
+            pass
         except Exception as exc:  # noqa: BLE001 - shipped to the client
-            info = {
-                "type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-            }
-            _send_frame(conn, OP_FAILURE, pickle.dumps(info))
-        return True
+            self._send_failure(conn, corr, exc)
 
     def _resolve(self, arg: Any) -> Any:
         if isinstance(arg, BufferPtr):
@@ -199,8 +329,10 @@ class TcpTargetServer:
         return arg
 
 
-def _server_entry(port_pipe: Any, catalog: Catalog | None) -> None:
-    server = TcpTargetServer(catalog=catalog)
+def _server_entry(
+    port_pipe: Any, catalog: Catalog | None, workers: int
+) -> None:
+    server = TcpTargetServer(catalog=catalog, workers=workers)
     port_pipe.send(server.address)
     port_pipe.close()
     server.serve_forever()
@@ -210,18 +342,20 @@ def spawn_local_server(
     catalog: Catalog | None = None,
     *,
     startup_timeout: float = 10.0,
+    workers: int = DEFAULT_SERVER_WORKERS,
 ) -> tuple[multiprocessing.Process, tuple[str, int]]:
     """Fork a target-server child process; returns ``(process, address)``.
 
     Forking inherits the parent's imported modules and offloadable
     catalog — the moral equivalent of building host and target binaries
     from the same source. ``startup_timeout`` bounds the wait for the
-    child to report its listening address.
+    child to report its listening address; ``workers`` sizes the
+    server's concurrent-execution pool.
     """
     ctx = multiprocessing.get_context("fork")
     parent_pipe, child_pipe = ctx.Pipe()
     process = ctx.Process(
-        target=_server_entry, args=(child_pipe, catalog), daemon=True
+        target=_server_entry, args=(child_pipe, catalog, workers), daemon=True
     )
     process.start()
     child_pipe.close()
@@ -237,6 +371,12 @@ def spawn_local_server(
 
 class TcpBackend(Backend):
     """Client side of the TCP backend (one target).
+
+    A dedicated receiver thread owns the inbound side of the socket:
+    it reads frames, matches each reply to its request through the
+    correlation-id table, and completes the waiting handle — so replies
+    complete out of order and a soft timeout never desynchronizes the
+    stream (the frame is simply matched when it eventually arrives).
 
     Parameters
     ----------
@@ -268,6 +408,7 @@ class TcpBackend(Backend):
         op_timeout: float | None = None,
         connect_timeout: float = 10.0,
     ) -> None:
+        super().__init__()
         self.host_image = ProcessImage("tcp-host", catalog)
         self.address = address
         self._on_shutdown = on_shutdown
@@ -275,26 +416,37 @@ class TcpBackend(Backend):
         self._sock = socket.create_connection(address, timeout=connect_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock.settimeout(None)
-        #: FIFO of reply consumers: ("invoke", handle) or ("sync", op, box).
-        self._pending: deque[tuple[str, Any]] = deque()
+        #: Correlation id -> reply sink: ("invoke", handle) or ("sync", box).
+        self._pending: dict[int, tuple[str, Any]] = {}
+        self._pending_lock = threading.Lock()
+        self._send_lock = threading.Lock()
         self._msg_id = 0
         self._alive = True
         self._closed = False
+        self._closing = False
         self.invokes_posted = 0
         self.bytes_sent = 0
         self.bytes_received = 0
-        # Handshake: fetch the server's catalog digest and compare, to
-        # fail fast when host and target registered different offloadable
-        # sets. (An empty body asks without asserting, so the comparison
-        # happens client-side with a precise error.)
-        server_digest = self._roundtrip(OP_PING, b"")
-        if server_digest and server_digest != self.host_image.digest():
-            self._sock.close()
+        self._receiver = threading.Thread(
+            target=self._recv_loop, name="tcp-receiver", daemon=True
+        )
+        self._receiver.start()
+        try:
+            # Handshake: fetch the server's catalog digest and compare, to
+            # fail fast when host and target registered different
+            # offloadable sets. (An empty body asks without asserting, so
+            # the comparison happens client-side with a precise error.)
+            server_digest = self._roundtrip(OP_PING, timeout=connect_timeout)
+            if server_digest and bytes(server_digest) != self.host_image.digest():
+                raise BackendError(
+                    "offloadable catalogs differ between host and target "
+                    "(both sides must import the same application modules)"
+                )
+        except BaseException:
+            self._closing = True
             self._alive = False
-            raise BackendError(
-                "offloadable catalogs differ between host and target "
-                "(both sides must import the same application modules)"
-            )
+            self._sock.close()
+            raise
         #: Target->host clock mapping, estimated at connect by clock
         #: ping-pong (see :mod:`repro.telemetry.distributed`) and
         #: refreshed on every telemetry pull. Identity when the server
@@ -308,7 +460,7 @@ class TcpBackend(Backend):
     def _clock_probe(self, timeout: float) -> tuple[int, int, int]:
         """One ping-pong round: ``(t0_host, t_target, t1_host)`` in ns."""
         t0 = time.perf_counter_ns()
-        body = self._roundtrip(OP_CLOCK, b"", timeout=timeout)
+        body = self._roundtrip(OP_CLOCK, timeout=timeout)
         t1 = time.perf_counter_ns()
         return t0, _U64.unpack(body)[0], t1
 
@@ -340,124 +492,148 @@ class TcpBackend(Backend):
         )
 
     # -- reply plumbing -----------------------------------------------------------
+    def _pending_count(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def _next_corr(self) -> int:
+        """Correlation id for a synchronous (non-invoke) operation.
+
+        Drawn from the same process-wide counter as invoke handles so
+        ids never collide across the two kinds of traffic.
+        """
+        return next(InvokeHandle._ids)
+
     def _fail_pending(self, error: BaseException) -> None:
         """Declare the connection lost: mark dead, fail every expectation.
 
-        Any send/receive error desyncs the strictly-ordered reply FIFO,
-        so no outstanding operation can ever be matched again — they all
-        inherit ``error`` instead of hanging.
+        A receive error or EOF means no outstanding operation can ever be
+        matched again — they all inherit ``error`` instead of hanging.
         """
         self._alive = False
-        while self._pending:
-            kind, sink = self._pending.popleft()
+        with self._pending_lock:
+            sinks = list(self._pending.values())
+            self._pending.clear()
+        for kind, sink in sinks:
             if kind == "invoke":
                 sink.complete_with_error(error)
             else:
                 sink["error"] = error
+                sink["event"].set()
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - close never fails on Linux
             pass
 
-    def _send(self, op: int, body: bytes) -> None:
+    def _send(self, op: int, corr: int, *parts) -> None:
         """Send one frame, translating socket failures into BackendError."""
         try:
-            _send_frame(self._sock, op, body)
-            self.bytes_sent += len(body) + 5
+            with self._send_lock:
+                sent = _send_frame(self._sock, op, corr, *parts)
         except OSError as exc:
             error = BackendError(f"tcp send failed: {exc}")
             self._fail_pending(error)
             raise error from exc
+        self.bytes_sent += sent
 
-    def _dispatch_one_reply(self, deadline: float | None = None) -> None:
-        """Read exactly one frame and hand it to the oldest expectation.
+    def _recv_loop(self) -> None:
+        """Receiver thread: owns framing, matches replies by id.
 
-        ``deadline`` is an absolute :func:`time.monotonic` stamp. If it
-        passes before the next frame *starts* arriving, an
-        :class:`OffloadTimeoutError` is raised softly: nothing was
-        consumed, so the stream and the FIFO stay consistent and the
-        caller may resume waiting later. A timeout in the middle of a
-        frame — like any other receive error — loses framing, so it
-        poisons the backend and fails all pending operations.
+        Because only this thread reads the socket, a waiter's deadline
+        expiring never consumes half a frame — soft timeouts leave the
+        stream intact and the late reply is matched (or discarded) when
+        it arrives. EOF and receive errors poison the backend and fail
+        everything outstanding.
         """
-        if deadline is not None:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or not select.select(
-                [self._sock], [], [], remaining
-            )[0]:
-                raise OffloadTimeoutError(
-                    f"no reply from {self.address[0]}:{self.address[1]} "
-                    "within the deadline"
-                )
-        try:
-            if deadline is not None:
-                self._sock.settimeout(max(deadline - time.monotonic(), 1e-3))
+        while True:
             try:
+                if not select.select([self._sock], [], [], 0.1)[0]:
+                    if self._closing or not self._alive:
+                        return
+                    continue
                 # Telemetry phase ``offload.reply``: pulling one reply
-                # frame off the wire (data is already waiting or close —
-                # the pre-reply wait lives in ``offload.transport``).
+                # frame off the wire (select saw data, so this measures
+                # frame assembly — the pre-reply wait lives in
+                # ``offload.transport``).
                 with telemetry.span("offload.reply") as reply_span:
-                    op, body = _recv_frame(self._sock)
-                    reply_span.set("bytes", len(body) + 5)
-            finally:
-                if deadline is not None:
-                    self._sock.settimeout(None)
-            self.bytes_received += len(body) + 5
-        except (OSError, BackendError) as exc:
-            if isinstance(exc, TimeoutError):
-                error: BaseException = OffloadTimeoutError(
-                    "tcp receive timed out mid-frame; connection state lost"
-                )
-            elif isinstance(exc, BackendError):
-                error = exc
-            else:
-                error = BackendError(f"tcp receive failed: {exc}")
-            self._fail_pending(error)
-            if error is exc:
-                raise
-            raise error from exc
-        if not self._pending:
-            raise BackendError(f"unsolicited reply frame op={op:#x}")
-        kind, sink = self._pending.popleft()
+                    op, corr, body = _recv_frame(
+                        self._sock, pending=self._pending_count
+                    )
+                    reply_span.set("bytes", len(body) + FRAME_OVERHEAD)
+            except (OSError, ValueError, BackendError) as exc:
+                if self._closing:
+                    return
+                if isinstance(exc, BackendError):
+                    error: BaseException = exc
+                else:
+                    error = BackendError(f"tcp receive failed: {exc}")
+                self._fail_pending(error)
+                return
+            self.bytes_received += len(body) + FRAME_OVERHEAD
+            self._dispatch_reply(op, corr, body)
+
+    def _dispatch_reply(self, op: int, corr: int, body: memoryview) -> None:
+        """Complete the expectation filed under ``corr`` (any order)."""
+        with self._pending_lock:
+            entry = self._pending.pop(corr, None)
+        if entry is None:
+            # A reply nothing waits for: its expectation was already
+            # failed, or the peer invented a correlation id. Either way
+            # the stream itself stays consistent — count and move on.
+            telemetry.count("tcp.unmatched_replies")
+            return
+        kind, sink = entry
         if op == OP_FAILURE:
             info = pickle.loads(body)
-            error: BaseException = RemoteExecutionError(
+            failure: BaseException = RemoteExecutionError(
                 f"remote {info['type']}: {info['message']}",
                 remote_traceback=info.get("traceback", ""),
             )
             if kind == "invoke":
-                sink.complete_with_error(error)
+                sink.complete_with_error(failure)
             else:
-                sink["error"] = error
+                sink["error"] = failure
+                sink["event"].set()
             return
         if kind == "invoke":
             if op != (OP_INVOKE | OP_REPLY_BIT):
-                raise BackendError(f"expected invoke reply, got op {op:#x}")
-            sink.complete_with_reply(body)
-        else:
-            expected_op, box = sink["op"], sink
-            if op != (expected_op | OP_REPLY_BIT):
-                raise BackendError(
-                    f"expected reply to op {expected_op:#x}, got {op:#x}"
+                sink.complete_with_error(
+                    BackendError(f"expected invoke reply, got op {op:#x}")
                 )
-            box["body"] = body
+                return
+            sink.complete_with_reply(body)
+            telemetry.gauge("tcp.pending_replies", self._pending_count())
+        else:
+            if op != (sink["op"] | OP_REPLY_BIT):
+                sink["error"] = BackendError(
+                    f"expected reply to op {sink['op']:#x}, got {op:#x}"
+                )
+            else:
+                sink["body"] = body
+            sink["event"].set()
 
     def _roundtrip(
-        self, op: int, body: bytes, timeout: float | None = None
-    ) -> bytes:
-        """Synchronous request: send, then drain replies until ours.
+        self, op: int, *parts, timeout: float | None = None
+    ) -> memoryview:
+        """Synchronous request: send, then wait for the matching reply.
 
         ``timeout`` (defaulting to :attr:`op_timeout`) bounds the whole
-        roundtrip; on expiry an :class:`OffloadTimeoutError` is raised.
+        roundtrip; on expiry an :class:`OffloadTimeoutError` is raised
+        *softly* — the expectation stays registered, so the stream is
+        not poisoned and a late reply is consumed silently.
         """
         self._check_alive()
         effective = timeout if timeout is not None else self.op_timeout
-        deadline = None if effective is None else time.monotonic() + effective
-        box: dict[str, Any] = {"op": op}
-        self._pending.append(("sync", box))
-        self._send(op, body)
-        while "body" not in box and "error" not in box:
-            self._dispatch_one_reply(deadline)
+        corr = self._next_corr()
+        box: dict[str, Any] = {"op": op, "event": threading.Event()}
+        with self._pending_lock:
+            self._pending[corr] = ("sync", box)
+        self._send(op, corr, *parts)
+        if not box["event"].wait(effective):
+            raise OffloadTimeoutError(
+                f"no reply from {self.address[0]}:{self.address[1]} "
+                "within the deadline"
+            )
         if "error" in box:
             raise box["error"]
         return box["body"]
@@ -466,18 +642,40 @@ class TcpBackend(Backend):
     def post_invoke(self, node: NodeId, functor: Functor) -> InvokeHandle:
         self._check_alive()
         self.check_target(node)
-        self._msg_id += 1
-        invoke = build_invoke(self.host_image, functor, self._msg_id)
-        handle = InvokeHandle(self, label=functor.type_name)
-        # Telemetry phase ``offload.enqueue``: queueing the reply
+        # Backpressure point: a window slot must free up (receiver thread
+        # completes a handle) before another invoke may enter the pipe.
+        self._admit_invoke(label=functor.type_name)
+        try:
+            self._check_alive()
+            self._msg_id += 1
+            parts = build_invoke_parts(self.host_image, functor, self._msg_id)
+            total = sum(len(part) for part in parts)
+            handle = InvokeHandle(self, label=functor.type_name)
+        except BaseException:
+            self.window.cancel()
+            raise
+        # Telemetry phase ``offload.enqueue``: filing the reply
         # expectation and pushing the frame onto the socket.
         with telemetry.span(
-            "offload.enqueue", bytes=len(invoke), functor=functor.type_name
+            "offload.enqueue", bytes=total, functor=functor.type_name,
+            corr=handle.correlation_id,
         ):
-            self._pending.append(("invoke", handle))
-            self._send(OP_INVOKE, invoke)
+            with self._pending_lock:
+                self._pending[handle.correlation_id] = ("invoke", handle)
+            self._register_invoke(handle)
+            self._send(OP_INVOKE, handle.correlation_id, *parts)
+        # The receiver may have declared the connection lost between the
+        # aliveness check and our registration; a handle filed after that
+        # drain would wait forever, so fail it here ourselves.
+        if not self._alive:
+            with self._pending_lock:
+                entry = self._pending.pop(handle.correlation_id, None)
+            if entry is not None:
+                handle.complete_with_error(
+                    BackendError("tcp connection lost while posting invoke")
+                )
         self.invokes_posted += 1
-        telemetry.gauge("tcp.pending_replies", len(self._pending))
+        telemetry.gauge("tcp.pending_replies", self._pending_count())
         return handle
 
     def stats(self) -> dict:
@@ -488,22 +686,25 @@ class TcpBackend(Backend):
             "invokes_posted": self.invokes_posted,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "inflight": self.inflight_count,
+            "inflight_limit": self.window.limit,
         }
 
     def drive(
         self, handle: InvokeHandle, *, blocking: bool, timeout: float | None = None
     ) -> None:
+        if handle.completed:
+            return
         self._check_alive()
+        if not blocking:
+            # The receiver thread completes handles; nothing to pump here.
+            return
         effective = timeout if timeout is not None else self.op_timeout
-        deadline = (
-            None if (effective is None or not blocking) else time.monotonic() + effective
-        )
-        while not handle.completed:
-            if not blocking:
-                readable, _, _ = select.select([self._sock], [], [], 0)
-                if not readable:
-                    return
-            self._dispatch_one_reply(deadline)
+        if not handle.wait_event(effective):
+            raise OffloadTimeoutError(
+                f"no reply from {self.address[0]}:{self.address[1]} "
+                "within the deadline"
+            )
 
     # -- memory ----------------------------------------------------------------------
     def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
@@ -516,11 +717,12 @@ class TcpBackend(Backend):
 
     def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
         self.check_target(node)
-        self._roundtrip(OP_WRITE, _U64.pack(addr) + data)
+        # Vectored send: the payload rides as its own buffer, no copy.
+        self._roundtrip(OP_WRITE, _U64.pack(addr), data)
 
     def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
         self.check_target(node)
-        return self._roundtrip(OP_READ, _U64.pack(addr) + _U64.pack(nbytes))
+        return bytes(self._roundtrip(OP_READ, _U64.pack(addr) + _U64.pack(nbytes)))
 
     # -- telemetry ----------------------------------------------------------------------
     def fetch_target_telemetry(
@@ -545,7 +747,7 @@ class TcpBackend(Backend):
         """
         if align:
             self.clock_sync = self._estimate_clock(rounds=4, timeout=timeout)
-        rows = pickle.loads(self._roundtrip(OP_TELEMETRY, b"", timeout=timeout))
+        rows = pickle.loads(self._roundtrip(OP_TELEMETRY, timeout=timeout))
         records = dicts_to_records(rows)
         if align and self.clock_sync.offset_ns:
             records = align_records(records, self.clock_sync.offset_ns)
@@ -556,7 +758,7 @@ class TcpBackend(Backend):
         """Round-trip an ``OP_PING`` heartbeat; returns wall seconds."""
         self.check_target(node)
         start = time.monotonic()
-        self._roundtrip(OP_PING, b"")
+        self._roundtrip(OP_PING)
         return time.monotonic() - start
 
     def set_default_timeout(self, seconds: float | None) -> None:
@@ -569,11 +771,22 @@ class TcpBackend(Backend):
         self._closed = True
         if self._alive:
             try:
-                self._roundtrip(OP_SHUTDOWN, b"")
-            except (BackendError, OffloadTimeoutError):
+                # The server drains its worker pool before acknowledging,
+                # so outstanding invoke replies arrive (and complete their
+                # handles) ahead of this reply.
+                self._roundtrip(
+                    OP_SHUTDOWN, timeout=self.op_timeout or 10.0
+                )
+            except (BackendError, OffloadTimeoutError, RemoteExecutionError):
                 pass  # server already gone or wedged
+        self._closing = True
         self._alive = False
-        self._sock.close()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass
+        if self._receiver.is_alive():
+            self._receiver.join(timeout=5.0)
         if self._on_shutdown is not None:
             self._on_shutdown()
 

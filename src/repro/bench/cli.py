@@ -148,6 +148,28 @@ def report_scaling(quick: bool) -> Report:
     return text, {"multi_ve": m1, "contention": m2}
 
 
+def report_pipeline(quick: bool) -> Report:
+    data = exp.measure_pipeline_throughput(
+        invokes=16 if quick else 48,
+        kernel_seconds=0.01 if quick else 0.02,
+    )
+    rows = [
+        {"mode": "serial sync",
+         "throughput": f"{data['serial_throughput']:,.0f} invokes/s",
+         "wall time": format_time(data["serial_seconds"])},
+        {"mode": f"pipelined (window {int(data['window'])}, "
+                 f"{int(data['workers'])} workers)",
+         "throughput": f"{data['pipelined_throughput']:,.0f} invokes/s",
+         "wall time": format_time(data["pipelined_seconds"])},
+        {"mode": "speedup", "throughput": f"{data['speedup']:.1f}x",
+         "wall time": "-"},
+    ]
+    text = render_table(
+        rows, title="P2 — pipelined TCP invoke throughput (wall clock)"
+    )
+    return text, {"pipeline": data}
+
+
 EXPERIMENTS: dict[str, callable] = {
     "fig9": report_fig9,
     "fig10": report_fig10,
@@ -155,6 +177,7 @@ EXPERIMENTS: dict[str, callable] = {
     "numa": report_numa,
     "ablations": report_ablations,
     "scaling": report_scaling,
+    "pipeline": report_pipeline,
 }
 
 

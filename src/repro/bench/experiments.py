@@ -13,11 +13,17 @@ rendering to the callers.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable
 
 import numpy as np
 
-from repro.backends import DmaCommBackend, VeoCommBackend
+from repro.backends import (
+    DmaCommBackend,
+    TcpBackend,
+    VeoCommBackend,
+    spawn_local_server,
+)
 from repro.bench.harness import measure_sim, scaled_reps
 from repro.ham import f2f, offloadable
 from repro.hw.memory import PAGE_4K, PAGE_HUGE_2M
@@ -38,6 +44,7 @@ __all__ = [
     "measure_multi_ve_scaling",
     "measure_native_veo_call",
     "measure_numa_penalty",
+    "measure_pipeline_throughput",
     "measure_protocol_offload_cost",
     "measure_switch_contention",
     "measure_table4",
@@ -368,6 +375,62 @@ def measure_multi_ve_scaling(
         out[num_ves] = completed / (sim.now - start)
         runtime.shutdown()
     return out
+
+
+def measure_pipeline_throughput(
+    invokes: int = 48,
+    *,
+    kernel_seconds: float = 0.02,
+    workers: int = 4,
+    window: int = 16,
+) -> dict[str, float]:
+    """P2: pipelined vs serial TCP invoke throughput (wall clock).
+
+    The serial baseline issues ``sync`` offloads one at a time, so every
+    invocation pays the full roundtrip plus kernel latency. The
+    pipelined run keeps up to ``window`` invocations in flight through
+    the channel's correlation-id table while the target's worker pool
+    overlaps the kernels — sustained throughput approaches
+    ``workers / kernel_seconds``. The kernel is a pure GIL-releasing
+    sleep, so the measurement isolates transport pipelining from
+    compute contention.
+
+    Returns throughputs (invokes/s), wall times, the speedup, and the
+    run parameters.
+    """
+    from repro.workloads.kernels import sleep_kernel
+
+    results: dict[str, float] = {}
+    for mode in ("serial", "pipelined"):
+        process, address = spawn_local_server(workers=workers)
+        backend = TcpBackend(
+            address, on_shutdown=lambda p=process: p.join(timeout=10)
+        )
+        runtime = Runtime(backend, window=window)
+        runtime.sync(1, f2f(sleep_kernel, 0.0))  # warm the path
+        start = time.perf_counter()
+        if mode == "serial":
+            for _ in range(invokes):
+                runtime.sync(1, f2f(sleep_kernel, kernel_seconds))
+        else:
+            futures = [
+                runtime.async_(1, f2f(sleep_kernel, kernel_seconds))
+                for _ in range(invokes)
+            ]
+            for future in futures:
+                future.get()
+        elapsed = time.perf_counter() - start
+        results[f"{mode}_seconds"] = elapsed
+        results[f"{mode}_throughput"] = invokes / elapsed
+        runtime.shutdown()
+    results["speedup"] = (
+        results["pipelined_throughput"] / results["serial_throughput"]
+    )
+    results["invokes"] = float(invokes)
+    results["kernel_seconds"] = kernel_seconds
+    results["workers"] = float(workers)
+    results["window"] = float(window)
+    return results
 
 
 def measure_switch_contention(transfer: int = 16 * MIB) -> dict[str, float]:

@@ -46,12 +46,14 @@ __all__ = [
 
 #: Path tokens implying "smaller is better" (times and costs).
 _LOWER_BETTER = (
-    "time", "cost", "latency", "duration", "overhead", "fig9", "numa",
+    "time", "cost", "latency", "duration", "overhead", "seconds",
+    "fig9", "numa",
 )
 #: Path tokens implying "larger is better" (bandwidths and rates).
 _HIGHER_BETTER = (
     "bandwidth", "throughput", "rate", "peak", "contention", "multi_ve",
-    "fig10", "table4", "scaling", "dma_manager", "hugepage",
+    "speedup", "fig10", "table4", "scaling", "dma_manager", "hugepage",
+    "pipeline",
 )
 
 

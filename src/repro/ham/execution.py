@@ -22,6 +22,7 @@ from repro.ham.message import (
     MSG_RESULT,
     MSG_SHUTDOWN,
     build_message,
+    build_message_parts,
     parse_message,
 )
 from repro.ham.registry import ProcessImage
@@ -30,15 +31,22 @@ from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
 from repro.telemetry.context import TraceContext
 
-__all__ = ["build_invoke", "execute_message", "unpack_result"]
+__all__ = ["build_invoke", "build_invoke_parts", "execute_message", "unpack_result"]
 
 #: Resolver hook: maps wire-level arguments (e.g. buffer_ptr) to
 #: target-local values (e.g. memory views). Identity by default.
 Resolver = Callable[[Any], Any]
 
 
-def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
-    """Serialize a functor into an INVOKE message (send side).
+def build_invoke_parts(
+    image: ProcessImage, functor: Functor, msg_id: int
+) -> list:
+    """Serialize a functor into INVOKE message buffers (send side).
+
+    The scatter-gather form of :func:`build_invoke`: returns
+    ``[header, *payload_parts]`` where large array arguments remain
+    :class:`memoryview` objects over their own storage, so a vectored
+    transport ships them without ``tobytes()`` copies.
 
     Telemetry phase ``offload.serialize``: the cost of turning the typed
     functor into wire bytes, on whichever backend posts it.
@@ -53,10 +61,12 @@ def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
         key = image.key_for(functor.type_name)
         ctx = trace_context.current()
         if ctx is None:
-            message = build_message(MSG_INVOKE, key, msg_id, functor.serialize_args())
+            parts = build_message_parts(
+                MSG_INVOKE, key, msg_id, functor.serialize_args_parts()
+            )
         else:
-            message = build_message(
-                MSG_INVOKE, key, msg_id, functor.serialize_args(),
+            parts = build_message_parts(
+                MSG_INVOKE, key, msg_id, functor.serialize_args_parts(),
                 trace_id=ctx.trace_id,
                 # The serialize span itself (when recording) is the
                 # causal parent of the remote execution; fall back to
@@ -64,8 +74,18 @@ def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
                 parent_span_id=span.span_id or ctx.span_id,
                 trace_flags=ctx.flags,
             )
-        span.set("bytes", len(message))
-    return message
+        span.set("bytes", sum(len(part) for part in parts))
+    return parts
+
+
+def build_invoke(image: ProcessImage, functor: Functor, msg_id: int) -> bytes:
+    """Serialize a functor into one contiguous INVOKE message.
+
+    Backends that place messages into fixed slots (local, sim) use this
+    joined form; the TCP backend sends :func:`build_invoke_parts`
+    directly through vectored I/O.
+    """
+    return b"".join(build_invoke_parts(image, functor, msg_id))
 
 
 def execute_message(

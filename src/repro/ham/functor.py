@@ -19,7 +19,7 @@ from typing import Any, Callable
 
 from repro.errors import HamError
 from repro.ham.registry import Catalog, global_catalog, type_name_of
-from repro.ham.serialization import deserialize, serialize
+from repro.ham.serialization import deserialize, serialize_parts
 
 __all__ = ["Functor", "f2f"]
 
@@ -44,32 +44,41 @@ class Functor:
     kwargs: tuple[tuple[str, Any], ...] = ()
 
     def serialize_args(self) -> bytes:
-        """Encode the bound arguments for the wire.
+        """Encode the bound arguments for the wire (contiguous form)."""
+        return b"".join(self.serialize_args_parts())
+
+    def serialize_args_parts(self) -> list:
+        """Encode the bound arguments as a list of wire buffers.
 
         Each argument is encoded independently (so numpy arrays use the
         raw fast path even when mixed with scalars), with a small count +
         length framing; keyword arguments follow as name/value pairs.
+        Array payloads stay :class:`memoryview` objects over the arrays'
+        own storage, so scatter-gather transports never copy them.
         """
-        out = [len(self.args).to_bytes(2, "little")]
+        out: list = [len(self.args).to_bytes(2, "little")]
         for arg in self.args:
-            part = serialize(arg)
-            out.append(len(part).to_bytes(4, "little"))
-            out.append(part)
+            parts = serialize_parts(arg)
+            total = sum(len(part) for part in parts)
+            out.append(total.to_bytes(4, "little"))
+            out.extend(parts)
         out.append(len(self.kwargs).to_bytes(2, "little"))
         for name, value in self.kwargs:
             name_bytes = name.encode()
-            part = serialize(value)
+            parts = serialize_parts(value)
+            total = sum(len(part) for part in parts)
             out.append(len(name_bytes).to_bytes(2, "little"))
             out.append(name_bytes)
-            out.append(len(part).to_bytes(4, "little"))
-            out.append(part)
-        return b"".join(out)
+            out.append(total.to_bytes(4, "little"))
+            out.extend(parts)
+        return out
 
     @staticmethod
-    def deserialize_args(data: bytes) -> tuple[tuple[Any, ...], dict[str, Any]]:
+    def deserialize_args(data) -> tuple[tuple[Any, ...], dict[str, Any]]:
         """Decode bound arguments produced by :meth:`serialize_args`.
 
-        Returns ``(args, kwargs)``.
+        Accepts any bytes-like object (``memoryview`` slices stay
+        views). Returns ``(args, kwargs)``.
         """
         count = int.from_bytes(data[:2], "little")
         offset = 2
@@ -85,7 +94,7 @@ class Functor:
         for _ in range(kw_count):
             name_len = int.from_bytes(data[offset : offset + 2], "little")
             offset += 2
-            name = data[offset : offset + name_len].decode()
+            name = bytes(data[offset : offset + name_len]).decode()
             offset += name_len
             length = int.from_bytes(data[offset : offset + 4], "little")
             offset += 4

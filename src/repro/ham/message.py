@@ -50,6 +50,7 @@ __all__ = [
     "MSG_SHUTDOWN",
     "MessageHeader",
     "build_message",
+    "build_message_parts",
     "parse_message",
 ]
 
@@ -86,6 +87,54 @@ class MessageHeader:
     trace_flags: int = 0
 
 
+def build_message_parts(
+    kind: int,
+    handler_key: int,
+    msg_id: int,
+    payload_parts: list,
+    *,
+    trace_id: int = 0,
+    parent_span_id: int = 0,
+    trace_flags: int = 0,
+) -> list:
+    """Assemble one wire message as ``[header, *payload_parts]``.
+
+    The scatter-gather form of :func:`build_message`: the payload stays
+    a list of buffers (``bytes`` / ``memoryview``), so a transport with
+    vectored I/O (``sendmsg``) ships large array data straight from its
+    owner's storage without concatenating. ``payload_len`` in the header
+    is the sum of the part lengths.
+    """
+    if kind not in _KINDS:
+        raise SerializationError(f"invalid message kind {kind}")
+    if handler_key < 0 or msg_id < 0:
+        raise SerializationError("handler key and message id must be non-negative")
+    payload_len = sum(len(part) for part in payload_parts)
+    if trace_id == 0:
+        header = _HEADER_V1.pack(
+            MAGIC, _VERSION_1, kind, handler_key, msg_id, payload_len
+        )
+        return [header, *payload_parts]
+    if not 0 < trace_id < 1 << 128:
+        raise SerializationError(f"trace id must be a 128-bit int, got {trace_id:#x}")
+    if not 0 <= parent_span_id < 1 << 64:
+        raise SerializationError(
+            f"parent span id must fit in 64 bits, got {parent_span_id:#x}"
+        )
+    header = _HEADER_V2.pack(
+        MAGIC,
+        _VERSION_2,
+        kind,
+        handler_key,
+        msg_id,
+        payload_len,
+        trace_id.to_bytes(16, "big"),
+        parent_span_id,
+        trace_flags & 0xFF,
+    )
+    return [header, *payload_parts]
+
+
 def build_message(
     kind: int,
     handler_key: int,
@@ -102,43 +151,27 @@ def build_message(
     trace context fields; otherwise the compact version-1 header is
     emitted unchanged from the original format.
     """
-    if kind not in _KINDS:
-        raise SerializationError(f"invalid message kind {kind}")
-    if handler_key < 0 or msg_id < 0:
-        raise SerializationError("handler key and message id must be non-negative")
-    if trace_id == 0:
-        return (
-            _HEADER_V1.pack(MAGIC, _VERSION_1, kind, handler_key, msg_id, len(payload))
-            + payload
-        )
-    if not 0 < trace_id < 1 << 128:
-        raise SerializationError(f"trace id must be a 128-bit int, got {trace_id:#x}")
-    if not 0 <= parent_span_id < 1 << 64:
-        raise SerializationError(
-            f"parent span id must fit in 64 bits, got {parent_span_id:#x}"
-        )
-    return (
-        _HEADER_V2.pack(
-            MAGIC,
-            _VERSION_2,
+    return b"".join(
+        build_message_parts(
             kind,
             handler_key,
             msg_id,
-            len(payload),
-            trace_id.to_bytes(16, "big"),
-            parent_span_id,
-            trace_flags & 0xFF,
+            [payload],
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            trace_flags=trace_flags,
         )
-        + payload
     )
 
 
-def parse_message(data: bytes) -> tuple[MessageHeader, bytes]:
+def parse_message(data) -> tuple[MessageHeader, bytes]:
     """Split wire bytes into ``(header, payload)``.
 
     Accepts both header versions: a version-1 message (no trace context,
     e.g. from a sender running with telemetry off or a pre-tracing
-    build) parses with zeroed trace fields.
+    build) parses with zeroed trace fields. ``data`` may be any
+    bytes-like object; a ``memoryview`` input yields the payload as a
+    zero-copy view.
 
     Raises
     ------

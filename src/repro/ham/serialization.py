@@ -15,6 +15,14 @@ Three mechanisms, tried in order:
 3. **pickle** for everything else.
 
 The wire encoding is self-describing: a one-byte tag selects the decoder.
+
+Zero-copy contract: :func:`serialize_parts` returns the encoding as a
+list of buffers — for the numpy fast path the array's own memory rides
+along as a :class:`memoryview`, so a scatter-gather transport can hand
+it to the kernel without ever calling ``tobytes()`` on a large
+contiguous array. Decoders accept any bytes-like object (``bytes``,
+``bytearray``, ``memoryview``), and :func:`deserialize` of a numpy
+payload materializes exactly one writable copy.
 """
 
 from __future__ import annotations
@@ -32,7 +40,11 @@ __all__ = [
     "deserialize",
     "register_serializer",
     "serialize",
+    "serialize_parts",
 ]
+
+#: Anything the decoders accept.
+BytesLike = "bytes | bytearray | memoryview"
 
 _TAG_PICKLE = b"P"
 _TAG_NUMPY = b"N"
@@ -76,19 +88,31 @@ class Migratable:
         raise NotImplementedError
 
 
-def _encode_numpy(arr: np.ndarray) -> bytes:
+def _encode_numpy_parts(arr: np.ndarray) -> list:
+    """Numpy fast-path encoding as ``[prefix, raw-data-view]``.
+
+    The second part is a flat :class:`memoryview` over the array's own
+    (contiguous) storage — no ``tobytes()`` copy. The view keeps the
+    array alive for as long as the parts list is referenced.
+    """
     if arr.dtype.hasobject:
         raise SerializationError("cannot serialize object-dtype arrays raw")
     contiguous = np.ascontiguousarray(arr)
     header = pickle.dumps((str(contiguous.dtype), contiguous.shape), protocol=4)
-    return len(header).to_bytes(4, "little") + header + contiguous.tobytes()
+    prefix = _TAG_NUMPY + len(header).to_bytes(4, "little") + header
+    if contiguous.nbytes == 0:
+        return [prefix]
+    return [prefix, contiguous.data.cast("B")]
 
 
-def _decode_numpy(data: bytes) -> np.ndarray:
+def _decode_numpy(data) -> np.ndarray:
     header_len = int.from_bytes(data[:4], "little")
     dtype_str, shape = pickle.loads(data[4 : 4 + header_len])
     payload = data[4 + header_len :]
-    return np.frombuffer(payload, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+    # Single copy: decode into writable bytearray-backed storage instead
+    # of building a read-only frombuffer view and copying it again.
+    storage = bytearray(payload)
+    return np.frombuffer(storage, dtype=np.dtype(dtype_str)).reshape(shape)
 
 
 def serialize(value: Any) -> bytes:
@@ -99,13 +123,35 @@ def serialize(value: Any) -> bytes:
     SerializationError
         If the value cannot be encoded by any mechanism.
     """
-    data = _serialize(value)
+    parts = serialize_parts(value)
+    data = parts[0] if len(parts) == 1 else b"".join(parts)
+    return data if isinstance(data, bytes) else bytes(data)
+
+
+def serialize_parts(value: Any) -> list:
+    """Encode ``value`` as a list of buffers (``bytes`` / ``memoryview``).
+
+    Equivalent to :func:`serialize` concatenated, but numpy array data
+    is returned as a view on the array's own storage so scatter-gather
+    transports can send it without an intermediate copy.
+    """
+    parts = _serialize_parts(value)
     recorder = telemetry.get()
     if recorder is not None:
         metrics = recorder.metrics
         metrics.counter("serialize.calls").inc()
-        metrics.counter("serialize.bytes").inc(len(data))
-    return data
+        metrics.counter("serialize.bytes").inc(sum(len(p) for p in parts))
+    return parts
+
+
+def _serialize_parts(value: Any) -> list:
+    if (
+        isinstance(value, np.ndarray)
+        and not isinstance(value, Migratable)
+        and type(value) not in _CUSTOM
+    ):
+        return _encode_numpy_parts(value)
+    return [_serialize(value)]
 
 
 def _serialize(value: Any) -> bytes:
@@ -134,7 +180,7 @@ def _serialize(value: Any) -> bytes:
             + body
         )
     if isinstance(value, np.ndarray):
-        return _TAG_NUMPY + _encode_numpy(value)
+        return b"".join(_encode_numpy_parts(value))
     try:
         return _TAG_PICKLE + pickle.dumps(value, protocol=4)
     except Exception as exc:  # noqa: BLE001 - unpicklable
@@ -156,8 +202,12 @@ def _load_migratable_class(path: str) -> Type[Migratable]:
     return obj
 
 
-def deserialize(data: bytes) -> Any:
-    """Decode bytes produced by :func:`serialize`.
+def deserialize(data) -> Any:
+    """Decode a buffer produced by :func:`serialize`.
+
+    Accepts any bytes-like object; ``memoryview`` input is decoded
+    without an upfront copy (slices stay views until a decoder needs
+    real bytes).
 
     Raises
     ------
@@ -172,10 +222,10 @@ def deserialize(data: bytes) -> Any:
     return _deserialize(data)
 
 
-def _deserialize(data: bytes) -> Any:
-    if not data:
+def _deserialize(data) -> Any:
+    if not len(data):
         raise SerializationError("empty payload")
-    tag, body = data[:1], data[1:]
+    tag, body = bytes(data[:1]), data[1:]
     if tag == _TAG_PICKLE:
         try:
             return pickle.loads(body)
@@ -193,14 +243,16 @@ def _deserialize(data: bytes) -> Any:
             raise SerializationError("truncated custom frame")
         name_len = int.from_bytes(body[:2], "little")
         try:
-            name = body[2 : 2 + name_len].decode()
+            name = bytes(body[2 : 2 + name_len]).decode()
         except UnicodeDecodeError as exc:
             raise SerializationError(f"corrupt custom-serializer name: {exc}") from exc
         decode = _CUSTOM_BY_NAME.get(name)
         if decode is None:
             raise SerializationError(f"no custom serializer named {name!r}")
         try:
-            return decode(body[2 + name_len :])
+            # User hooks are promised real bytes (their documented
+            # contract predates memoryview framing).
+            return decode(bytes(body[2 + name_len :]))
         except SerializationError:
             raise
         except Exception as exc:  # noqa: BLE001 - user hook failed
@@ -210,12 +262,12 @@ def _deserialize(data: bytes) -> Any:
             raise SerializationError("truncated migratable frame")
         path_len = int.from_bytes(body[:2], "little")
         try:
-            path = body[2 : 2 + path_len].decode()
+            path = bytes(body[2 : 2 + path_len]).decode()
         except UnicodeDecodeError as exc:
             raise SerializationError(f"corrupt migratable class path: {exc}") from exc
         cls = _load_migratable_class(path)
         try:
-            return cls.__deserialize__(body[2 + path_len :])
+            return cls.__deserialize__(bytes(body[2 + path_len :]))
         except SerializationError:
             raise
         except Exception as exc:  # noqa: BLE001 - user hook failed

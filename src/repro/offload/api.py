@@ -67,12 +67,17 @@ def init(
     policy: ResiliencePolicy | None = None,
     *,
     telemetry: "bool | dict | TelemetryConfig" = False,
+    window: int | None = None,
 ) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
 
     ``policy`` optionally installs a
     :class:`~repro.offload.resilience.ResiliencePolicy` (deadlines,
     retries, health monitoring) on the runtime.
+
+    ``window`` bounds the number of invocations in flight on the backend
+    (backpressure for pipelined producers); ``None`` keeps the default
+    of :data:`~repro.backends.base.DEFAULT_INFLIGHT_LIMIT`.
 
     ``telemetry`` enables the process-global recorder
     (:func:`repro.telemetry.enable`) before any operation runs, so the
@@ -102,7 +107,7 @@ def init(
                 host=config.metrics_host,
                 port=config.metrics_port,
             )
-    _runtime = Runtime(backend, policy=policy)
+    _runtime = Runtime(backend, policy=policy, window=window)
     return _runtime
 
 

@@ -75,6 +75,17 @@ class Future:
         self._value: Any = None
         self._error: BaseException | None = None
 
+    @property
+    def correlation_id(self) -> int | None:
+        """Correlation id of the underlying invocation.
+
+        The id frames carry on the wire and backends match replies by;
+        useful to correlate application futures with telemetry and
+        transport logs. ``None`` once the future has settled (the handle
+        is released) or for trivially complete handles.
+        """
+        return getattr(self._handle, "correlation_id", None)
+
     def test(self) -> bool:
         """Whether the result is available (non-blocking)."""
         if self._done:

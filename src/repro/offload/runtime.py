@@ -63,6 +63,11 @@ class Runtime:
     monitor:
         Optional externally-owned health monitor (e.g. shared between
         runtimes); defaults to a fresh one when a policy is given.
+    window:
+        Optional bound on invocations in flight (the backend's
+        :class:`~repro.backends.base.InflightWindow` limit). ``None``
+        keeps the backend's default
+        (:data:`~repro.backends.base.DEFAULT_INFLIGHT_LIMIT`).
     """
 
     def __init__(
@@ -70,6 +75,8 @@ class Runtime:
         backend: "Backend",
         policy: ResiliencePolicy | None = None,
         monitor: HealthMonitor | None = None,
+        *,
+        window: int | None = None,
     ) -> None:
         self.backend = backend
         self.policy = policy
@@ -77,8 +84,13 @@ class Runtime:
             self.monitor = monitor
         else:
             self.monitor = HealthMonitor(policy) if policy is not None else None
+        if window is not None:
+            backend.set_inflight_limit(window)
         if policy is not None and policy.deadline is not None:
             backend.set_default_timeout(policy.deadline)
+            # A full window against a dead target must fail fast too:
+            # the policy deadline bounds the wait for a free slot.
+            backend.set_window_timeout(policy.deadline)
         self._retry_rng = policy.rng() if policy is not None else None
         self._sleep: Callable[[float], None] = time.sleep
         #: (node, addr) -> (pointer, telemetry span id of the allocation

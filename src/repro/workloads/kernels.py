@@ -12,6 +12,7 @@ Each kernel exists twice, deliberately:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -27,6 +28,7 @@ __all__ = [
     "dgemm",
     "inner_product",
     "jacobi_sweep",
+    "sleep_kernel",
 ]
 
 
@@ -71,6 +73,19 @@ def jacobi_sweep(grid, scratch, n: int) -> float:
         u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
     )
     return float(np.abs(v - u).max())
+
+
+@offloadable
+def sleep_kernel(seconds: float) -> float:
+    """Pure-latency kernel: sleep for ``seconds``, return ``seconds``.
+
+    ``time.sleep`` releases the GIL, so concurrent executions on a
+    worker pool overlap fully — a stand-in for a fixed-duration device
+    kernel in pipelining benchmarks, where throughput (not compute)
+    is the quantity under test.
+    """
+    time.sleep(seconds)
+    return float(seconds)
 
 
 # -- cost descriptors ----------------------------------------------------------

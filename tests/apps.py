@@ -9,6 +9,8 @@ sides").
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.ham import offloadable
@@ -44,6 +46,18 @@ def scale_buffer(buf, factor: float) -> int:
     array = np.asarray(buf)
     array *= factor
     return int(array.size)
+
+
+@offloadable
+def sleep_then(seconds: float, value):
+    """Sleep (releasing the GIL), then return ``value``.
+
+    The latency kernel for pipelining tests: inverted sleep durations
+    across a batch force replies to complete out of request order on a
+    concurrent target.
+    """
+    time.sleep(seconds)
+    return value
 
 
 @offloadable

@@ -1,0 +1,191 @@
+"""The Channel contract, parametrized over every backend.
+
+Every backend is a *channel*: invocations carry process-unique
+correlation ids, live in an id-keyed in-flight table bounded by the
+window, and complete in **any** order — the application may consume
+futures shuffled, and on a concurrent target the replies themselves
+arrive out of request order. See ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.backends import (
+    DmaCommBackend,
+    FaultInjectingBackend,
+    LocalBackend,
+    TcpBackend,
+    VeoCommBackend,
+    spawn_local_server,
+)
+from repro.backends.base import DEFAULT_INFLIGHT_LIMIT
+from repro.backends.tcp import OP_PING, OP_REPLY_BIT, _recv_frame, _send_frame
+from repro.errors import BackendError, OffloadTimeoutError
+from repro.ham import f2f
+from repro.offload import Runtime
+from repro.offload import api as offload_api
+
+from tests import apps
+
+BACKENDS = ["local", "faulty", "dma", "veo", "tcp"]
+
+
+@pytest.fixture(params=BACKENDS)
+def channel(request):
+    """``(name, runtime, backend)`` for each conforming backend."""
+    name = request.param
+    if name == "local":
+        backend = LocalBackend()
+    elif name == "faulty":
+        backend = FaultInjectingBackend(LocalBackend())
+    elif name == "dma":
+        backend = DmaCommBackend()
+    elif name == "veo":
+        backend = VeoCommBackend()
+    else:
+        process, address = spawn_local_server(workers=4)
+        backend = TcpBackend(
+            address, on_shutdown=lambda: process.join(timeout=5)
+        )
+    runtime = Runtime(backend)
+    yield name, runtime, backend
+    runtime.shutdown()
+
+
+class TestChannelContract:
+    def test_shuffled_consumption_of_concurrent_invokes(self, channel):
+        """N in-flight ``async_`` calls, futures consumed in shuffled
+        order: every reply must land on *its* future, whatever the
+        completion order."""
+        _name, runtime, _backend = channel
+        futures = [
+            (i, runtime.async_(1, f2f(apps.add, i, 1000))) for i in range(16)
+        ]
+        random.Random(42).shuffle(futures)
+        for i, future in futures:
+            assert future.get() == i + 1000
+
+    def test_correlation_ids_are_unique_and_released(self, channel):
+        _name, runtime, _backend = channel
+        futures = [runtime.async_(1, f2f(apps.add, i, i)) for i in range(8)]
+        ids = [future.correlation_id for future in futures]
+        assert all(isinstance(corr, int) for corr in ids)
+        assert len(set(ids)) == len(ids)
+        for future in futures:
+            future.get()
+        # Settled futures detach from their handles.
+        assert all(future.correlation_id is None for future in futures)
+
+    def test_window_bounds_inflight_invokes(self, channel):
+        """With the window clamped to 2, the backend never holds more
+        than 2 invocations in flight — ``post_invoke`` waits (or drives)
+        until a slot frees up, and all results still come out right."""
+        _name, runtime, backend = channel
+        backend.set_inflight_limit(2)
+        futures = []
+        for i in range(6):
+            futures.append(runtime.async_(1, f2f(apps.add, i, 7)))
+            assert backend.inflight_count <= 2
+        assert [future.get() for future in futures] == [i + 7 for i in range(6)]
+
+    def test_default_window_limit(self, channel):
+        _name, _runtime, backend = channel
+        assert backend.window.limit == DEFAULT_INFLIGHT_LIMIT
+
+
+class TestWindowConfiguration:
+    def test_runtime_window_parameter_sets_limit(self):
+        backend = LocalBackend()
+        runtime = Runtime(backend, window=3)
+        assert backend.window.limit == 3
+        runtime.shutdown()
+
+    def test_api_init_window_parameter(self):
+        backend = LocalBackend()
+        offload_api.init(backend, window=5)
+        try:
+            assert backend.window.limit == 5
+        finally:
+            offload_api.finalize()
+
+
+def _start_wedge_server() -> tuple[str, int]:
+    """A TCP target that completes the handshake, then never replies."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    address = listener.getsockname()[:2]
+
+    def run() -> None:
+        try:
+            conn, _peer = listener.accept()
+            with conn:
+                op, corr, _body = _recv_frame(conn)
+                assert op == OP_PING
+                _send_frame(conn, OP_PING | OP_REPLY_BIT, corr, b"")
+                while _recv_frame(conn):
+                    pass  # consume and stay silent forever
+        except (OSError, BackendError):
+            pass
+        finally:
+            listener.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return address
+
+
+class TestTcpPipelining:
+    def test_replies_complete_out_of_request_order(self):
+        """A slow invocation posted first must not head-of-line block a
+        fast one posted second: the worker pool executes them
+        concurrently and the fast reply overtakes on the wire."""
+        process, address = spawn_local_server(workers=2)
+        backend = TcpBackend(
+            address, on_shutdown=lambda: process.join(timeout=5)
+        )
+        runtime = Runtime(backend)
+        slow = runtime.async_(1, f2f(apps.sleep_then, 0.8, "slow"))
+        fast = runtime.async_(1, f2f(apps.sleep_then, 0.05, "fast"))
+        assert fast.get(timeout=10.0) == "fast"
+        assert not slow.test()  # the earlier request is still executing
+        assert slow.get(timeout=10.0) == "slow"
+        runtime.shutdown()
+
+    def test_window_backpressure_keeps_pipeline_correct(self):
+        process, address = spawn_local_server(workers=4)
+        backend = TcpBackend(
+            address, on_shutdown=lambda: process.join(timeout=5)
+        )
+        runtime = Runtime(backend, window=2)
+        futures = []
+        for i in range(8):
+            futures.append(runtime.async_(1, f2f(apps.sleep_then, 0.02, i)))
+            assert backend.inflight_count <= 2
+        assert [future.get(timeout=10.0) for future in futures] == list(range(8))
+        stats = backend.stats()
+        assert stats["inflight_limit"] == 2
+        assert stats["inflight"] == 0
+        runtime.shutdown()
+
+    @pytest.mark.slow_failure
+    def test_full_window_fails_fast_when_target_is_silent(self):
+        """Backpressure must respect the resilience deadline: with the
+        window full against a wedged target, the next post raises
+        within the window timeout instead of blocking forever."""
+        address = _start_wedge_server()
+        backend = TcpBackend(address, op_timeout=0.3)
+        backend.set_inflight_limit(2)
+        backend.set_window_timeout(0.2)
+        runtime = Runtime(backend)
+        runtime.async_(1, f2f(apps.add, 1, 1))
+        runtime.async_(1, f2f(apps.add, 2, 2))
+        assert backend.inflight_count == 2
+        start = time.monotonic()
+        with pytest.raises(OffloadTimeoutError, match="window full"):
+            runtime.async_(1, f2f(apps.add, 3, 3))
+        assert time.monotonic() - start < 2.0
+        runtime.shutdown()

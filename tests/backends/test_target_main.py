@@ -55,6 +55,7 @@ class TestTargetMain:
             apps.echo,
             apps.inner_product,
             apps.scale_buffer,
+            apps.sleep_then,
             apps.raise_value_error,
             apps.sum_buffer,
         ):

@@ -5,6 +5,7 @@ never hang, never corrupt unrelated state."""
 import pickle
 import socket
 import struct
+import threading
 
 import numpy as np
 import pytest
@@ -16,7 +17,7 @@ from repro.backends import (
     VeoCommBackend,
     spawn_local_server,
 )
-from repro.backends.tcp import OP_INVOKE, OP_READ, _recv_frame, _send_frame
+from repro.backends.tcp import OP_INVOKE, _recv_frame
 from repro.errors import (
     BackendError,
     DmaatbError,
@@ -49,19 +50,26 @@ class TestTcpTransportFailures:
         process, address = spawn_local_server()
         backend = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
         runtime = Runtime(backend)
-        # Push a raw garbage invoke through the backend's socket.
+        # Push a raw garbage invoke through the backend's socket, with a
+        # fake reply expectation filed under its correlation id; the
+        # receiver thread matches the failure reply back to it.
         handle_box = {}
+        dispatched = threading.Event()
 
         class FakeHandle:
             def complete_with_reply(self, reply):
                 handle_box["reply"] = reply
+                dispatched.set()
 
             def complete_with_error(self, error):
                 handle_box["error"] = error
+                dispatched.set()
 
-        backend._pending.append(("invoke", FakeHandle()))
-        _send_frame(backend._sock, OP_INVOKE, b"not a ham message")
-        backend._dispatch_one_reply()
+        corr = backend._next_corr()
+        with backend._pending_lock:
+            backend._pending[corr] = ("invoke", FakeHandle())
+        backend._send(OP_INVOKE, corr, b"not a ham message")
+        assert dispatched.wait(timeout=10.0)
         assert isinstance(handle_box.get("error"), RemoteExecutionError)
         # Server is still alive and serving.
         assert runtime.sync(1, f2f(apps.add, 2, 2)) == 4
@@ -81,11 +89,12 @@ class TestTcpTransportFailures:
         connection), and the server does not crash the test harness."""
         process, address = spawn_local_server()
         sock = socket.create_connection(address, timeout=5)
-        # Valid length prefix, bogus op.
-        sock.sendall(struct.pack("<I", 1) + b"\xee")
-        op, body = _recv_frame(sock)
+        # Valid length prefix and correlation id, bogus op.
+        sock.sendall(struct.pack("<I", 9) + b"\xee" + struct.pack("<Q", 7))
+        op, corr, body = _recv_frame(sock)
         assert op == 0xFF
-        info = pickle.loads(body)
+        assert corr == 7  # failure replies echo the request's id
+        info = pickle.loads(bytes(body))
         assert "unknown op" in info["message"]
         sock.close()
         process.terminate()

@@ -49,8 +49,9 @@ def _start_misbehaving_server(behavior: str) -> tuple[str, int]:
 
     ``behavior``:
       * ``"wedge"``  — accept requests but never reply (silent target);
-      * ``"truncate"`` — reply to the first request with a partial frame
-        (length prefix promising more bytes than sent) and close.
+      * ``"truncate"`` — consume two requests, then reply with a partial
+        frame (length prefix promising more bytes than sent) and close,
+        so both operations are pending when the stream dies.
 
     Returns the listening address; the server thread is a daemon.
     """
@@ -61,14 +62,15 @@ def _start_misbehaving_server(behavior: str) -> tuple[str, int]:
         try:
             conn, _peer = listener.accept()
             with conn:
-                op, _body = _recv_frame(conn)
+                op, corr, _body = _recv_frame(conn)
                 assert op == OP_PING
                 # Empty digest: the client skips the catalog comparison.
-                _send_frame(conn, OP_PING | OP_REPLY_BIT, b"")
+                _send_frame(conn, OP_PING | OP_REPLY_BIT, corr, b"")
                 if behavior == "wedge":
                     while _recv_frame(conn):
                         pass  # consume and stay silent forever
                 else:  # truncate
+                    _recv_frame(conn)
                     _recv_frame(conn)
                     conn.sendall(struct.pack("<I", 64) + b"\x81")
         except (OSError, BackendError):
