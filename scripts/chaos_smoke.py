@@ -98,13 +98,38 @@ def main() -> int:
         default=None,
         help="write a Chrome trace of the soak (spans, faults, retries) here",
     )
+    parser.add_argument(
+        "--assert-slo-breach",
+        action="store_true",
+        help="fail (exit 1) unless the injected faults drive the SLO "
+        "burn-rate monitor into at least one telemetry.slo_breach event",
+    )
     args = parser.parse_args()
 
     recorder = None
-    if args.trace_out:
+    if args.trace_out or args.assert_slo_breach:
         from repro.telemetry import recorder as telemetry
+        from repro.telemetry.slo import SLO, SLOMonitor
 
         recorder = telemetry.enable()
+        # Chaos-tuned objectives: tight enough that the configured fault
+        # rates must breach within a short soak, loose enough that a
+        # clean run would not. Completions feed these through
+        # complete_offload; breaches land in the ring via force_event
+        # (bypassing any sampling gate) and flip /healthz to degraded.
+        recorder.slo = SLOMonitor(
+            (
+                SLO(name="chaos-availability", phase="offload",
+                    threshold_ns=None, objective=0.999),
+                SLO(name="chaos-latency", phase="offload",
+                    threshold_ns=int(0.03 * 1e9), objective=0.99),
+            ),
+            fast_window=20,
+            slow_window=60,
+            min_samples=10,
+            emit=recorder.force_event,
+            metrics=recorder.metrics,
+        )
 
     last_tick = [time.monotonic()]
     hang_budget = args.deadline * 10 + 10.0
@@ -180,11 +205,37 @@ def main() -> int:
                 return 1
     finally:
         teardown_stack(process, runtime)
+        slo_breaches = 0
         if recorder is not None:
-            from repro.telemetry.export import write_chrome_trace
+            slo_breaches = sum(
+                1 for r in recorder.records()
+                if r.kind == "event" and r.name == "telemetry.slo_breach"
+            )
+            if recorder.slo is not None:
+                for name, state in recorder.slo.snapshot().items():
+                    print(
+                        f"slo {name}: {state['bad']}/{state['total']} bad, "
+                        f"fast burn {state['fast_burn']:.1f}, "
+                        f"slow burn {state['slow_burn']:.1f}, "
+                        f"breached={state['breached']}", flush=True,
+                    )
+                health = ("degraded" if recorder.slo.breached() else "ok")
+                print(
+                    f"slo_breach events: {slo_breaches}, "
+                    f"final health: {health}", flush=True,
+                )
+            if args.trace_out:
+                from repro.telemetry.export import write_chrome_trace
 
-            write_chrome_trace(args.trace_out, recorder)
-            print(f"chaos trace written: {args.trace_out}", flush=True)
+                write_chrome_trace(args.trace_out, recorder)
+                print(f"chaos trace written: {args.trace_out}", flush=True)
+
+    if args.assert_slo_breach and slo_breaches == 0:
+        print(
+            "SLO MONITOR SILENT: injected faults raised no "
+            "telemetry.slo_breach event"
+        )
+        return 1
 
     print(
         f"chaos smoke OK: {ops} ops in {args.duration:.0f} s, "

@@ -51,9 +51,11 @@ from repro.backends.base import Backend, InvokeHandle
 from repro.errors import BackendError, OffloadTimeoutError, RemoteExecutionError
 from repro.ham.execution import build_invoke_parts, execute_message
 from repro.ham.functor import Functor
+from repro.ham.message import peek_trace, peek_trace_flags
 from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
 from repro.telemetry.distributed import ClockSync, align_records
 from repro.telemetry.export import dicts_to_records, records_to_dicts
@@ -248,9 +250,18 @@ class TcpTargetServer:
         """Worker-pool entry: execute one invocation, reply with its id."""
         worker = threading.current_thread().name
         try:
+            # The sampling verdict travels in the v2 header's flag byte:
+            # unsampled messages (and only those — v1/flagless messages
+            # predate sampling and record as before) skip the
+            # server-side reply span entirely.
+            flags = peek_trace_flags(body)
+            sampled = flags is None or bool(flags & trace_context.FLAG_SAMPLED)
             reply, _keep = execute_message(self.image, body, resolver=self._resolve)
             with self._count_lock:
                 self.messages_executed += 1
+            if not sampled:
+                self._reply(conn, OP_INVOKE | OP_REPLY_BIT, corr, reply)
+                return
             # Per-worker reply span: which pool thread produced which
             # correlation id (the execute span itself is recorded inside
             # execute_message, parented to the sender's trace).
@@ -329,9 +340,36 @@ class TcpTargetServer:
         return arg
 
 
+def _unsampled_reply_context(body) -> "trace_context.TraceContext | None":
+    """The reply's trace context, only when it is unsampled.
+
+    Sampled (and untraced/v1) replies return ``None`` so their
+    ``offload.reply`` span records exactly as before; an unsampled
+    reply's context routes the span through the recorder's sampling
+    gate, tying its fate to the trace's tail-retention verdict.
+    """
+    peeked = peek_trace(body)
+    if peeked is None:
+        return None
+    tid, _parent, flags = peeked
+    if tid == 0 or flags & trace_context.FLAG_SAMPLED:
+        return None
+    return trace_context.TraceContext(trace_id=tid, sampled=False)
+
+
 def _server_entry(
     port_pipe: Any, catalog: Catalog | None, workers: int
 ) -> None:
+    recorder = telemetry.get()
+    if recorder is not None:
+        # The fork inherits the host recorder wholesale, including the
+        # host-only sampling machinery. A tail pipeline here would stage
+        # unsampled spans that no completion ever settles (completions
+        # happen host-side), and SLO windows would double-count — the
+        # target is the "skip unsampled work entirely" side.
+        recorder.sampler = None
+        recorder.pipeline = None
+        recorder.slo = None
     server = TcpTargetServer(catalog=catalog, workers=workers)
     port_pipe.send(server.address)
     port_pipe.close()
@@ -554,12 +592,23 @@ class TcpBackend(Backend):
                 # Telemetry phase ``offload.reply``: pulling one reply
                 # frame off the wire (select saw data, so this measures
                 # frame assembly — the pre-reply wait lives in
-                # ``offload.transport``).
-                with telemetry.span("offload.reply") as reply_span:
+                # ``offload.transport``). The receiver thread runs
+                # outside any trace context, so the span is closed under
+                # the reply's own (peeked) context when that trace is
+                # unsampled — the recorder gate then stages it with the
+                # trace instead of polluting the ring on the fast path.
+                reply_span = telemetry.span("offload.reply")
+                reply_span.__enter__()
+                try:
                     op, corr, body = _recv_frame(
                         self._sock, pending=self._pending_count
                     )
-                    reply_span.set("bytes", len(body) + FRAME_OVERHEAD)
+                except BaseException as exc:
+                    reply_span.__exit__(type(exc), exc, exc.__traceback__)
+                    raise
+                reply_span.set("bytes", len(body) + FRAME_OVERHEAD)
+                with trace_context.activate(_unsampled_reply_context(body)):
+                    reply_span.__exit__(None, None, None)
             except (OSError, ValueError, BackendError) as exc:
                 if self._closing:
                     return

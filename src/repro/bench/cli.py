@@ -170,6 +170,28 @@ def report_pipeline(quick: bool) -> Report:
     return text, {"pipeline": data}
 
 
+def report_telemetry(quick: bool) -> Report:
+    data = exp.measure_telemetry_overhead(invokes=40 if quick else 100)
+    rows = [
+        {"telemetry": label,
+         "round trip": format_time(data[f"{mode}_mean_us"] / 1e6),
+         "vs disabled": (
+             f"{(data[f'overhead_{mode}'] - 1.0) * 100:+.1f}%"
+             if mode != "disabled" else "-"
+         )}
+        for mode, label in (
+            ("disabled", "disabled"),
+            ("rate_0", "sample_rate=0.0"),
+            ("rate_0_01", "sample_rate=0.01"),
+            ("rate_1", "sample_rate=1.0"),
+        )
+    ]
+    text = render_table(
+        rows, title="T1 — telemetry sampling overhead (TCP round trip)"
+    )
+    return text, {"overhead": data}
+
+
 EXPERIMENTS: dict[str, callable] = {
     "fig9": report_fig9,
     "fig10": report_fig10,
@@ -178,6 +200,7 @@ EXPERIMENTS: dict[str, callable] = {
     "ablations": report_ablations,
     "scaling": report_scaling,
     "pipeline": report_pipeline,
+    "telemetry": report_telemetry,
 }
 
 

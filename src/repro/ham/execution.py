@@ -74,7 +74,13 @@ def build_invoke_parts(
                 parent_span_id=span.span_id or ctx.span_id,
                 trace_flags=ctx.flags,
             )
-        span.set("bytes", sum(len(part) for part in parts))
+        nbytes = sum(len(part) for part in parts)
+        span.set("bytes", nbytes)
+    recorder = telemetry.get()
+    if recorder is not None:
+        # Continuous profiling: per-kernel byte attribution, fed for
+        # every offload regardless of the sampling verdict.
+        recorder.profiles.add_bytes(functor.type_name, nbytes)
     return parts
 
 

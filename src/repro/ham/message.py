@@ -52,6 +52,8 @@ __all__ = [
     "build_message",
     "build_message_parts",
     "parse_message",
+    "peek_trace",
+    "peek_trace_flags",
 ]
 
 MAGIC = b"HM"
@@ -162,6 +164,31 @@ def build_message(
             trace_flags=trace_flags,
         )
     )
+
+
+def peek_trace(data) -> tuple[int, int, int] | None:
+    """Trace fields of a message without parsing the payload.
+
+    Returns ``(trace_id, parent_span_id, trace_flags)`` for a version-2
+    message; ``None`` for version-1 messages (no trace context on the
+    wire) and for anything too short or foreign to carry the v2 header.
+    Peeking never raises, so transports can consult the sampled bit
+    before deciding whether to open server-side spans for a message they
+    have not validated yet.
+    """
+    if len(data) < HEADER_SIZE_V2:
+        return None
+    magic, version = _HEADER_V1.unpack_from(data)[:2]
+    if magic != MAGIC or version != _VERSION_2:
+        return None
+    trace_bytes, parent_span_id, trace_flags = _HEADER_V2.unpack_from(data)[6:]
+    return int.from_bytes(trace_bytes, "big"), parent_span_id, trace_flags
+
+
+def peek_trace_flags(data) -> int | None:
+    """Just the trace flag byte of :func:`peek_trace` (``None`` for v1)."""
+    peeked = peek_trace(data)
+    return None if peeked is None else peeked[2]
 
 
 def parse_message(data) -> tuple[MessageHeader, bytes]:

@@ -36,6 +36,8 @@ from repro.offload.resilience import ResiliencePolicy
 from repro.offload.runtime import Runtime
 from repro.telemetry import recorder as _telemetry
 from repro.telemetry.promexport import MetricsServer, TelemetryConfig
+from repro.telemetry.sampling import HeadSampler, TailPipeline
+from repro.telemetry.slo import SLOMonitor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
@@ -85,10 +87,18 @@ def init(
 
     * ``True`` — plain recording, default capacity;
     * a :class:`~repro.telemetry.promexport.TelemetryConfig` (or a dict
-      with its field names) — additionally, ``metrics_port`` (0 for an
-      ephemeral port) starts a live Prometheus ``/metrics`` +
-      ``/healthz`` HTTP endpoint over the recorder's metrics; query its
-      bound address via :func:`metrics_server`.
+      with its field names) — additionally:
+
+      * ``metrics_port`` (0 for an ephemeral port) starts a live
+        Prometheus ``/metrics`` + ``/healthz`` HTTP endpoint over the
+        recorder's metrics and kernel profiles; query its bound address
+        via :func:`metrics_server`;
+      * ``sample_rate`` installs head-based trace sampling plus the
+        tail-retention pipeline (slow/errored traces survive even when
+        unsampled) — see :mod:`repro.telemetry.sampling`;
+      * ``slo_enabled`` / ``slos`` configure burn-rate SLO monitoring
+        whose breaches degrade ``/healthz`` — see
+        :mod:`repro.telemetry.slo`.
 
     Raises
     ------
@@ -101,14 +111,56 @@ def init(
     config = TelemetryConfig.coerce(telemetry)
     if config.enabled:
         recorder = _telemetry.enable(config.capacity)
+        if config.sample_rate is not None:
+            recorder.sampler = HeadSampler(config.sample_rate)
+            recorder.pipeline = TailPipeline(
+                max_pending=config.tail_max_pending,
+                window=config.tail_window,
+                min_samples=config.tail_min_samples,
+            )
+        if config.slo_enabled:
+            recorder.slo = SLOMonitor(
+                config.slos or None,
+                fast_window=config.slo_fast_window,
+                slow_window=config.slo_slow_window,
+                burn_threshold=config.slo_burn_threshold,
+                min_samples=config.slo_min_samples,
+                emit=recorder.force_event,
+                metrics=recorder.metrics,
+            )
         if config.metrics_port is not None:
             _metrics_server = MetricsServer(
-                recorder.metrics.snapshot,
+                _full_snapshot_fn(recorder),
                 host=config.metrics_host,
                 port=config.metrics_port,
+                health_fn=_health_fn(recorder),
             )
     _runtime = Runtime(backend, policy=policy, window=window)
     return _runtime
+
+
+def _full_snapshot_fn(recorder: "_telemetry.Recorder"):
+    """Metrics snapshot extended with the per-kernel profile series."""
+
+    def snapshot() -> dict:
+        snap = recorder.metrics.snapshot()
+        snap["histograms"].update(recorder.profiles.metric_series())
+        return snap
+
+    return snapshot
+
+
+def _health_fn(recorder: "_telemetry.Recorder"):
+    """``/healthz`` body: degraded while any SLO burns too hot."""
+
+    def health() -> dict:
+        monitor = recorder.slo
+        breached = monitor.breached() if monitor is not None else []
+        if breached:
+            return {"status": "degraded", "breached": breached}
+        return {"status": "ok"}
+
+    return health
 
 
 def finalize() -> None:

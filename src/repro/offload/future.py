@@ -14,12 +14,14 @@ deadline or without one) can pick it up.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Protocol
 
 from repro.errors import FutureError, OffloadTimeoutError
 from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
 from repro.telemetry.context import TraceContext
+from repro.telemetry.sampling import complete_offload
 
 __all__ = ["Future", "OperationHandle", "CompletedHandle"]
 
@@ -64,6 +66,7 @@ class Future:
         handle: OperationHandle,
         label: str = "",
         trace: TraceContext | None = None,
+        start_ns: int | None = None,
     ) -> None:
         self._handle: OperationHandle | None = handle
         self._label = label
@@ -71,9 +74,15 @@ class Future:
         #: around the settle so the wait/decode spans join the same
         #: causal tree even when get() runs far from async_().
         self._trace = trace
+        #: perf_counter_ns at issue time; when set, settling feeds the
+        #: round-trip duration to the continuous profiler / SLO monitor
+        #: / tail pipeline via complete_offload. None for trivially
+        #: complete handles (put/get/copy parity futures).
+        self._start_ns = start_ns
         self._done = False
         self._value: Any = None
         self._error: BaseException | None = None
+        self._timeout_observed = False
 
     @property
     def correlation_id(self) -> int | None:
@@ -120,13 +129,38 @@ class Future:
             # Deadline expired but the operation may still be in flight:
             # stay pending so a later get() can collect the reply (a
             # poisoned handle simply re-raises immediately next time).
+            # The caller-visible deadline miss still counts against the
+            # availability SLO — once per future, even if the straggler
+            # reply eventually lands — otherwise dropped messages (the
+            # most common chaos fault) would be invisible to burn-rate
+            # alerting.
             telemetry.count("future.timeouts")
+            if self._start_ns is not None and not self._timeout_observed:
+                self._timeout_observed = True
+                recorder = telemetry.get()
+                if recorder is not None and recorder.slo is not None:
+                    recorder.slo.observe(
+                        "offload",
+                        time.perf_counter_ns() - self._start_ns,
+                        error=True,
+                    )
             raise
         except BaseException as exc:  # noqa: BLE001 - stored for re-raise
             self._error = exc
         self._done = True
         self._handle = None
         telemetry.count("future.settled")
+        if self._start_ns is not None:
+            # The one completion hook per offload: folds the round trip
+            # into per-kernel profiles and SLO windows, and lets the
+            # tail pipeline pass its keep/drop verdict on an unsampled
+            # trace's staged spans.
+            complete_offload(
+                self._trace,
+                kernel=self._label,
+                duration_ns=time.perf_counter_ns() - self._start_ns,
+                error=self._error is not None,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._done else "pending"

@@ -129,13 +129,22 @@ class Runtime:
         While telemetry records, every offload runs inside a trace
         context: the caller's active one if there is one (so an
         application can group several offloads under one trace), else a
-        fresh root generated here — "generated at offload()". With
-        telemetry off, no context exists and the path stays free.
+        fresh root generated here — "generated at offload()". When a
+        head sampler is installed (``telemetry={"sample_rate": p}``),
+        the fresh root carries its verdict; without one every trace is
+        sampled, the pre-sampling behavior. With telemetry off, no
+        context exists and the path stays free.
         """
-        if not telemetry.enabled():
+        recorder = telemetry.get()
+        if recorder is None:
             return None
         ctx = trace_context.current()
-        return ctx if ctx is not None else trace_context.new_trace()
+        if ctx is not None:
+            return ctx
+        sampler = recorder.sampler
+        if sampler is not None:
+            return sampler.new_trace()
+        return trace_context.new_trace()
 
     def async_(self, node: NodeId, functor: Functor) -> Future:
         """Asynchronous offload of ``functor`` to ``node`` (paper ``async``)."""
@@ -148,6 +157,7 @@ class Runtime:
         if self.monitor is not None:
             self.monitor.check(node)
         ctx = self._offload_trace()
+        start_ns = time.perf_counter_ns()
         try:
             with trace_context.activate(ctx):
                 handle = self.backend.post_invoke(node, functor)
@@ -155,10 +165,19 @@ class Runtime:
             if self.monitor is not None:
                 self.monitor.record_failure(node)
             telemetry.count("offload.issue_failures")
+            # An offload that never left the host is still a failed
+            # offload to its caller: count it against the availability
+            # SLO (no future will ever settle to do it).
+            recorder = telemetry.get()
+            if recorder is not None and recorder.slo is not None:
+                recorder.slo.observe(
+                    "offload", time.perf_counter_ns() - start_ns, error=True
+                )
             raise
         self._offloads_posted += 1
         telemetry.count("offload.issued")
-        return Future(handle, label=functor.type_name, trace=ctx)
+        return Future(handle, label=functor.type_name, trace=ctx,
+                      start_ns=start_ns)
 
     def sync(
         self,

@@ -24,11 +24,20 @@ Layout:
   (ping-pong), record alignment, trace merging and per-message critical
   paths for two-process timelines;
 * :mod:`repro.telemetry.promexport` — Prometheus text-format rendering
-  of the metrics snapshot plus a stdlib ``/metrics`` + ``/healthz``
+  of the metrics snapshot (native ``_bucket`` histogram series for
+  log-bucketed instruments) plus a stdlib ``/metrics`` + ``/healthz``
   HTTP endpoint (:class:`~repro.telemetry.promexport.MetricsServer`);
+* :mod:`repro.telemetry.sampling` — head-based trace-id-consistent
+  sampling plus the tail-retention pipeline that keeps slow/errored
+  unsampled traces and drops fast ones after folding aggregates;
+* :mod:`repro.telemetry.profile` — per-kernel continuous profiles
+  (count, bytes, p50/p95/p99 per phase) fed by every completed offload;
+* :mod:`repro.telemetry.slo` — declarative SLOs with multi-window
+  burn-rate alerting (``telemetry.slo_breach`` events, ``/healthz``
+  degradation);
 * :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``,
-  per-phase latency percentiles, per-message groupings and critical
-  paths from a trace file.
+  per-phase latency percentiles, per-message groupings, critical paths
+  and per-kernel profiles from a trace file.
 
 Quick start::
 
@@ -64,14 +73,18 @@ from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
     percentile,
 )
+from repro.telemetry.profile import KernelProfile, KernelProfiler
 from repro.telemetry.promexport import (
     MetricsServer,
     TelemetryConfig,
     to_prometheus,
 )
+from repro.telemetry.sampling import HeadSampler, TailPipeline, complete_offload
+from repro.telemetry.slo import SLO, SLOMonitor, default_slos
 from repro.telemetry.recorder import (
     EventRecord,
     Recorder,
@@ -93,20 +106,29 @@ __all__ = [
     "Counter",
     "EventRecord",
     "Gauge",
+    "HeadSampler",
     "Histogram",
+    "KernelProfile",
+    "KernelProfiler",
+    "LogHistogram",
     "MetricsRegistry",
     "MetricsServer",
     "Recorder",
+    "SLO",
+    "SLOMonitor",
     "SpanRecord",
+    "TailPipeline",
     "TelemetryConfig",
     "TraceContext",
     "activate",
     "align_records",
+    "complete_offload",
     "count",
     "critical_path",
     "current",
     "current_span_id",
     "current_trace_id_hex",
+    "default_slos",
     "disable",
     "enable",
     "enabled",

@@ -58,9 +58,12 @@ class TraceContext:
         64-bit id of the parent span for the *next* hop (0 at the trace
         root). On the wire this is the host span that built the message.
     sampled:
-        Whether the trace is being recorded. An unsampled context still
-        propagates identity (so a future sampler can make consistent
-        decisions) but spans do not stamp the trace id.
+        The head sampler's verdict
+        (:class:`repro.telemetry.sampling.HeadSampler`). An unsampled
+        context still propagates identity — every process deciding from
+        the same trace id agrees, and the tail pipeline needs the id to
+        match staged spans with their completion — but its spans bypass
+        the recorder ring (staged host-side, skipped target-side).
     """
 
     trace_id: int

@@ -2,9 +2,13 @@
 
 The metric types are deliberately tiny: a :class:`Counter` is a locked
 integer, a :class:`Gauge` a locked float, a :class:`Histogram` a ring of
-recent observations with percentile queries. A :class:`MetricsRegistry`
-creates them on first use (``registry.counter("offload.issued").inc()``)
-and produces a single JSON-friendly :meth:`~MetricsRegistry.snapshot`.
+recent observations with percentile queries, and a :class:`LogHistogram`
+an HDR-style fixed-bucket latency histogram whose geometric bucket
+bounds give a bounded relative quantile error at O(1) memory — the shape
+behind the Prometheus ``_bucket`` series and the continuous-profiling
+percentiles. A :class:`MetricsRegistry` creates them on first use
+(``registry.counter("offload.issued").inc()``) and produces a single
+JSON-friendly :meth:`~MetricsRegistry.snapshot`.
 
 All operations are thread-safe; the registry lock only guards the name
 table, each instrument carries its own lock so hot counters do not
@@ -13,12 +17,21 @@ serialize against each other.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from collections import deque
 from typing import Any, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LogHistogram",
+    "MetricsRegistry",
+    "default_latency_bounds",
+    "percentile",
+]
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -130,6 +143,112 @@ class Histogram:
         }
 
 
+def default_latency_bounds() -> tuple[float, ...]:
+    """Geometric bucket upper bounds for latencies, in seconds.
+
+    1 µs doubling up to ~134 s (28 buckets) — wide enough to span the
+    paper's 6.1 µs VE-side dispatch and a multi-second chaos stall with
+    <= 2x relative error per bucket. Values above the last bound land in
+    the implicit +Inf bucket.
+    """
+    return tuple(1e-6 * 2.0**i for i in range(28))
+
+
+class LogHistogram:
+    """HDR-style histogram over fixed geometric buckets.
+
+    ``observe`` is O(log buckets) and allocation-free, which is what lets
+    the continuous profiler fold *every* completed offload — sampled or
+    not — without touching the span ring. Unlike :class:`Histogram` it
+    never forgets: counts are lifetime cumulative, so the summary's
+    ``buckets`` list renders directly as a Prometheus ``_bucket`` series.
+    Percentiles interpolate within the winning bucket and clamp to the
+    observed min/max, so small-count queries stay sane.
+    """
+
+    __slots__ = ("_lock", "_bounds", "_counts", "count", "total", "_min", "_max")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        self._bounds = tuple(bounds) if bounds is not None \
+            else default_latency_bounds()
+        if list(self._bounds) != sorted(set(self._bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if self._bounds and self._bounds[0] <= 0.0:
+            raise ValueError("bucket bounds must be positive")
+        self._lock = threading.Lock()
+        # one extra slot: the +Inf overflow bucket
+        self._counts = [0] * (len(self._bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def percentile(self, q: float) -> float:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+            lo_seen, hi_seen = self._min, self._max
+        if count == 0:
+            return 0.0
+        rank = (q / 100.0) * count
+        cumulative = 0
+        for idx, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                lower = self._bounds[idx - 1] if idx > 0 else 0.0
+                upper = self._bounds[idx] if idx < len(self._bounds) else hi_seen
+                frac = 1.0 - (cumulative - rank) / bucket_count
+                value = lower + (upper - lower) * frac
+                return float(min(max(value, lo_seen), hi_seen))
+        return float(hi_seen)
+
+    def summary(self) -> dict[str, Any]:
+        """Lifetime stats plus cumulative ``buckets`` for exposition.
+
+        ``buckets`` is an ordered list of ``[le, cumulative_count]``
+        pairs ending with ``["+Inf", count]`` — exactly the shape
+        :func:`repro.telemetry.promexport.to_prometheus` turns into a
+        ``# TYPE ... histogram`` series.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self.count, self.total
+            lo, hi = self._min, self._max
+        if count == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "buckets": []}
+        buckets: list[list[Any]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self._bounds, counts):
+            cumulative += bucket_count
+            buckets.append([bound, cumulative])
+        buckets.append(["+Inf", count])
+        return {
+            "count": count,
+            "mean": total / count,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+        }
+
+
 class MetricsRegistry:
     """Name -> instrument table with get-or-create accessors."""
 
@@ -137,7 +256,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._histograms: dict[str, Histogram | LogHistogram] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -158,6 +277,25 @@ class MetricsRegistry:
             instrument = self._histograms.get(name)
             if instrument is None:
                 instrument = self._histograms[name] = Histogram(maxlen)
+            if not isinstance(instrument, Histogram):
+                raise TypeError(f"{name!r} is registered as a log histogram")
+            return instrument
+
+    def log_histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> LogHistogram:
+        """Get-or-create a bucketed histogram sharing the name table.
+
+        Log and ring histograms share a namespace so ``snapshot()`` stays
+        a single ``histograms`` section; asking for the same name with
+        the other accessor is a programming error and raises.
+        """
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = LogHistogram(bounds)
+            if not isinstance(instrument, LogHistogram):
+                raise TypeError(f"{name!r} is registered as a ring histogram")
             return instrument
 
     def snapshot(self) -> dict[str, Any]:

@@ -8,9 +8,14 @@ offload session can be scraped without touching the trace ring:
 
 * counters  -> ``repro_<name>_total``
 * gauges    -> ``repro_<name>``
-* histograms-> summaries: ``{quantile="0.5"|"0.95"}`` series plus
-  ``_sum`` / ``_count`` (the per-phase ``phase.offload.*`` latency
-  distributions land here)
+* ring histograms -> summaries: ``{quantile="0.5"|"0.95"}`` series plus
+  ``_sum`` / ``_count``
+* log histograms (snapshots carrying a ``buckets`` list, see
+  :class:`~repro.telemetry.metrics.LogHistogram`) -> real histogram
+  series: cumulative ``_bucket{le="..."}`` lines ending at
+  ``le="+Inf"``, plus ``_sum`` / ``_count`` — the per-phase
+  ``phase.offload.*`` latencies and the per-kernel profiles land here
+  and scrape into native Prometheus quantile queries
 
 Everything is standard library (``http.server``); no Prometheus client
 dependency. :class:`MetricsServer` binds ``127.0.0.1:0`` by default —
@@ -25,7 +30,7 @@ from __future__ import annotations
 import json
 import re
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 
@@ -70,9 +75,12 @@ def to_prometheus(
     ``snapshot`` is the dict from
     :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`:
     ``{"counters": {...}, "gauges": {...}, "histograms": {name: summary}}``.
-    Histogram summaries (count/mean/min/max/p50/p95) become Prometheus
-    *summary* series with ``quantile`` labels; ``_sum`` is reconstructed
-    as ``mean * count`` (exact: mean is total/count).
+    Ring-histogram summaries (count/mean/min/max/p50/p95) become
+    Prometheus *summary* series with ``quantile`` labels; summaries that
+    carry a ``buckets`` list (log histograms) become native *histogram*
+    series with cumulative ``_bucket{le="..."}`` lines. In both cases
+    ``_sum`` is reconstructed as ``mean * count`` (exact: mean is
+    total/count).
     """
     lines: list[str] = []
     for name, value in snapshot.get("counters", {}).items():
@@ -88,11 +96,26 @@ def to_prometheus(
     for name, summary in snapshot.get("histograms", {}).items():
         metric = sanitize_metric_name(name, prefix)
         count = summary.get("count", 0)
+        total = summary.get("mean", 0.0) * count
+        if "buckets" in summary:
+            lines.append(f"# HELP {metric} Histogram {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            saw_inf = False
+            for bound, cumulative in summary["buckets"]:
+                le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
+                saw_inf = saw_inf or le == "+Inf"
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            if not saw_inf:
+                # The +Inf bucket is mandatory in the exposition format.
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{metric}_sum {_fmt(total)}")
+            lines.append(f"{metric}_count {count}")
+            continue
         lines.append(f"# HELP {metric} Histogram {name}")
         lines.append(f"# TYPE {metric} summary")
         lines.append(f'{metric}{{quantile="0.5"}} {_fmt(summary.get("p50", 0.0))}')
         lines.append(f'{metric}{{quantile="0.95"}} {_fmt(summary.get("p95", 0.0))}')
-        lines.append(f"{metric}_sum {_fmt(summary.get('mean', 0.0) * count)}")
+        lines.append(f"{metric}_sum {_fmt(total)}")
         lines.append(f"{metric}_count {count}")
     return "\n".join(lines) + "\n"
 
@@ -105,12 +128,35 @@ class TelemetryConfig:
     with the same field names. ``metrics_port=None`` means no HTTP
     endpoint; ``0`` binds an ephemeral port (query it via
     ``runtime-returned`` server's :attr:`MetricsServer.address`).
+
+    Sampling and SLO fields (see :mod:`repro.telemetry.sampling` and
+    :mod:`repro.telemetry.slo`): ``sample_rate=None`` keeps the
+    pre-sampling behavior of recording every trace; any float in
+    ``[0, 1]`` installs a head sampler plus the tail-retention pipeline.
+    ``slos=None`` with ``slo_enabled=True`` uses
+    :func:`repro.telemetry.slo.default_slos`; pass a tuple of
+    :class:`~repro.telemetry.slo.SLO` (or dicts of their fields) to
+    override. The window knobs are counted in operations, the
+    5m-/1h-equivalents of a time-based burn-rate stack.
     """
 
     enabled: bool = True
     capacity: int = 65536
     metrics_port: int | None = None
     metrics_host: str = "127.0.0.1"
+    #: Head-sampling probability; None disables sampling (record all).
+    sample_rate: float | None = None
+    #: Tail retention: rolling-window size / warmup / staging bounds.
+    tail_window: int = 512
+    tail_min_samples: int = 20
+    tail_max_pending: int = 256
+    #: SLO burn-rate monitoring.
+    slo_enabled: bool = True
+    slos: tuple = ()
+    slo_fast_window: int = 50
+    slo_slow_window: int = 600
+    slo_burn_threshold: float = 2.0
+    slo_min_samples: int = 10
 
     @classmethod
     def coerce(
@@ -118,15 +164,31 @@ class TelemetryConfig:
     ) -> "TelemetryConfig":
         """Normalize the ``init(telemetry=...)`` argument."""
         if isinstance(value, TelemetryConfig):
-            return value
-        if isinstance(value, bool):
-            return cls(enabled=value)
-        if isinstance(value, Mapping):
-            return cls(**dict(value))
-        raise TypeError(
-            "telemetry must be a bool, dict or TelemetryConfig, "
-            f"got {type(value).__name__}"
-        )
+            config = value
+        elif isinstance(value, bool):
+            config = cls(enabled=value)
+        elif isinstance(value, Mapping):
+            config = cls(**dict(value))
+        else:
+            raise TypeError(
+                "telemetry must be a bool, dict or TelemetryConfig, "
+                f"got {type(value).__name__}"
+            )
+        if config.sample_rate is not None and not (
+            0.0 <= float(config.sample_rate) <= 1.0
+        ):
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {config.sample_rate}"
+            )
+        if config.slos:
+            from repro.telemetry.slo import SLO
+
+            normalized = tuple(
+                s if isinstance(s, SLO) else SLO(**dict(s))
+                for s in config.slos
+            )
+            config = replace(config, slos=normalized)
+        return config
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -134,6 +196,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # Set per-server via the factory in MetricsServer.
     snapshot_fn: Callable[[], Mapping[str, Any]]
+    health_fn: Callable[[], Mapping[str, Any]] | None
     prefix: str
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -142,7 +205,10 @@ class _Handler(BaseHTTPRequestHandler):
             body = to_prometheus(self.snapshot_fn(), self.prefix).encode()
             self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/healthz":
-            body = json.dumps({"status": "ok"}).encode()
+            health: Mapping[str, Any] = {"status": "ok"}
+            if self.health_fn is not None:
+                health = self.health_fn()
+            body = json.dumps(dict(health)).encode()
             self._reply(200, body, "application/json")
         else:
             self._reply(404, b"not found\n", "text/plain")
@@ -172,6 +238,11 @@ class MetricsServer:
         :attr:`address` for the actual one).
     prefix:
         Metric name prefix (default ``repro_``).
+    health_fn:
+        Optional zero-argument callable returning the ``/healthz`` JSON
+        body — the SLO monitor reports ``{"status": "degraded",
+        "breached": [...]}`` here while objectives burn too hot. When
+        omitted the endpoint answers a static ``{"status": "ok"}``.
     """
 
     def __init__(
@@ -180,10 +251,12 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro_",
+        health_fn: Callable[[], Mapping[str, Any]] | None = None,
     ) -> None:
         handler = type(
             "_BoundHandler", (_Handler,),
-            {"snapshot_fn": staticmethod(snapshot_fn), "prefix": prefix},
+            {"snapshot_fn": staticmethod(snapshot_fn), "prefix": prefix,
+             "health_fn": staticmethod(health_fn) if health_fn else None},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

@@ -41,6 +41,7 @@ from typing import Any, Iterator
 
 from repro.telemetry import context as trace_context
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import KernelProfiler
 
 __all__ = [
     "EventRecord",
@@ -168,6 +169,30 @@ class _Span:
             stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
+        ctx = trace_context.current()
+        if ctx is not None and not ctx.sampled:
+            # Unsampled trace: never touches the span ring. With a tail
+            # pipeline (the issuing host) the finished span is folded
+            # into aggregates and staged pending the completion verdict;
+            # without one (the execute-side target) it costs nothing.
+            pipeline = recorder.pipeline
+            if pipeline is None:
+                return False
+            record = SpanRecord(
+                name=self.name,
+                category=self.category,
+                start_ns=self._start_ns,
+                duration_ns=end_ns - self._start_ns,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attrs=self.attrs,
+                trace_id=ctx.trace_id_hex,
+            )
+            recorder._fold_span(record)
+            pipeline.stage(record)
+            return False
         recorder._append(SpanRecord(
             name=self.name,
             category=self.category,
@@ -208,6 +233,21 @@ class Recorder:
         self._recorded = 0
         #: Metric instruments riding along with the trace.
         self.metrics = MetricsRegistry()
+        #: Per-kernel continuous profiles, fed by every completed
+        #: offload through :func:`repro.telemetry.sampling.complete_offload`.
+        self.profiles = KernelProfiler()
+        #: Head sampler consulted by the runtime when minting a trace
+        #: (``None`` means record everything, the pre-sampling default).
+        self.sampler: Any = None
+        #: Tail-retention pipeline staging unsampled traces (``None``
+        #: on execute-side processes, where unsampled spans are skipped).
+        self.pipeline: Any = None
+        #: SLO burn-rate monitor fed by span folds and completions.
+        self.slo: Any = None
+        # Per-phase histogram cache: _fold_span runs for every span of
+        # every offload, so the registry lookup (lock + dict) is paid
+        # once per phase name, not once per span.
+        self._phase_hists: dict[str, Any] = {}
         #: Clock reading (ns) at the recorder's creation; exporters use
         #: it as the zero point of the trace timeline.
         self.epoch_ns = self._clock()
@@ -232,32 +272,76 @@ class Recorder:
         """
         return (os.getpid() << 40) | next(self._ids)
 
+    def _fold_span(self, record: SpanRecord) -> None:
+        """Fold a finished span into the aggregate consumers.
+
+        Runs for every span — ring-bound or pipeline-staged — so the
+        per-phase latency distributions (live-queryable through the
+        metrics snapshot and ``/metrics``) and the SLO windows never
+        have sampling error.
+        """
+        hist = self._phase_hists.get(record.name)
+        if hist is None:
+            hist = self.metrics.log_histogram("phase." + record.name)
+            self._phase_hists[record.name] = hist
+        hist.observe(record.duration_ns / 1e9)
+        if self.slo is not None:
+            self.slo.observe_phase(record.name, record.duration_ns,
+                                   error="error" in record.attrs)
+
     def _append(self, record: SpanRecord | EventRecord) -> None:
         if record.kind == "span":
-            # Per-phase latency distribution, live-queryable through the
-            # metrics snapshot (and the /metrics endpoint) without
-            # draining the trace ring.
-            self.metrics.histogram("phase." + record.name).observe(
-                record.duration_ns / 1e9
-            )
+            self._fold_span(record)
         with self._lock:
             self._ring.append(record)
             self._recorded += 1
 
     def span(self, name: str, category: str = "offload",
-             **attrs: Any) -> _Span:
-        """Open a span; finish it by leaving the ``with`` block."""
+             **attrs: Any) -> "_Span | _NoopSpan":
+        """Open a span; finish it by leaving the ``with`` block.
+
+        Inside an unsampled trace on a process with no tail pipeline
+        (the execute-side target), the span could never be kept, so the
+        no-op singleton is returned and the whole enter/exit cost — id
+        allocation, clock reads, record construction — vanishes. That
+        is what the v2 header's ``sampled`` flag buys the target.
+        """
+        ctx = trace_context.current()
+        if ctx is not None and not ctx.sampled and self.pipeline is None:
+            return NOOP_SPAN
         return _Span(self, name, category, attrs)
 
     def event(self, name: str, category: str = "offload",
               **attrs: Any) -> None:
-        """Record an instantaneous event at the current time."""
+        """Record an instantaneous event at the current time.
+
+        Inside an unsampled trace the event follows the trace's fate:
+        staged with the tail pipeline when one is installed (so a
+        retained outlier keeps its ``fault.injected`` breadcrumbs),
+        skipped otherwise.
+        """
+        ctx = trace_context.current()
         stack = self._stack()
         if stack:
             parent_id = stack[-1]
         else:
-            ctx = trace_context.current()
             parent_id = ctx.span_id if ctx is not None else 0
+        if ctx is not None and not ctx.sampled:
+            pipeline = self.pipeline
+            if pipeline is None:
+                return
+            pipeline.stage(EventRecord(
+                name=name,
+                category=category,
+                ts_ns=self._clock(),
+                span_id=self._next_id(),
+                parent_id=parent_id,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attrs=attrs,
+                trace_id=ctx.trace_id_hex,
+            ))
+            return
         self._append(EventRecord(
             name=name,
             category=category,
@@ -268,6 +352,27 @@ class Recorder:
             tid=threading.get_ident(),
             attrs=attrs,
             trace_id=trace_context.current_trace_id_hex(),
+        ))
+
+    def force_event(self, name: str, category: str = "slo",
+                    **attrs: Any) -> None:
+        """Record an event bypassing the sampling gate.
+
+        Alert-grade events (``telemetry.slo_breach``) must land in the
+        ring even when raised mid-flight inside an unsampled trace —
+        they describe the aggregate stream, not one trace, so they carry
+        no trace id and never ride the tail pipeline.
+        """
+        self._append(EventRecord(
+            name=name,
+            category=category,
+            ts_ns=self._clock(),
+            span_id=self._next_id(),
+            parent_id=0,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=attrs,
+            trace_id="",
         ))
 
     def ingest(self, records: "list[SpanRecord | EventRecord]") -> None:

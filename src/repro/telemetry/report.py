@@ -7,6 +7,7 @@ flat JSONL, auto-detected) and prints per-phase latency percentiles::
     python -m repro.telemetry.report trace.jsonl --prefix offload.
     python -m repro.telemetry.report trace.json --per-message
     python -m repro.telemetry.report trace.json --critical-path
+    python -m repro.telemetry.report trace.json --profile
     python -m repro.telemetry.report trace.json --format json
 
 The default table covers every span name (one row per phase: serialize,
@@ -17,8 +18,10 @@ p50/p95, mean and total time, plus the trace's instantaneous events
 ``--per-message`` groups the records by distributed ``trace_id`` (one
 row per offload, across processes); ``--critical-path`` prints each
 message's exact phase-by-phase timeline, including the uncovered
-``(wait)`` stretches where the wire time lives. ``--format json`` emits
-the same data machine-readably.
+``(wait)`` stretches where the wire time lives. ``--profile``
+reconstructs per-kernel continuous profiles from the trace and ranks
+kernels by total (or, with ``--profile-sort tail``, p99) round-trip
+time. ``--format json`` emits the same data machine-readably.
 """
 
 from __future__ import annotations
@@ -32,11 +35,14 @@ from repro.bench.tables import format_time, render_table
 from repro.telemetry.distributed import group_by_trace, trace_summary
 from repro.telemetry.export import Record, durations_by_name, load_any
 from repro.telemetry.metrics import percentile
+from repro.telemetry.profile import KernelProfiler, render_profile_table
 
 __all__ = [
     "main",
+    "profile_from_records",
     "render_critical_paths",
     "render_per_message",
+    "render_profile",
     "render_report",
     "summarize",
 ]
@@ -144,6 +150,49 @@ def render_critical_paths(records: Sequence[Record]) -> str:
     return "\n\n".join(blocks)
 
 
+def profile_from_records(records: Sequence[Record]) -> dict[str, Any]:
+    """Reconstruct per-kernel profiles from a trace file's records.
+
+    The live system folds completions into
+    :class:`~repro.telemetry.profile.KernelProfiler` as they happen;
+    offline, the same aggregation is rebuilt per distributed trace: the
+    kernel name comes from the ``offload.serialize`` span's ``functor``
+    attribute (falling back to the execute span's ``handler``), the
+    round trip is the trace's wall extent, and every span feeds its
+    phase histogram. Untraced records (no ``trace_id``) contribute
+    nothing — they cannot be attributed to a kernel.
+    """
+    profiler = KernelProfiler()
+    for group in group_by_trace(records).values():
+        spans = [r for r in group if r.kind == "span"]
+        if not spans:
+            continue
+        kernel = ""
+        nbytes = 0
+        error = False
+        for span in spans:
+            if not kernel and span.name == "offload.serialize":
+                kernel = str(span.attrs.get("functor", ""))
+                nbytes = int(span.attrs.get("bytes", 0) or 0)
+            if not kernel and span.name == "offload.execute":
+                kernel = str(span.attrs.get("handler", ""))
+            if "error" in span.attrs:
+                error = True
+        kernel = kernel or "<unknown>"
+        total_ns = max(s.end_ns for s in spans) - min(s.start_ns for s in spans)
+        profiler.record(kernel, total_ns, error=error)
+        if nbytes:
+            profiler.add_bytes(kernel, nbytes)
+        for span in spans:
+            profiler.record_phase(kernel, span.name, span.duration_ns)
+    return profiler.snapshot()
+
+
+def render_profile(records: Sequence[Record], sort_by: str = "total") -> str:
+    """The ``--profile`` view: kernels ranked by total or tail time."""
+    return render_profile_table(profile_from_records(records), sort_by=sort_by)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -165,6 +214,14 @@ def main(argv: list[str] | None = None) -> int:
         help="per-message phase-by-phase timeline (implies trace grouping)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="per-kernel continuous profile reconstructed from the trace",
+    )
+    parser.add_argument(
+        "--profile-sort", choices=("total", "tail"), default="total",
+        help="rank --profile kernels by cumulative time or p99 (default: total)",
+    )
+    parser.add_argument(
         "--format", choices=("table", "json"), default="table",
         help="output format (default: table)",
     )
@@ -182,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
         payload: dict[str, Any] = {"phases": summarize(records, args.prefix)}
         if args.per_message or args.critical_path:
             payload["messages"] = per_message_summaries(records)
+        if args.profile:
+            payload["profile"] = profile_from_records(records)
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     sections = []
@@ -189,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(render_per_message(records))
     if args.critical_path:
         sections.append(render_critical_paths(records))
+    if args.profile:
+        sections.append(render_profile(records, args.profile_sort))
     if not sections:
         sections.append(render_report(records, args.prefix))
     print("\n\n".join(sections))

@@ -1,0 +1,283 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` states an objective over a phase of the offload path:
+"99% of ``offload`` round trips finish under 50 ms", or "99.9% of
+``offload`` attempts succeed" (``threshold_ns=None`` makes it an error
+SLO). The :class:`SLOMonitor` evaluates each objective over two rolling
+windows — a fast one that reacts within tens of operations and a slow
+one that filters blips — and alerts only when *both* burn too hot, the
+standard multi-window burn-rate recipe (Google SRE workbook, ch. 5).
+
+Burn rate is ``bad_fraction / error_budget`` where the budget is
+``1 - objective``: burn 1.0 consumes the budget exactly at the allowed
+pace, burn >= ``burn_threshold`` (default 2.0) on both windows raises a
+breach. Window sizes are counted in *operations*, not wall seconds —
+the "5m-equivalent" fast and "1h-equivalent" slow windows of a
+time-based alerting stack, made deterministic for tests and chaos runs.
+
+Breaches surface three ways:
+
+* ``telemetry.slo_breach`` / ``telemetry.slo_recovered`` events in the
+  trace (``scripts/chaos_smoke.py`` asserts the former fires under
+  injected faults);
+* ``slo.<name>.fast_burn`` / ``slow_burn`` / ``breached`` gauges on the
+  metrics snapshot (and thus ``/metrics``);
+* :meth:`SLOMonitor.breached`, which the ``/healthz`` endpoint folds
+  into a ``degraded`` status.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+__all__ = ["SLO", "SLOMonitor", "default_slos"]
+
+#: Phase name carrying the whole issue->result round trip.
+TOTAL_PHASE = "offload"
+
+
+@dataclass(frozen=True, slots=True)
+class SLO:
+    """One objective over one phase of the offload path.
+
+    Attributes
+    ----------
+    name:
+        Alert identity (``offload-latency-p99``); also the gauge prefix.
+    phase:
+        Which duration stream feeds it: ``"offload"`` for the round
+        trip, otherwise a span name (``"offload.execute"``).
+    threshold_ns:
+        An operation is *bad* when it runs longer than this; ``None``
+        makes this an availability SLO where only errors are bad.
+    objective:
+        Target good fraction in ``(0, 1)`` — 0.99 allows a 1% budget.
+    """
+
+    name: str
+    phase: str
+    threshold_ns: int | None
+    objective: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO needs a name")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.threshold_ns is not None and self.threshold_ns <= 0:
+            raise ValueError(
+                f"threshold_ns must be positive, got {self.threshold_ns}"
+            )
+
+    def is_bad(self, duration_ns: int, error: bool) -> bool:
+        if error:
+            return True
+        return self.threshold_ns is not None and duration_ns > self.threshold_ns
+
+
+def default_slos() -> tuple[SLO, ...]:
+    """A sane starter set: round-trip latency + availability."""
+    return (
+        SLO(name="offload-latency", phase=TOTAL_PHASE,
+            threshold_ns=250_000_000, objective=0.99),
+        SLO(name="offload-availability", phase=TOTAL_PHASE,
+            threshold_ns=None, objective=0.99),
+    )
+
+
+class _SLOState:
+    """Rolling windows with O(1) burn math — this sits on the hot path.
+
+    Bad counts are maintained incrementally on push/evict rather than
+    summed per observe, so one completion costs two deque appends, not a
+    600-element walk of the slow window.
+    """
+
+    __slots__ = (
+        "slo", "fast", "slow", "fast_window", "slow_window",
+        "fast_bad", "slow_bad", "breached", "total", "bad", "gauges",
+    )
+
+    def __init__(self, slo: SLO, fast_window: int, slow_window: int) -> None:
+        self.slo = slo
+        self.fast: deque[int] = deque()
+        self.slow: deque[int] = deque()
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.fast_bad = 0
+        self.slow_bad = 0
+        self.breached = False
+        self.total = 0
+        self.bad = 0
+        self.gauges: tuple[Any, Any, Any] | None = None
+
+    def push(self, bad: int) -> None:
+        self.fast.append(bad)
+        self.fast_bad += bad
+        if len(self.fast) > self.fast_window:
+            self.fast_bad -= self.fast.popleft()
+        self.slow.append(bad)
+        self.slow_bad += bad
+        if len(self.slow) > self.slow_window:
+            self.slow_bad -= self.slow.popleft()
+        self.total += 1
+        self.bad += bad
+
+    def fast_burn(self, budget: float) -> float:
+        if not self.fast:
+            return 0.0
+        return (self.fast_bad / len(self.fast)) / budget
+
+    def slow_burn(self, budget: float) -> float:
+        if not self.slow:
+            return 0.0
+        return (self.slow_bad / len(self.slow)) / budget
+
+
+class SLOMonitor:
+    """Evaluates a set of SLOs over rolling operation windows.
+
+    Parameters
+    ----------
+    slos:
+        The objectives; see :func:`default_slos`.
+    fast_window / slow_window:
+        Window sizes in operations (the 5m-/1h-equivalents).
+    burn_threshold:
+        Both windows must burn at >= this rate to breach (2.0 means the
+        error budget is being consumed at twice the sustainable pace).
+    min_samples:
+        Operations required in the fast window before alerting at all —
+        keeps a single cold-start failure from paging.
+    emit:
+        ``emit(name, **attrs)`` event sink (the recorder's ``event``);
+        receives ``telemetry.slo_breach`` / ``telemetry.slo_recovered``.
+    metrics:
+        A :class:`~repro.telemetry.metrics.MetricsRegistry` for the
+        burn/breached gauges (optional).
+    """
+
+    def __init__(
+        self,
+        slos: Iterable[SLO] | None = None,
+        *,
+        fast_window: int = 50,
+        slow_window: int = 600,
+        burn_threshold: float = 2.0,
+        min_samples: int = 10,
+        emit: Callable[..., Any] | None = None,
+        metrics: Any = None,
+    ) -> None:
+        if fast_window < 1 or slow_window < fast_window:
+            raise ValueError(
+                f"need 1 <= fast_window <= slow_window, got "
+                f"{fast_window}/{slow_window}"
+            )
+        if burn_threshold <= 0:
+            raise ValueError(
+                f"burn_threshold must be positive, got {burn_threshold}"
+            )
+        resolved = tuple(slos) if slos is not None else default_slos()
+        names = [s.name for s in resolved]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.burn_threshold = burn_threshold
+        self.min_samples = max(1, min_samples)
+        self.emit = emit
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._states = {
+            s.name: _SLOState(s, fast_window, slow_window) for s in resolved
+        }
+        # Hot-path accelerators: observe() is called for every span fold
+        # of every offload, so phases with no SLO must cost one dict get,
+        # and gauge objects are resolved once, not per observe.
+        self._by_phase: dict[str, tuple[_SLOState, ...]] = {}
+        for state in self._states.values():
+            phase_states = self._by_phase.get(state.slo.phase, ())
+            self._by_phase[state.slo.phase] = phase_states + (state,)
+            if metrics is not None:
+                state.gauges = (
+                    metrics.gauge(f"slo.{state.slo.name}.fast_burn"),
+                    metrics.gauge(f"slo.{state.slo.name}.slow_burn"),
+                    metrics.gauge(f"slo.{state.slo.name}.breached"),
+                )
+
+    @property
+    def slos(self) -> tuple[SLO, ...]:
+        return tuple(state.slo for state in self._states.values())
+
+    # -- feeding -----------------------------------------------------------
+    def observe(self, phase: str, duration_ns: int, *,
+                error: bool = False) -> None:
+        """Fold one finished operation of ``phase`` into its SLOs."""
+        states = self._by_phase.get(phase)
+        if states is None:
+            return
+        transitions: list[tuple[SLO, bool, float, float]] = []
+        with self._lock:
+            for state in states:
+                slo = state.slo
+                bad = int(slo.is_bad(duration_ns, error))
+                state.push(bad)
+                budget = 1.0 - slo.objective
+                fast_burn = state.fast_burn(budget)
+                slow_burn = state.slow_burn(budget)
+                breached = (
+                    len(state.fast) >= self.min_samples
+                    and fast_burn >= self.burn_threshold
+                    and slow_burn >= self.burn_threshold
+                )
+                if breached != state.breached:
+                    state.breached = breached
+                    transitions.append((slo, breached, fast_burn, slow_burn))
+                if state.gauges is not None:
+                    fast_g, slow_g, breached_g = state.gauges
+                    fast_g.set(fast_burn)
+                    slow_g.set(slow_burn)
+                    breached_g.set(1.0 if state.breached else 0.0)
+        # Emit outside the lock: the sink is the recorder, which may
+        # call back into metrics.
+        for slo, breached, fast_burn, slow_burn in transitions:
+            if self.emit is None:
+                continue
+            name = ("telemetry.slo_breach" if breached
+                    else "telemetry.slo_recovered")
+            self.emit(name, slo=slo.name, phase=slo.phase,
+                      fast_burn=round(fast_burn, 3),
+                      slow_burn=round(slow_burn, 3),
+                      objective=slo.objective)
+
+    # Alias used by the recorder's span fold, which feeds phase streams.
+    observe_phase = observe
+
+    # -- queries -----------------------------------------------------------
+    def breached(self) -> list[str]:
+        """Names of the SLOs currently in breach (healthz feeds on it)."""
+        with self._lock:
+            return [name for name, state in self._states.items()
+                    if state.breached]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Per-SLO burn state as a JSON-friendly dict."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            for name, state in self._states.items():
+                slo = state.slo
+                budget = 1.0 - slo.objective
+                out[name] = {
+                    "phase": slo.phase,
+                    "threshold_ns": slo.threshold_ns,
+                    "objective": slo.objective,
+                    "total": state.total,
+                    "bad": state.bad,
+                    "fast_burn": state.fast_burn(budget),
+                    "slow_burn": state.slow_burn(budget),
+                    "breached": state.breached,
+                }
+        return out

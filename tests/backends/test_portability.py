@@ -33,13 +33,18 @@ def application(runtime: Runtime) -> dict:
     runtime.put(b, b_t)
     dot = runtime.async_(target, f2f(apps.inner_product, a_t, b_t, n))
     scalar = runtime.sync(target, f2f(apps.add, 20, 22))
+    # The channel contract lets invocations execute concurrently on the
+    # target (see docs/architecture.md), so collect the dot before
+    # mutating its input buffer — scale_buffer racing inner_product
+    # would read a_t mid-update.
+    dot_value = dot.get()
     runtime.sync(target, f2f(apps.scale_buffer, a_t, 2.0))
     doubled = np.zeros(n)
     runtime.get(a_t, doubled)
     runtime.free(a_t)
     runtime.free(b_t)
     return {
-        "dot": dot.get(),
+        "dot": dot_value,
         "scalar": scalar,
         "doubled_ok": bool(np.allclose(doubled, 2 * a)),
         "expected_dot": float(np.dot(a, b)),

@@ -1,0 +1,241 @@
+"""Head sampling + tail retention: the adaptive trace pipeline."""
+
+import random
+
+import pytest
+
+from repro.backends.local import LocalBackend
+from repro.ham import f2f
+from repro.offload import api as offload_api
+from repro.telemetry import context as trace_context
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.recorder import EventRecord, Recorder, SpanRecord
+from repro.telemetry.sampling import HeadSampler, TailPipeline, complete_offload
+
+from tests import apps
+
+
+def unsampled_ctx():
+    return trace_context.new_trace(sampled=False)
+
+
+def span_for(ctx, name="offload.serialize", duration_ns=1000, **attrs):
+    return SpanRecord(
+        name=name, category="offload", start_ns=100, duration_ns=duration_ns,
+        span_id=1, parent_id=0, pid=10, tid=20, attrs=attrs,
+        trace_id=ctx.trace_id_hex,
+    )
+
+
+class TestHeadSampler:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_rejects_rate_outside_unit_interval(self, rate):
+        with pytest.raises(ValueError, match="sample_rate"):
+            HeadSampler(rate)
+
+    def test_rate_one_samples_everything(self):
+        sampler = HeadSampler(1.0)
+        assert all(sampler.new_trace().sampled for _ in range(50))
+
+    def test_rate_zero_samples_nothing(self):
+        sampler = HeadSampler(0.0)
+        assert not any(sampler.new_trace().sampled for _ in range(50))
+
+    def test_decision_is_deterministic_per_trace_id(self):
+        # Any process evaluating the same id must agree — that is what
+        # lets the v2 header flag and a recomputation coexist.
+        sampler_a, sampler_b = HeadSampler(0.37), HeadSampler(0.37)
+        rng = random.Random(7)
+        for _ in range(200):
+            trace_id = rng.getrandbits(128) | 1
+            assert sampler_a.decide(trace_id) == sampler_b.decide(trace_id)
+
+    def test_half_rate_splits_uniform_ids(self):
+        sampler = HeadSampler(0.5)
+        rng = random.Random(11)
+        hits = sum(
+            sampler.decide(rng.getrandbits(128) | 1) for _ in range(4000)
+        )
+        assert 0.45 < hits / 4000 < 0.55
+
+    def test_minted_context_carries_verdict(self):
+        ctx = HeadSampler(0.0).new_trace()
+        assert not ctx.sampled
+        assert ctx.flags == 0
+
+
+class TestTailPipeline:
+    def test_fast_unsampled_trace_is_dropped_after_fold(self):
+        rec = Recorder()
+        pipe = TailPipeline(min_samples=5)
+        ctx = unsampled_ctx()
+        pipe.stage(span_for(ctx))
+        kept = pipe.complete(rec, ctx, duration_ns=1000)
+        assert not kept
+        assert rec.records() == []
+        assert rec.metrics.snapshot()["counters"]["trace.tail_dropped"] == 1
+
+    def test_errored_trace_retained_even_before_min_samples(self):
+        rec = Recorder()
+        pipe = TailPipeline(min_samples=50)
+        ctx = unsampled_ctx()
+        pipe.stage(span_for(ctx))
+        assert pipe.complete(rec, ctx, duration_ns=1000, error=True)
+        assert [r.trace_id for r in rec.records()] == [ctx.trace_id_hex]
+        counters = rec.metrics.snapshot()["counters"]
+        assert counters["trace.tail_retained"] == 1
+        assert counters["trace.tail_retained_error"] == 1
+
+    def test_slow_outlier_promoted_into_the_ring(self):
+        rec = Recorder()
+        pipe = TailPipeline(min_samples=5, window=64)
+        # Warm the rolling window with ordinary round trips.
+        for _ in range(20):
+            pipe.complete(rec, trace_context.new_trace(), duration_ns=1000)
+        ctx = unsampled_ctx()
+        pipe.stage(span_for(ctx, name="offload.serialize"))
+        pipe.stage(span_for(ctx, name="offload.execute"))
+        assert pipe.complete(rec, ctx, duration_ns=50_000)
+        names = {r.name for r in rec.records()}
+        assert names == {"offload.serialize", "offload.execute"}
+        counters = rec.metrics.snapshot()["counters"]
+        assert counters["trace.tail_retained_slow"] == 1
+
+    def test_threshold_excludes_the_current_duration(self):
+        # The first-ever outlier must be judged against the *previous*
+        # window, or it would raise the bar it is measured by.
+        rec = Recorder()
+        pipe = TailPipeline(min_samples=5, window=64)
+        for _ in range(10):
+            pipe.complete(rec, trace_context.new_trace(), duration_ns=1000)
+        ctx = unsampled_ctx()
+        pipe.stage(span_for(ctx))
+        assert pipe.complete(rec, ctx, duration_ns=10_000_000)
+
+    def test_sampled_trace_only_feeds_the_window(self):
+        rec = Recorder()
+        pipe = TailPipeline()
+        assert pipe.complete(rec, trace_context.new_trace(), duration_ns=500)
+        assert rec.records() == []
+
+    def test_pending_bounded_by_eviction(self):
+        rec = Recorder()
+        pipe = TailPipeline(max_pending=2)
+        contexts = [unsampled_ctx() for _ in range(3)]
+        for ctx in contexts:
+            pipe.stage(span_for(ctx))
+        assert pipe.pending_traces() == 2
+        assert pipe.evicted == 1
+        # The evicted (oldest) trace has nothing left to promote.
+        assert not pipe.complete(rec, contexts[0], duration_ns=1, error=True)
+
+    def test_per_trace_record_cap(self):
+        pipe = TailPipeline(max_records_per_trace=2)
+        ctx = unsampled_ctx()
+        for _ in range(4):
+            pipe.stage(span_for(ctx))
+        assert pipe.overflowed == 2
+        assert pipe.staged == 2
+
+    def test_untraced_records_are_ignored(self):
+        pipe = TailPipeline()
+        record = EventRecord(
+            name="loose", category="offload", ts_ns=1, span_id=1,
+            parent_id=0, pid=1, tid=1,
+        )
+        pipe.stage(record)
+        assert pipe.pending_traces() == 0
+
+    def test_staged_spans_feed_kernel_phase_profiles(self):
+        rec = Recorder()
+        pipe = TailPipeline(min_samples=50)
+        ctx = unsampled_ctx()
+        pipe.stage(span_for(ctx, name="offload.execute", duration_ns=2000))
+        pipe.complete(rec, ctx, duration_ns=4000, kernel="my_kernel")
+        summary = rec.profiles.snapshot()["my_kernel"]
+        assert summary["phases"]["offload.execute"]["count"] == 1
+
+    def test_clear_resets_staging_and_window(self):
+        pipe = TailPipeline()
+        ctx = unsampled_ctx()
+        pipe.stage(span_for(ctx))
+        pipe.clear()
+        assert pipe.pending_traces() == 0
+
+
+class TestCompleteOffload:
+    def test_noop_while_telemetry_disabled(self):
+        complete_offload(unsampled_ctx(), kernel="k", duration_ns=10)
+
+    def test_feeds_profiles_and_slo(self):
+        from repro.telemetry.slo import SLO, SLOMonitor
+
+        rec = Recorder()
+        rec.slo = SLOMonitor(
+            (SLO(name="lat", phase="offload", threshold_ns=100,
+                 objective=0.5),),
+            min_samples=1,
+        )
+        complete_offload(
+            trace_context.new_trace(), kernel="k", duration_ns=500,
+            recorder=rec,
+        )
+        assert rec.profiles.snapshot()["k"]["count"] == 1
+        assert rec.slo.snapshot()["lat"]["bad"] == 1
+
+
+class TestUnsampledOffloadEndToEnd:
+    """Satellite (a): the dormant ``sampled`` flag, fixed end-to-end."""
+
+    def test_unsampled_offload_zero_spans_but_counters_bump(self):
+        try:
+            offload_api.init(LocalBackend(), telemetry={"sample_rate": 0.0})
+            assert offload_api.sync(1, f2f(apps.add, 2, 3)) == 5
+            rec = telemetry.get()
+            # The whole trace — host and execute side — stays out of the
+            # ring: staged by the tail pipeline, dropped at completion.
+            assert rec.records() == []
+            counters = rec.metrics.snapshot()["counters"]
+            assert counters["offload.issued"] == 1
+            assert counters["future.settled"] == 1
+            assert counters["trace.tail_dropped"] == 1
+            # ... while every aggregate still saw the offload.
+            (profile,) = rec.profiles.snapshot().values()
+            assert profile["count"] == 1
+            hists = rec.metrics.snapshot()["histograms"]
+            assert any(name.startswith("phase.offload.") for name in hists)
+        finally:
+            offload_api.finalize()
+
+    def test_sampled_offload_still_records_spans(self):
+        try:
+            offload_api.init(LocalBackend(), telemetry={"sample_rate": 1.0})
+            assert offload_api.sync(1, f2f(apps.add, 2, 3)) == 5
+            rec = telemetry.get()
+            assert {r.name for r in rec.spans()} >= {
+                "offload.serialize", "offload.execute"
+            }
+        finally:
+            offload_api.finalize()
+
+    def test_slow_outlier_survives_zero_sampling(self):
+        # The tentpole's acceptance story: rate 0, warm traffic, then an
+        # injected straggler — the straggler's spans must land in the
+        # ring with their trace intact.
+        try:
+            offload_api.init(
+                LocalBackend(),
+                telemetry={"sample_rate": 0.0, "tail_min_samples": 5},
+            )
+            rec = telemetry.get()
+            for _ in range(10):
+                offload_api.sync(1, f2f(apps.empty_kernel))
+            assert rec.records() == []
+            offload_api.sync(1, f2f(apps.sleep_then, 0.2, None))
+            retained = rec.spans()
+            assert retained, "slow outlier was not tail-retained"
+            assert len({r.trace_id for r in retained}) == 1
+            counters = rec.metrics.snapshot()["counters"]
+            assert counters["trace.tail_retained_slow"] == 1
+        finally:
+            offload_api.finalize()
