@@ -15,9 +15,16 @@ Exit status: 0 on a clean soak, 1 on unraised corruption or an untyped
 error, 2 on a hang (watchdog). Same seed, same schedule: failures
 reproduce.
 
+A second mode, ``--noisy-tenant``, soaks the QoS layer instead of the
+fault injector: one best-effort tenant floods a QoS-enabled runtime
+while a premium tenant keeps a modest request rate, and the run fails
+unless the premium tenant's p99 latency and SLO hold while the shed /
+rejection counters show the noisy tenant absorbed the overload.
+
 Usage::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --seed 7 --duration 30
+    PYTHONPATH=src python scripts/chaos_smoke.py --noisy-tenant --duration 20
 """
 
 from __future__ import annotations
@@ -84,6 +91,158 @@ def teardown_stack(process, runtime) -> None:
         process.join(timeout=5)
 
 
+def run_noisy_tenant(args: argparse.Namespace) -> int:
+    """Overload soak: a flooding tenant must not hurt the premium one.
+
+    Stack: live TCP server + QoS runtime with a small fair window and
+    queue. Several best-effort worker threads flood it; one premium
+    thread keeps a steady, modest rate. Pass criteria:
+
+    * no ``telemetry.slo_breach`` event for the premium tenant;
+    * premium p99 latency under ``--premium-p99`` seconds;
+    * the noisy tenant visibly absorbed the overload (load-shed or
+      admission-rejected at least once) — otherwise the run proved
+      nothing about fairness.
+    """
+    from repro.errors import AdmissionRejectedError
+    from repro.offload import (
+        BEST_EFFORT,
+        PREMIUM,
+        QoSConfig,
+        TenantPolicy,
+    )
+    from repro.telemetry import recorder as telemetry
+    from repro.telemetry.slo import SLO, SLOMonitor
+
+    recorder = telemetry.enable()
+    recorder.slo = SLOMonitor(
+        (
+            SLO(name="qos-availability", phase="offload",
+                threshold_ns=None, objective=0.99),
+            SLO(name="qos-latency", phase="offload",
+                threshold_ns=int(args.premium_p99 * 1e9), objective=0.95),
+        ),
+        fast_window=20,
+        slow_window=60,
+        min_samples=10,
+        emit=recorder.force_event,
+        metrics=recorder.metrics,
+    )
+
+    config = QoSConfig(
+        tenants={
+            "premium": TenantPolicy(weight=4.0, priority=PREMIUM),
+            # The noisy tenant is also rate limited, so overload is
+            # absorbed by *both* mechanisms: admission rejections at the
+            # gate and load shedding in the queue.
+            "noisy": TenantPolicy(
+                weight=1.0, priority=BEST_EFFORT, rate=400.0, burst=50.0
+            ),
+        },
+        window=4,
+        max_queue_depth=8,
+    )
+    process, address = spawn_local_server(startup_timeout=30.0)
+    tcp = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+    runtime = Runtime(tcp, qos=config)
+
+    stop = threading.Event()
+    premium_latencies: list[float] = []
+    noisy_outcomes: Counter[str] = Counter()
+    failures: list[str] = []
+
+    def noisy_worker() -> None:
+        functor = f2f(apps.sleep_then, 0.002, 0)
+        while not stop.is_set():
+            try:
+                runtime.sync(1, functor, tenant="noisy", timeout=args.deadline)
+                noisy_outcomes["ok"] += 1
+            except AdmissionRejectedError as exc:
+                noisy_outcomes[type(exc).__name__] += 1
+                # Misbehaving clients retry fast, but not busy-spin
+                # fast; keeps the soak an overload test, not a CPU burn.
+                time.sleep(0.001)
+            except ReproError as exc:
+                noisy_outcomes[type(exc).__name__] += 1
+
+    def premium_worker() -> None:
+        functor = f2f(apps.sleep_then, 0.002, 0)
+        while not stop.is_set():
+            start = time.monotonic()
+            try:
+                runtime.sync(1, functor, tenant="premium",
+                             timeout=args.deadline)
+            except ReproError as exc:
+                failures.append(type(exc).__name__)
+            else:
+                premium_latencies.append(time.monotonic() - start)
+            # A paying customer's steady trickle, not a flood.
+            time.sleep(0.01)
+
+    workers = [threading.Thread(target=noisy_worker, daemon=True)
+               for _ in range(8)]
+    workers.append(threading.Thread(target=premium_worker, daemon=True))
+    for worker in workers:
+        worker.start()
+    time.sleep(args.duration)
+    stop.set()
+    for worker in workers:
+        worker.join(timeout=args.deadline * 4)
+    stats = runtime.stats()
+    teardown_stack(process, runtime)
+
+    qos = stats.get("qos", {})
+    shed = sum(entry.get("shed", 0)
+               for entry in qos.get("window", {}).get("tenants", {}).values())
+    rejected = qos.get("admission", {}).get("noisy", {}).get("rejected", 0)
+    premium_breaches = [
+        r for r in recorder.records()
+        if r.kind == "event" and r.name == "telemetry.slo_breach"
+        and r.attrs.get("tenant") == "premium"
+    ]
+    p99 = (
+        float(np.percentile(premium_latencies, 99))
+        if premium_latencies else float("inf")
+    )
+
+    print(
+        f"noisy-tenant soak: premium ops={len(premium_latencies)} "
+        f"p99={p99 * 1e3:.1f} ms, premium failures={len(failures)}, "
+        f"noisy outcomes={dict(noisy_outcomes)}, "
+        f"shed={shed}, noisy rejected={rejected}", flush=True,
+    )
+    for name, state in recorder.slo.snapshot().items():
+        print(
+            f"slo {name}: {state['bad']}/{state['total']} bad, "
+            f"breached={state['breached']}", flush=True,
+        )
+
+    if not premium_latencies:
+        print("NOISY-TENANT FAIL: premium tenant completed no operations")
+        return 1
+    if premium_breaches:
+        print(
+            f"NOISY-TENANT FAIL: {len(premium_breaches)} slo_breach "
+            "event(s) for the premium tenant under best-effort flood"
+        )
+        return 1
+    if p99 > args.premium_p99:
+        print(
+            f"NOISY-TENANT FAIL: premium p99 {p99 * 1e3:.1f} ms exceeds "
+            f"the {args.premium_p99 * 1e3:.0f} ms bound"
+        )
+        return 1
+    if shed + rejected == 0:
+        print(
+            "NOISY-TENANT FAIL: no load was shed or rejected — the flood "
+            "never saturated the stack, the run proved nothing"
+        )
+        return 1
+    print("noisy-tenant soak OK: premium SLO held, overload absorbed "
+          "by the noisy tenant", flush=True)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -104,7 +263,24 @@ def main() -> int:
         help="fail (exit 1) unless the injected faults drive the SLO "
         "burn-rate monitor into at least one telemetry.slo_breach event",
     )
+    parser.add_argument(
+        "--noisy-tenant",
+        action="store_true",
+        help="overload soak instead of fault injection: a best-effort "
+        "tenant floods a QoS runtime and the premium tenant's SLO must "
+        "hold (see run_noisy_tenant)",
+    )
+    parser.add_argument(
+        "--premium-p99",
+        type=float,
+        default=0.25,
+        help="premium-tenant p99 latency bound in seconds "
+        "(--noisy-tenant mode)",
+    )
     args = parser.parse_args()
+
+    if args.noisy_tenant:
+        return run_noisy_tenant(args)
 
     recorder = None
     if args.trace_out or args.assert_slo_breach:

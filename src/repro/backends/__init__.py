@@ -33,12 +33,14 @@ from repro.backends.tcp import TcpBackend, TcpTargetServer, spawn_local_server
 from repro.backends.veo_backend import VeoCommBackend
 from repro.backends.dma_backend import DmaCommBackend
 from repro.backends.cluster_backend import ClusterBackend
+from repro.backends.fanout import FanoutBackend
 from repro.backends.faulty import FaultInjectingBackend
 
 __all__ = [
     "Backend",
     "ClusterBackend",
     "DmaCommBackend",
+    "FanoutBackend",
     "FaultInjectingBackend",
     "InvokeHandle",
     "LocalBackend",

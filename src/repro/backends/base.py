@@ -291,6 +291,24 @@ class Backend(abc.ABC):
             window = self._window = InflightWindow()
         return window
 
+    def install_window(self, window: InflightWindow) -> None:
+        """Replace this backend's in-flight window (the scheduler seam).
+
+        The QoS layer swaps the default FIFO window for a
+        :class:`~repro.offload.qos.FairInflightWindow` here, and
+        :class:`~repro.backends.fanout.FanoutBackend` shares one window
+        across its inner backends so admission and fairness are uniform.
+        Only legal while nothing is in flight — handles registered in
+        the old window would otherwise leak their slots on completion.
+        """
+        current = getattr(self, "_window", None)
+        if current is not None and current.in_flight:
+            raise BackendError(
+                f"cannot replace the in-flight window with "
+                f"{current.in_flight} operation(s) outstanding"
+            )
+        self._window = window
+
     @property
     def inflight_count(self) -> int:
         """Invocations currently in flight on this backend."""

@@ -1,0 +1,137 @@
+"""Fan-out backend: N single-target backends behind one node space.
+
+The TCP backend connects the host to exactly one server process; the
+resilience layer, hedging and multi-target failover all want *several*
+live targets. :class:`FanoutBackend` composes N single-target backends
+(typically one :class:`~repro.backends.tcp.TcpBackend` per forked
+server) into one backend whose node space is ``0`` (host) plus nodes
+``1..N`` — outer node ``i`` maps to inner backend ``i-1``'s node ``1``.
+
+One window, N transports: the fan-out installs **its own** in-flight
+window into every inner backend (via
+:meth:`~repro.backends.base.Backend.install_window`), so admission,
+backpressure and — with a :class:`~repro.offload.qos.FairInflightWindow`
+— tenant fairness are enforced over the *union* of traffic, exactly as
+a single pipelined channel would. Completions on any inner transport
+free capacity for posts to any other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backends.base import Backend, InflightWindow, InvokeHandle
+from repro.errors import BackendError
+from repro.offload.buffer import BufferPtr
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+
+__all__ = ["FanoutBackend"]
+
+
+class FanoutBackend(Backend):
+    """Compose single-target backends into one multi-target node space."""
+
+    name = "fanout"
+
+    def __init__(self, inners: Sequence[Backend]) -> None:
+        super().__init__()
+        if not inners:
+            raise BackendError("FanoutBackend needs at least one inner backend")
+        self._inners: list[Backend] = list(inners)
+        for inner in self._inners:
+            inner.install_window(self.window)
+
+    # -- the shared window -------------------------------------------------
+    def install_window(self, window: InflightWindow) -> None:
+        super().install_window(window)
+        for inner in self._inners:
+            inner.install_window(window)
+
+    def set_window_timeout(self, seconds: float | None) -> None:
+        super().set_window_timeout(seconds)
+        for inner in self._inners:
+            inner.set_window_timeout(seconds)
+
+    def set_default_timeout(self, seconds: float | None) -> None:
+        for inner in self._inners:
+            inner.set_default_timeout(seconds)
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, node: NodeId) -> Backend:
+        self.check_target(node)
+        return self._inners[node - 1]
+
+    # -- topology ----------------------------------------------------------
+    def num_nodes(self) -> int:
+        return 1 + len(self._inners)
+
+    def descriptor(self, node: NodeId) -> NodeDescriptor:
+        if node == HOST_NODE:
+            return NodeDescriptor(node, "host", "host", "fanout backend host")
+        inner = self._route(node)
+        base = inner.descriptor(1)
+        return NodeDescriptor(node, base.name, base.device_type, base.description)
+
+    # -- invocation --------------------------------------------------------
+    def post_invoke(self, node: NodeId, functor: Any) -> InvokeHandle:
+        # The inner backend admits against the *shared* window and binds
+        # the handle to itself, so drive/completion route naturally.
+        return self._route(node).post_invoke(1, functor)
+
+    def drive(
+        self, handle: InvokeHandle, *, blocking: bool,
+        timeout: float | None = None,
+    ) -> None:
+        if handle.backend is self:  # pragma: no cover - defensive
+            raise BackendError("fanout handles are bound to inner backends")
+        handle.backend.drive(handle, blocking=blocking, timeout=timeout)
+
+    # -- memory ------------------------------------------------------------
+    def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
+        return self._route(node).alloc_buffer(1, nbytes)
+
+    def free_buffer(self, node: NodeId, addr: int) -> None:
+        self._route(node).free_buffer(1, addr)
+
+    def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
+        self._route(node).write_buffer(1, addr, data)
+
+    def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
+        return self._route(node).read_buffer(1, addr, nbytes)
+
+    def resolve_buffer(self, node: NodeId, ptr: BufferPtr) -> np.ndarray:
+        return self._route(node).resolve_buffer(1, ptr)
+
+    # -- health ------------------------------------------------------------
+    def ping(self, node: NodeId) -> float:
+        return self._route(node).ping(1)
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return {
+            "targets": len(self._inners),
+            "inner": [inner.stats() for inner in self._inners],
+        }
+
+    def fetch_target_telemetry(self, timeout: float = 1.0) -> list[Any]:
+        """Drain target-side telemetry from every inner that supports it."""
+        records: list[Any] = []
+        for inner in self._inners:
+            fetch = getattr(inner, "fetch_target_telemetry", None)
+            if fetch is None:
+                continue
+            records.extend(fetch(timeout=timeout))
+        return records
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        errors: list[BaseException] = []
+        for inner in self._inners:
+            try:
+                inner.shutdown()
+            except BaseException as exc:  # noqa: BLE001 - best effort
+                errors.append(exc)
+        if errors:
+            raise errors[0]

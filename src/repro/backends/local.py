@@ -83,12 +83,18 @@ class LocalBackend(Backend):
         # Telemetry phase ``offload.transport``: for the in-process
         # backend the "wire" is a synchronous call, so transport time is
         # the handoff around the nested ``offload.execute`` span.
-        with telemetry.span("offload.transport", node=node, bytes=len(invoke)):
-            reply, _keep_running = execute_message(
-                target.image,
-                invoke,
-                resolver=lambda arg: self._resolve(target, arg),
-            )
+        try:
+            with telemetry.span("offload.transport", node=node, bytes=len(invoke)):
+                reply, _keep_running = execute_message(
+                    target.image,
+                    invoke,
+                    resolver=lambda arg: self._resolve(target, arg),
+                )
+        except BaseException as exc:
+            # Registered but never completed would leak the window slot;
+            # settle the handle with the error before re-raising.
+            handle.complete_with_error(exc)
+            raise
         handle._transport_spanned = True
         target.messages_executed += 1
         handle.complete_with_reply(reply)

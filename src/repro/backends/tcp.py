@@ -712,7 +712,19 @@ class TcpBackend(Backend):
             with self._pending_lock:
                 self._pending[handle.correlation_id] = ("invoke", handle)
             self._register_invoke(handle)
-            self._send(OP_INVOKE, handle.correlation_id, *parts)
+            try:
+                self._send(OP_INVOKE, handle.correlation_id, *parts)
+            except BaseException as exc:
+                # The handle is already registered: completing it with
+                # the error frees its window slot (a bare re-raise would
+                # leak the slot until the window drained to zero).
+                with self._pending_lock:
+                    self._pending.pop(handle.correlation_id, None)
+                handle.complete_with_error(
+                    exc if isinstance(exc, BackendError)
+                    else BackendError(f"send failed while posting invoke: {exc}")
+                )
+                raise
         # The receiver may have declared the connection lost between the
         # aliveness check and our registration; a handle filed after that
         # drain would wait forever, so fail it here ourselves.

@@ -192,6 +192,47 @@ def report_telemetry(quick: bool) -> Report:
     return text, {"overhead": data}
 
 
+def report_qos(quick: bool) -> Report:
+    data = exp.measure_qos(
+        premium_ops=30 if quick else 80,
+        straggler_invokes=64 if quick else 160,
+    )
+    fairness_rows = [
+        {"window": "FIFO",
+         "premium p99": format_time(data["premium_p99_latency_fifo"]),
+         "premium mean": format_time(data["premium_mean_latency_fifo"])},
+        {"window": "weighted fair (QoS)",
+         "premium p99": format_time(data["premium_p99_latency_qos"]),
+         "premium mean": format_time(data["premium_mean_latency_qos"])},
+        {"window": "premium p99 speedup",
+         "premium p99": f"{data['qos_premium_speedup']:.1f}x",
+         "premium mean": "-"},
+    ]
+    hedge_rows = [
+        {"mode": "unhedged",
+         "max latency": format_time(data["unhedged_max_latency"]),
+         "p99": format_time(data["unhedged_p99_latency"])},
+        {"mode": "hedged",
+         "max latency": format_time(data["hedged_max_latency"]),
+         "p99": format_time(data["hedged_p99_latency"])},
+        {"mode": "tail speedup / duplicate rate",
+         "max latency": f"{data['hedge_tail_speedup']:.1f}x",
+         "p99": f"{data['hedge_duplicate_overhead'] * 100:.1f}%"},
+    ]
+    text = (
+        render_table(
+            fairness_rows,
+            title="Q1a — premium tenant latency under best-effort flood",
+        )
+        + "\n\n"
+        + render_table(
+            hedge_rows,
+            title="Q1b — hedged requests vs intermittent straggler",
+        )
+    )
+    return text, {"qos": data}
+
+
 EXPERIMENTS: dict[str, callable] = {
     "fig9": report_fig9,
     "fig10": report_fig10,
@@ -201,6 +242,7 @@ EXPERIMENTS: dict[str, callable] = {
     "scaling": report_scaling,
     "pipeline": report_pipeline,
     "telemetry": report_telemetry,
+    "qos": report_qos,
 }
 
 

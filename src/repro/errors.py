@@ -151,6 +151,35 @@ class CircuitOpenError(OffloadError):
     """
 
 
+class AdmissionRejectedError(OffloadError):
+    """An offload was refused *before* serialization by admission control.
+
+    Raised by the QoS layer (:mod:`repro.offload.qos`) when accepting the
+    operation would violate a policy: the tenant is over its rate limit,
+    the remaining deadline cannot cover the kernel's observed service
+    time, or the scheduler is shedding load. Fast-fail by design — the
+    functor is never serialized and no window slot is consumed, so a
+    rejected request costs microseconds, not a deadline.
+    """
+
+
+class RateLimitedError(AdmissionRejectedError):
+    """The tenant's token bucket is empty (per-tenant rate limit)."""
+
+
+class DeadlineInfeasibleError(AdmissionRejectedError):
+    """The remaining deadline cannot cover the kernel's rolling service
+    time estimate, so the work would be dead on arrival."""
+
+
+class LoadShedError(AdmissionRejectedError):
+    """The scheduler shed this operation to protect higher classes.
+
+    Under overload the fair scheduler drops work lowest-priority-first;
+    the shed request never entered the in-flight window.
+    """
+
+
 class InjectedFaultError(BackendError):
     """A fault deliberately injected by a chaos/fault-injection layer.
 

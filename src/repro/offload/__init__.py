@@ -31,21 +31,48 @@ backends — the paper's portability claim (Sec. V end).
 from repro.ham import Migratable, f2f, offloadable
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import Future
+from repro.offload.hedging import HedgePolicy, Hedger
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.offload.qos import (
+    BEST_EFFORT,
+    PREMIUM,
+    STANDARD,
+    AdmissionController,
+    FairInflightWindow,
+    QoSConfig,
+    TenantContext,
+    TenantPolicy,
+    TokenBucket,
+    current_tenant,
+    tenant_scope,
+)
 from repro.offload.resilience import HealthMonitor, NodeHealth, ResiliencePolicy
 from repro.offload.runtime import Runtime
 
 __all__ = [
+    "AdmissionController",
+    "BEST_EFFORT",
     "BufferPtr",
+    "FairInflightWindow",
     "Future",
     "HOST_NODE",
     "HealthMonitor",
+    "HedgePolicy",
+    "Hedger",
     "Migratable",
     "NodeDescriptor",
     "NodeHealth",
     "NodeId",
+    "PREMIUM",
+    "QoSConfig",
     "ResiliencePolicy",
     "Runtime",
+    "STANDARD",
+    "TenantContext",
+    "TenantPolicy",
+    "TokenBucket",
+    "current_tenant",
     "f2f",
     "offloadable",
+    "tenant_scope",
 ]

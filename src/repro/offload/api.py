@@ -32,6 +32,7 @@ from repro.ham.functor import Functor
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import Future
 from repro.offload.node import NodeDescriptor, NodeId
+from repro.offload.qos import QoSConfig, TenantContext
 from repro.offload.resilience import ResiliencePolicy
 from repro.offload.runtime import Runtime
 from repro.telemetry import recorder as _telemetry
@@ -70,6 +71,7 @@ def init(
     *,
     telemetry: "bool | dict | TelemetryConfig" = False,
     window: int | None = None,
+    qos: "QoSConfig | None" = None,
 ) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
 
@@ -80,6 +82,12 @@ def init(
     ``window`` bounds the number of invocations in flight on the backend
     (backpressure for pipelined producers); ``None`` keeps the default
     of :data:`~repro.backends.base.DEFAULT_INFLIGHT_LIMIT`.
+
+    ``qos`` installs the multi-tenant serving layer
+    (:class:`~repro.offload.qos.QoSConfig`): weighted-fair window
+    scheduling across tenants, per-tenant rate limits, deadline-aware
+    admission and priority-ordered load shedding; ``sync``/``async_``
+    then accept a ``tenant=`` argument. See ``docs/resilience.md``.
 
     ``telemetry`` enables the process-global recorder
     (:func:`repro.telemetry.enable`) before any operation runs, so the
@@ -135,7 +143,7 @@ def init(
                 port=config.metrics_port,
                 health_fn=_health_fn(recorder),
             )
-    _runtime = Runtime(backend, policy=policy, window=window)
+    _runtime = Runtime(backend, policy=policy, window=window, qos=qos)
     return _runtime
 
 
@@ -206,18 +214,26 @@ def sync(
     *,
     idempotent: bool = False,
     timeout: float | None = None,
+    tenant: "str | TenantContext | None" = None,
 ) -> Any:
     """Synchronous offload of ``functor`` to ``node`` (Table II ``sync``).
 
     ``idempotent`` and ``timeout`` engage the runtime's resilience
-    policy; see :meth:`repro.offload.runtime.Runtime.sync`.
+    policy; ``tenant`` tags the offload for the QoS layer when one is
+    installed. See :meth:`repro.offload.runtime.Runtime.sync`.
     """
-    return runtime().sync(node, functor, idempotent=idempotent, timeout=timeout)
+    return runtime().sync(node, functor, idempotent=idempotent,
+                          timeout=timeout, tenant=tenant)
 
 
-def async_(node: NodeId, functor: Functor) -> Future:
+def async_(
+    node: NodeId,
+    functor: Functor,
+    *,
+    tenant: "str | TenantContext | None" = None,
+) -> Future:
     """Asynchronous offload; returns a future (Table II ``async``)."""
-    return runtime().async_(node, functor)
+    return runtime().async_(node, functor, tenant=tenant)
 
 
 def allocate(node: NodeId, count: int, dtype: Any = np.float64) -> BufferPtr:

@@ -67,9 +67,13 @@ class Future:
         label: str = "",
         trace: TraceContext | None = None,
         start_ns: int | None = None,
+        tenant: str | None = None,
     ) -> None:
         self._handle: OperationHandle | None = handle
         self._label = label
+        #: Tenant this offload is accounted to (QoS layer); rides along
+        #: so the settle feeds the tenant's own SLO windows.
+        self._tenant = tenant
         #: Distributed trace opened at offload() time; re-activated
         #: around the settle so the wait/decode spans join the same
         #: causal tree even when get() runs far from async_().
@@ -143,6 +147,7 @@ class Future:
                         "offload",
                         time.perf_counter_ns() - self._start_ns,
                         error=True,
+                        tenant=self._tenant,
                     )
             raise
         except BaseException as exc:  # noqa: BLE001 - stored for re-raise
@@ -160,6 +165,7 @@ class Future:
                 kernel=self._label,
                 duration_ns=time.perf_counter_ns() - self._start_ns,
                 error=self._error is not None,
+                tenant=self._tenant,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,9 +37,14 @@ from repro.telemetry import recorder as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.base import Backend
+    from repro.offload.hedging import HedgePolicy
     from repro.offload.node import NodeId
 
 __all__ = ["NodeHealth", "ResiliencePolicy", "HealthMonitor"]
+
+#: Gauge encoding of :class:`NodeHealth` for ``/metrics``
+#: (``health.node_state.<node>``): 0 healthy, 1 degraded, 2 down.
+_HEALTH_GAUGE = {"healthy": 0, "degraded": 1, "down": 2}
 
 
 class NodeHealth(enum.Enum):
@@ -83,6 +88,13 @@ class ResiliencePolicy:
     probe_interval:
         Seconds a DOWN node's circuit stays open before one half-open
         probe operation is allowed through to test recovery.
+    hedge:
+        Optional :class:`~repro.offload.hedging.HedgePolicy`. When set,
+        ``sync(..., idempotent=True)`` of a location-free functor on a
+        multi-target backend duplicates a straggling attempt to a second
+        healthy target once it outwaits the kernel's rolling tail
+        latency — the latency-tolerance twin of the retry path, which
+        only reacts to outright failure. ``None`` disables hedging.
     """
 
     deadline: float | None = None
@@ -96,6 +108,7 @@ class ResiliencePolicy:
     degraded_after: int = 1
     down_after: int = 3
     probe_interval: float = 1.0
+    hedge: "HedgePolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
@@ -185,6 +198,7 @@ class HealthMonitor:
             self._transition(node, previous, NodeHealth.HEALTHY)
         if latency is not None:
             record.last_ping_latency = latency
+        self._export_gauges(node, record)
 
     def record_failure(self, node: NodeId) -> NodeHealth:
         """A transport-level failure; returns the node's new health."""
@@ -199,7 +213,23 @@ class HealthMonitor:
             record.health = NodeHealth.DEGRADED
         if record.health is not previous:
             self._transition(node, previous, record.health)
+        self._export_gauges(node, record)
         return record.health
+
+    def _export_gauges(self, node: NodeId, record: _NodeRecord) -> None:
+        """Mirror one node's failover state onto ``/metrics``.
+
+        ``health.node_state.<node>`` (0 healthy / 1 degraded / 2 down)
+        and ``health.consecutive_failures.<node>`` render through the
+        Prometheus exporter as ``repro_health_node_state_<node>`` etc.,
+        so a scrape shows circuit state without parsing the event log.
+        """
+        telemetry.gauge(
+            f"health.node_state.{node}", _HEALTH_GAUGE[record.health.value]
+        )
+        telemetry.gauge(
+            f"health.consecutive_failures.{node}", record.consecutive_failures
+        )
 
     def _transition(
         self, node: NodeId, previous: NodeHealth, new: NodeHealth

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from repro.errors import (
+    AdmissionRejectedError,
     BackendError,
     CircuitOpenError,
     OffloadError,
@@ -32,7 +33,16 @@ from repro.errors import (
 from repro.ham.functor import Functor
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import CompletedHandle, Future
+from repro.offload.hedging import Hedger, is_location_free
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+from repro.offload.qos import (
+    AdmissionController,
+    FairInflightWindow,
+    QoSConfig,
+    TenantContext,
+    current_tenant,
+    tenant_scope,
+)
 from repro.offload.resilience import HealthMonitor, ResiliencePolicy
 from repro.telemetry import context as trace_context
 from repro.telemetry import recorder as telemetry
@@ -68,6 +78,19 @@ class Runtime:
         :class:`~repro.backends.base.InflightWindow` limit). ``None``
         keeps the backend's default
         (:data:`~repro.backends.base.DEFAULT_INFLIGHT_LIMIT`).
+    qos:
+        Optional :class:`~repro.offload.qos.QoSConfig`. When set, the
+        backend's FIFO window is replaced by a
+        :class:`~repro.offload.qos.FairInflightWindow` (deficit-weighted
+        round robin across tenants, priority-ordered load shedding) and
+        every offload passes an
+        :class:`~repro.offload.qos.AdmissionController` *before*
+        serialization — per-tenant rate limits and deadline-feasibility
+        checks fail in microseconds instead of burning a window slot.
+        Offloads pick up their :class:`~repro.offload.qos.TenantContext`
+        from the ``tenant=`` argument, the ambient
+        :func:`~repro.offload.qos.tenant_scope`, or the config's default
+        tenant, in that order.
     """
 
     def __init__(
@@ -77,15 +100,31 @@ class Runtime:
         monitor: HealthMonitor | None = None,
         *,
         window: int | None = None,
+        qos: QoSConfig | None = None,
     ) -> None:
         self.backend = backend
         self.policy = policy
+        self.qos = qos
         if monitor is not None:
             self.monitor = monitor
         else:
             self.monitor = HealthMonitor(policy) if policy is not None else None
-        if window is not None:
+        self.admission: AdmissionController | None = None
+        self._fair_window: FairInflightWindow | None = None
+        if qos is not None:
+            limit = window if window is not None else qos.window
+            self._fair_window = FairInflightWindow(
+                limit if limit is not None else backend.window.limit, qos
+            )
+            backend.install_window(self._fair_window)
+            self.admission = AdmissionController(qos)
+        elif window is not None:
             backend.set_inflight_limit(window)
+        self._hedger = (
+            Hedger(policy.hedge)
+            if policy is not None and policy.hedge is not None
+            else None
+        )
         if policy is not None and policy.deadline is not None:
             backend.set_default_timeout(policy.deadline)
             # A full window against a dead target must fail fast too:
@@ -146,7 +185,32 @@ class Runtime:
             return sampler.new_trace()
         return trace_context.new_trace()
 
-    def async_(self, node: NodeId, functor: Functor) -> Future:
+    def _resolve_tenant(
+        self, tenant: "str | TenantContext | None"
+    ) -> TenantContext | None:
+        """Pick the offload's tenant: explicit, ambient, or QoS default."""
+        if tenant is None:
+            # The ambient scope may hold a bare tenant id too; it is
+            # normalized below, so it picks up the QoS policy exactly
+            # like an explicit tenant= argument.
+            tenant = current_tenant()
+        if tenant is not None:
+            if isinstance(tenant, TenantContext):
+                return tenant
+            if self.qos is not None:
+                return self.qos.context_for(tenant)
+            return TenantContext(tenant=tenant)
+        if self.qos is not None:
+            return self.qos.context_for(None)
+        return None
+
+    def async_(
+        self,
+        node: NodeId,
+        functor: Functor,
+        *,
+        tenant: "str | TenantContext | None" = None,
+    ) -> Future:
         """Asynchronous offload of ``functor`` to ``node`` (paper ``async``)."""
         self._check_running()
         self.backend.check_target(node)
@@ -156,10 +220,25 @@ class Runtime:
             )
         if self.monitor is not None:
             self.monitor.check(node)
+        tctx = self._resolve_tenant(tenant)
+        if self.admission is not None and tctx is not None:
+            # Before serialization by design: a rejected offload never
+            # builds its frame, never touches the window.
+            try:
+                self.admission.admit(tctx, functor.type_name)
+            except AdmissionRejectedError:
+                recorder = telemetry.get()
+                if recorder is not None and recorder.slo is not None:
+                    # A rejection is an availability miss charged to the
+                    # tenant that caused it (instant, hence duration 0).
+                    recorder.slo.observe(
+                        "offload", 0, error=True, tenant=tctx.tenant
+                    )
+                raise
         ctx = self._offload_trace()
         start_ns = time.perf_counter_ns()
         try:
-            with trace_context.activate(ctx):
+            with trace_context.activate(ctx), tenant_scope(tctx):
                 handle = self.backend.post_invoke(node, functor)
         except _TRANSPORT_ERRORS:
             if self.monitor is not None:
@@ -171,13 +250,15 @@ class Runtime:
             recorder = telemetry.get()
             if recorder is not None and recorder.slo is not None:
                 recorder.slo.observe(
-                    "offload", time.perf_counter_ns() - start_ns, error=True
+                    "offload", time.perf_counter_ns() - start_ns, error=True,
+                    tenant=tctx.tenant if tctx is not None else None,
                 )
             raise
         self._offloads_posted += 1
         telemetry.count("offload.issued")
         return Future(handle, label=functor.type_name, trace=ctx,
-                      start_ns=start_ns)
+                      start_ns=start_ns,
+                      tenant=tctx.tenant if tctx is not None else None)
 
     def sync(
         self,
@@ -186,6 +267,7 @@ class Runtime:
         *,
         idempotent: bool = False,
         timeout: float | None = None,
+        tenant: "str | TenantContext | None" = None,
     ) -> Any:
         """Synchronous offload: ``async_`` + ``get``.
 
@@ -196,29 +278,42 @@ class Runtime:
             (and on a different target, if the policy allows failover) is
             safe. Only then are transport failures retried under the
             runtime's :class:`ResiliencePolicy` — the runtime cannot know
-            whether a timed-out offload also executed. Functors closing
-            over node-local :class:`BufferPtr` arguments are *not*
-            location-independent and must not be failed over.
+            whether a timed-out offload also executed — and only then may
+            a straggling attempt be *hedged* to a second target when the
+            policy carries a :class:`~repro.offload.hedging.HedgePolicy`.
+            Functors closing over node-local :class:`BufferPtr` arguments
+            are *not* location-independent and are never failed over or
+            hedged.
         timeout:
-            Per-call deadline override (seconds); defaults to the policy
-            deadline.
+            Per-call deadline override (seconds); defaults to the
+            tenant's deadline (under QoS), then the policy deadline.
+        tenant:
+            Tenant id or full :class:`~repro.offload.qos.TenantContext`
+            this offload is accounted to; defaults to the ambient
+            :func:`~repro.offload.qos.tenant_scope`, then the QoS
+            config's default tenant.
         """
-        if self.policy is None:
-            return self.async_(node, functor).get(timeout=timeout)
-        policy = self.policy
-        deadline = timeout if timeout is not None else policy.deadline
-        attempts = (1 + policy.max_retries) if idempotent else 1
-        target = node
-        tried: list[NodeId] = []
-        last_error: Exception | None = None
-        # One trace spans the whole resilient operation: every retry and
-        # failover re-posts under the same trace_id, so the merged trace
-        # shows attempt N's spans (and the resilience.* events between
-        # them) re-parented onto the one logical offload.
-        with trace_context.activate(self._offload_trace()):
-            return self._sync_attempts(
-                functor, deadline, attempts, node, tried, last_error
-            )
+        tctx = self._resolve_tenant(tenant)
+        if timeout is None and tctx is not None and tctx.deadline is not None:
+            timeout = tctx.deadline
+        with tenant_scope(tctx):
+            if self.policy is None:
+                return self.async_(node, functor).get(timeout=timeout)
+            policy = self.policy
+            deadline = timeout if timeout is not None else policy.deadline
+            attempts = (1 + policy.max_retries) if idempotent else 1
+            tried: list[NodeId] = []
+            last_error: Exception | None = None
+            # One trace spans the whole resilient operation: every retry
+            # and failover re-posts under the same trace_id, so the
+            # merged trace shows attempt N's spans (and the resilience.*
+            # events between them) re-parented onto the one logical
+            # offload.
+            with trace_context.activate(self._offload_trace()):
+                return self._sync_attempts(
+                    functor, deadline, attempts, node, tried, last_error,
+                    idempotent=idempotent,
+                )
 
     def _sync_attempts(
         self,
@@ -228,6 +323,8 @@ class Runtime:
         target: NodeId,
         tried: list[NodeId],
         last_error: Exception | None,
+        *,
+        idempotent: bool = False,
     ) -> Any:
         """The retry/failover loop of :meth:`sync` (trace already active)."""
         policy = self.policy
@@ -262,7 +359,21 @@ class Runtime:
                 last_error = exc
                 continue
             try:
-                value = future.get(timeout=deadline)
+                if (
+                    self._hedger is not None
+                    and idempotent
+                    and self.monitor is not None
+                    and self.num_nodes() > 2
+                    and is_location_free(functor)
+                ):
+                    # The hedge duplicates the wait, not the failure
+                    # handling: transport errors out of await_hedged land
+                    # in the same except arms as a plain get.
+                    value = self._hedger.await_hedged(
+                        self, future, functor, target, deadline
+                    )
+                else:
+                    value = future.get(timeout=deadline)
             except RemoteExecutionError:
                 # The target executed the functor and the *application*
                 # raised: the transport is healthy, and retrying a
@@ -452,6 +563,14 @@ class Runtime:
         if self.policy is not None:
             data["retries"] = self._retries
             data["failovers"] = self._failovers
+        if self._hedger is not None:
+            data["hedging"] = self._hedger.snapshot()
+        if self.admission is not None:
+            data["qos"] = {
+                "admission": self.admission.snapshot(),
+                "window": self._fair_window.snapshot()
+                if self._fair_window is not None else {},
+            }
         if self.monitor is not None:
             data["health"] = self.monitor.snapshot()
         if telemetry.enabled():

@@ -235,12 +235,15 @@ def complete_offload(
     duration_ns: int,
     error: bool = False,
     recorder: "Recorder | None" = None,
+    tenant: str | None = None,
 ) -> None:
     """Fold one finished offload into every aggregate consumer.
 
     Called by the runtime/future layer exactly once per completed
     offload (sampled or not): per-kernel profile, SLO windows, and the
     tail pipeline's keep/drop verdict. A no-op while telemetry is off.
+    ``tenant`` (when the QoS layer tagged the offload) routes the
+    observation into that tenant's own SLO windows as well.
     """
     if recorder is None:
         from repro.telemetry import recorder as recorder_mod
@@ -250,7 +253,8 @@ def complete_offload(
         return
     recorder.profiles.record(kernel or "<anonymous>", duration_ns, error=error)
     if recorder.slo is not None:
-        recorder.slo.observe("offload", duration_ns, error=error)
+        recorder.slo.observe("offload", duration_ns, error=error,
+                             tenant=tenant)
     pipeline = recorder.pipeline
     if pipeline is not None and ctx is not None:
         pipeline.complete(recorder, ctx, duration_ns=duration_ns, error=error,

@@ -160,6 +160,13 @@ class SLOMonitor:
     metrics:
         A :class:`~repro.telemetry.metrics.MetricsRegistry` for the
         burn/breached gauges (optional).
+    max_tenants:
+        Cap on distinct per-tenant evaluation states (multi-tenant
+        serving: each observed tenant gets its own rolling windows per
+        SLO, so one noisy tenant pages alone instead of burning the
+        global budget anonymously). Tenants beyond the cap fold into the
+        global state only — bounded cardinality against tenant-id
+        explosions.
     """
 
     def __init__(
@@ -172,6 +179,7 @@ class SLOMonitor:
         min_samples: int = 10,
         emit: Callable[..., Any] | None = None,
         metrics: Any = None,
+        max_tenants: int = 32,
     ) -> None:
         if fast_window < 1 or slow_window < fast_window:
             raise ValueError(
@@ -190,10 +198,16 @@ class SLOMonitor:
         self.min_samples = max(1, min_samples)
         self.emit = emit
         self.metrics = metrics
+        self.max_tenants = max(0, max_tenants)
+        self._fast_window = fast_window
+        self._slow_window = slow_window
         self._lock = threading.Lock()
         self._states = {
             s.name: _SLOState(s, fast_window, slow_window) for s in resolved
         }
+        #: (slo name, tenant) -> lazily created per-tenant state.
+        self._tenant_states: dict[tuple[str, str], _SLOState] = {}
+        self._tenants: set[str] = set()
         # Hot-path accelerators: observe() is called for every span fold
         # of every offload, so phases with no SLO must cost one dict get,
         # and gauge objects are resolved once, not per observe.
@@ -213,71 +227,143 @@ class SLOMonitor:
         return tuple(state.slo for state in self._states.values())
 
     # -- feeding -----------------------------------------------------------
+    def _tenant_state_locked(
+        self, state: _SLOState, tenant: str
+    ) -> _SLOState | None:
+        """Get-or-create the per-tenant twin of a global SLO state."""
+        key = (state.slo.name, tenant)
+        tstate = self._tenant_states.get(key)
+        if tstate is None:
+            if (tenant not in self._tenants
+                    and len(self._tenants) >= self.max_tenants):
+                return None
+            self._tenants.add(tenant)
+            tstate = self._tenant_states[key] = _SLOState(
+                state.slo, self._fast_window, self._slow_window
+            )
+            if self.metrics is not None:
+                prefix = f"slo.{state.slo.name}.tenant.{tenant}"
+                tstate.gauges = (
+                    self.metrics.gauge(f"{prefix}.fast_burn"),
+                    self.metrics.gauge(f"{prefix}.slow_burn"),
+                    self.metrics.gauge(f"{prefix}.breached"),
+                )
+        return tstate
+
+    def _fold_locked(
+        self,
+        state: _SLOState,
+        duration_ns: int,
+        error: bool,
+        tenant: str | None,
+        transitions: list[tuple[SLO, bool, float, float, str | None]],
+    ) -> None:
+        slo = state.slo
+        state.push(int(slo.is_bad(duration_ns, error)))
+        budget = 1.0 - slo.objective
+        fast_burn = state.fast_burn(budget)
+        slow_burn = state.slow_burn(budget)
+        breached = (
+            len(state.fast) >= self.min_samples
+            and fast_burn >= self.burn_threshold
+            and slow_burn >= self.burn_threshold
+        )
+        if breached != state.breached:
+            state.breached = breached
+            transitions.append((slo, breached, fast_burn, slow_burn, tenant))
+        if state.gauges is not None:
+            fast_g, slow_g, breached_g = state.gauges
+            fast_g.set(fast_burn)
+            slow_g.set(slow_burn)
+            breached_g.set(1.0 if state.breached else 0.0)
+
     def observe(self, phase: str, duration_ns: int, *,
-                error: bool = False) -> None:
-        """Fold one finished operation of ``phase`` into its SLOs."""
+                error: bool = False, tenant: str | None = None) -> None:
+        """Fold one finished operation of ``phase`` into its SLOs.
+
+        With ``tenant`` set, the operation also feeds that tenant's own
+        rolling windows: breach events then carry the tenant and name
+        ``<slo>[<tenant>]``, so alerting distinguishes "tenant X is
+        over budget" from "the service is over budget". The global
+        (tenant-less) state is always fed.
+        """
         states = self._by_phase.get(phase)
         if states is None:
             return
-        transitions: list[tuple[SLO, bool, float, float]] = []
+        transitions: list[tuple[SLO, bool, float, float, str | None]] = []
         with self._lock:
             for state in states:
-                slo = state.slo
-                bad = int(slo.is_bad(duration_ns, error))
-                state.push(bad)
-                budget = 1.0 - slo.objective
-                fast_burn = state.fast_burn(budget)
-                slow_burn = state.slow_burn(budget)
-                breached = (
-                    len(state.fast) >= self.min_samples
-                    and fast_burn >= self.burn_threshold
-                    and slow_burn >= self.burn_threshold
-                )
-                if breached != state.breached:
-                    state.breached = breached
-                    transitions.append((slo, breached, fast_burn, slow_burn))
-                if state.gauges is not None:
-                    fast_g, slow_g, breached_g = state.gauges
-                    fast_g.set(fast_burn)
-                    slow_g.set(slow_burn)
-                    breached_g.set(1.0 if state.breached else 0.0)
+                self._fold_locked(state, duration_ns, error, None, transitions)
+                if tenant is not None:
+                    tstate = self._tenant_state_locked(state, tenant)
+                    if tstate is not None:
+                        self._fold_locked(
+                            tstate, duration_ns, error, tenant, transitions
+                        )
         # Emit outside the lock: the sink is the recorder, which may
         # call back into metrics.
-        for slo, breached, fast_burn, slow_burn in transitions:
+        for slo, breached, fast_burn, slow_burn, slo_tenant in transitions:
             if self.emit is None:
                 continue
             name = ("telemetry.slo_breach" if breached
                     else "telemetry.slo_recovered")
-            self.emit(name, slo=slo.name, phase=slo.phase,
-                      fast_burn=round(fast_burn, 3),
-                      slow_burn=round(slow_burn, 3),
-                      objective=slo.objective)
+            label = (slo.name if slo_tenant is None
+                     else f"{slo.name}[{slo_tenant}]")
+            attrs: dict[str, Any] = dict(
+                slo=label, phase=slo.phase,
+                fast_burn=round(fast_burn, 3),
+                slow_burn=round(slow_burn, 3),
+                objective=slo.objective,
+            )
+            if slo_tenant is not None:
+                attrs["tenant"] = slo_tenant
+            self.emit(name, **attrs)
 
     # Alias used by the recorder's span fold, which feeds phase streams.
     observe_phase = observe
 
     # -- queries -----------------------------------------------------------
     def breached(self) -> list[str]:
-        """Names of the SLOs currently in breach (healthz feeds on it)."""
+        """Names of the SLOs currently in breach (healthz feeds on it).
+
+        Per-tenant breaches appear as ``<slo>[<tenant>]`` next to the
+        global names.
+        """
         with self._lock:
-            return [name for name, state in self._states.items()
-                    if state.breached]
+            names = [name for name, state in self._states.items()
+                     if state.breached]
+            names += [f"{slo_name}[{tenant}]"
+                      for (slo_name, tenant), state
+                      in self._tenant_states.items() if state.breached]
+            return names
+
+    @staticmethod
+    def _state_summary(state: _SLOState) -> dict[str, Any]:
+        slo = state.slo
+        budget = 1.0 - slo.objective
+        return {
+            "phase": slo.phase,
+            "threshold_ns": slo.threshold_ns,
+            "objective": slo.objective,
+            "total": state.total,
+            "bad": state.bad,
+            "fast_burn": state.fast_burn(budget),
+            "slow_burn": state.slow_burn(budget),
+            "breached": state.breached,
+        }
 
     def snapshot(self) -> dict[str, Any]:
-        """Per-SLO burn state as a JSON-friendly dict."""
+        """Per-SLO burn state as a JSON-friendly dict.
+
+        Per-tenant states land under ``<slo>[<tenant>]`` keys, each with
+        its ``tenant`` recorded.
+        """
         out: dict[str, Any] = {}
         with self._lock:
             for name, state in self._states.items():
-                slo = state.slo
-                budget = 1.0 - slo.objective
-                out[name] = {
-                    "phase": slo.phase,
-                    "threshold_ns": slo.threshold_ns,
-                    "objective": slo.objective,
-                    "total": state.total,
-                    "bad": state.bad,
-                    "fast_burn": state.fast_burn(budget),
-                    "slow_burn": state.slow_burn(budget),
-                    "breached": state.breached,
-                }
+                out[name] = self._state_summary(state)
+            for (slo_name, tenant), state in self._tenant_states.items():
+                summary = self._state_summary(state)
+                summary["tenant"] = tenant
+                out[f"{slo_name}[{tenant}]"] = summary
         return out

@@ -1,0 +1,91 @@
+"""Regression tests: the in-flight window never leaks slots.
+
+A handle that is registered in the window and then orphaned by an
+exception on the send/execute path would hold its slot forever; enough
+of them and the window drains to zero capacity and every later offload
+deadlocks. These tests flood the failure path with a window small enough
+that even a few leaked slots would wedge the backend, then prove the
+transport still works.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import LocalBackend, TcpBackend
+from repro.backends.tcp import spawn_local_server
+from repro.errors import BackendError
+from repro.ham import f2f
+
+from tests import apps
+
+FLOOD = 50
+WINDOW = 4
+
+
+class TestLocalBackendAccounting:
+    def test_execute_failure_frees_the_slot(self, monkeypatch):
+        backend = LocalBackend()
+        backend.set_inflight_limit(WINDOW)
+
+        def boom(*args, **kwargs):
+            raise BackendError("injected execute failure")
+
+        monkeypatch.setattr("repro.backends.local.execute_message", boom)
+        for _ in range(FLOOD):
+            with pytest.raises(BackendError):
+                backend.post_invoke(1, f2f(apps.add, 1, 2))
+            assert backend.window.in_flight == 0
+        monkeypatch.undo()
+        # The window survived the flood with full capacity: a real invoke
+        # (which needs a slot) still completes.
+        handle = backend.post_invoke(1, f2f(apps.add, 2, 3))
+        assert handle.wait(timeout=5.0) == 5
+        assert backend.window.in_flight == 0
+        backend.shutdown()
+
+    def test_non_backend_error_also_frees_the_slot(self, monkeypatch):
+        backend = LocalBackend()
+        backend.set_inflight_limit(WINDOW)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("unexpected crash inside the transport")
+
+        monkeypatch.setattr("repro.backends.local.execute_message", boom)
+        for _ in range(FLOOD):
+            with pytest.raises(RuntimeError):
+                backend.post_invoke(1, f2f(apps.add, 1, 2))
+            assert backend.window.in_flight == 0
+        backend.shutdown()
+
+
+class TestTcpBackendAccounting:
+    def test_send_failure_frees_slot_and_pending_entry(self):
+        process, address = spawn_local_server()
+        backend = TcpBackend(address, on_shutdown=lambda: process.join(5.0))
+        backend.set_inflight_limit(WINDOW)
+        try:
+            real_send = backend._send
+
+            def refuse(op, corr, *parts):
+                raise BackendError("injected send failure")
+
+            backend._send = refuse
+            for _ in range(FLOOD):
+                with pytest.raises(BackendError):
+                    backend.post_invoke(1, f2f(apps.add, 1, 2))
+                assert backend.window.in_flight == 0
+                assert backend._pending_count() == 0
+            backend._send = real_send
+            # Capacity intact: more invokes than the window can hold at
+            # once all round-trip (a leaked slot would deadlock here).
+            handles = [
+                backend.post_invoke(1, f2f(apps.add, i, i))
+                for i in range(WINDOW * 2)
+            ]
+            assert [h.wait(timeout=10.0) for h in handles] == [
+                2 * i for i in range(WINDOW * 2)
+            ]
+            assert backend.window.in_flight == 0
+        finally:
+            backend.shutdown()

@@ -1,0 +1,120 @@
+"""Test backends with controllable timing for QoS and hedging tests.
+
+The functional backends are either synchronous (local: completes at post
+time, so the window never fills) or need forked server processes (tcp).
+:class:`ThreadedStubBackend` sits in between: every invoke is executed
+on a worker thread after a configurable per-node delay, so tests can
+fill the in-flight window deterministically, observe fair-queue grants,
+and race a slow primary against a fast hedge target — all in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.backends.base import Backend, InvokeHandle
+from repro.errors import BackendError, OffloadTimeoutError
+from repro.ham.functor import Functor
+from repro.ham.message import MSG_RESULT, build_message
+from repro.ham.serialization import serialize
+from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
+
+__all__ = ["ThreadedStubBackend"]
+
+#: delay spec: scalar seconds, {node: seconds}, or fn(node, functor).
+DelaySpec = "float | dict[int, float] | Callable[[int, Functor], float]"
+
+
+class ThreadedStubBackend(Backend):
+    """Executes invokes on daemon threads after a per-node delay."""
+
+    name = "threaded-stub"
+
+    def __init__(self, num_targets: int = 1, delay: Any = 0.0) -> None:
+        super().__init__()
+        if num_targets < 1:
+            raise BackendError(f"need at least one target, got {num_targets}")
+        self._num_targets = num_targets
+        self.delay = delay
+        self._alive = True
+        self._record_lock = threading.Lock()
+        #: (node, type_name) in post order / completion order.
+        self.posted: list[tuple[int, str]] = []
+        self.executed: list[tuple[int, str]] = []
+
+    def _delay_for(self, node: NodeId, functor: Functor) -> float:
+        if callable(self.delay):
+            return float(self.delay(node, functor))
+        if isinstance(self.delay, dict):
+            return float(self.delay.get(node, 0.0))
+        return float(self.delay)
+
+    # -- topology ----------------------------------------------------------
+    def num_nodes(self) -> int:
+        return 1 + self._num_targets
+
+    def descriptor(self, node: NodeId) -> NodeDescriptor:
+        if node == HOST_NODE:
+            return NodeDescriptor(node, "host", "host", "stub host")
+        self.check_target(node)
+        return NodeDescriptor(node, f"stub{node}", "cpu", "threaded stub")
+
+    # -- invocation --------------------------------------------------------
+    def post_invoke(self, node: NodeId, functor: Functor) -> InvokeHandle:
+        if not self._alive:
+            raise BackendError("stub backend is shut down")
+        self.check_target(node)
+        self._admit_invoke(label=functor.type_name)
+        try:
+            handle = InvokeHandle(self, label=functor.type_name)
+            delay = self._delay_for(node, functor)
+        except BaseException:
+            self.window.cancel()
+            raise
+        self._register_invoke(handle)
+        with self._record_lock:
+            self.posted.append((node, functor.type_name))
+
+        def run() -> None:
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                value = functor.execute()
+                reply = build_message(MSG_RESULT, 0, 0, serialize(value))
+            except Exception as exc:  # noqa: BLE001 - surfaced via handle
+                handle.complete_with_error(BackendError(str(exc)))
+                return
+            with self._record_lock:
+                self.executed.append((node, functor.type_name))
+            handle.complete_with_reply(reply)
+
+        threading.Thread(target=run, daemon=True).start()
+        return handle
+
+    def drive(
+        self, handle: InvokeHandle, *, blocking: bool,
+        timeout: float | None = None,
+    ) -> None:
+        if not blocking:
+            return
+        if not handle.wait_event(timeout):
+            raise OffloadTimeoutError("stub invoke outlived its deadline")
+
+    # -- memory (unused by these tests) ------------------------------------
+    def alloc_buffer(self, node: NodeId, nbytes: int) -> int:
+        raise BackendError("stub backend has no target memory")
+
+    def free_buffer(self, node: NodeId, addr: int) -> None:
+        raise BackendError("stub backend has no target memory")
+
+    def write_buffer(self, node: NodeId, addr: int, data: bytes) -> None:
+        raise BackendError("stub backend has no target memory")
+
+    def read_buffer(self, node: NodeId, addr: int, nbytes: int) -> bytes:
+        raise BackendError("stub backend has no target memory")
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        self._alive = False

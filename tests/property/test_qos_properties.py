@@ -1,0 +1,198 @@
+"""Property-based invariants of the fair-queue scheduler.
+
+The DRR core (:meth:`FairInflightWindow._pick_locked`) and the shedding
+logic are exercised deterministically — waiters are filed and slots
+granted directly on the scheduler's data structures under its lock, with
+no threads — so hypothesis can drive thousands of schedules and check:
+
+* conservation: every filed waiter is granted exactly once, none lost;
+* no starvation: while a tenant has queued work it keeps receiving
+  grants at least once per DRR round bound;
+* weighted shares: over a long backlogged run, each tenant's share of
+  grants converges to its weight share;
+* shed order: an overloaded queue only ever sheds the lowest priority
+  class present, and never sheds to admit lower-priority work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LoadShedError
+from repro.offload.qos import FairInflightWindow, QoSConfig, TenantContext
+
+#: Tenant ids drawn by the strategies below.
+TENANTS = ("alpha", "beta", "gamma", "delta")
+
+weights = st.floats(min_value=0.25, max_value=4.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+def _enqueue(window: FairInflightWindow, ctx: TenantContext):
+    with window._lock:
+        return window._enqueue_locked(ctx)
+
+
+def _drain(window: FairInflightWindow, max_grants: int) -> list[str]:
+    """Grant up to ``max_grants`` slots; returns tenants in grant order."""
+    order: list[str] = []
+    with window._lock:
+        for _ in range(max_grants):
+            waiter = window._pick_locked()
+            if waiter is None:
+                break
+            window._queued -= 1
+            order.append(waiter.ctx.tenant)
+    return order
+
+
+class TestFairness:
+    @given(
+        plan=st.lists(
+            st.tuples(st.sampled_from(TENANTS), st.integers(1, 12)),
+            min_size=1, max_size=4, unique_by=lambda item: item[0],
+        ),
+        tenant_weights=st.fixed_dictionaries(
+            {tenant: weights for tenant in TENANTS}
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_no_waiter_lost_or_duplicated(
+        self, plan, tenant_weights
+    ):
+        window = FairInflightWindow(1, QoSConfig(max_queue_depth=10_000))
+        filed = 0
+        for tenant, count in plan:
+            ctx = TenantContext(tenant=tenant,
+                                weight=tenant_weights[tenant])
+            for _ in range(count):
+                _enqueue(window, ctx)
+                filed += 1
+        order = _drain(window, filed + 10)
+        assert len(order) == filed
+        for tenant, count in plan:
+            assert order.count(tenant) == count
+        assert window.queued == 0
+        # The ring forgets emptied tenants (no unbounded tenant state).
+        assert window._ring == []
+        assert window._queues == {}
+
+    @given(tenant_weights=st.fixed_dictionaries(
+        {tenant: weights for tenant in TENANTS}
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_backlogged_shares_converge_to_weights(self, tenant_weights):
+        window = FairInflightWindow(1, QoSConfig(max_queue_depth=100_000))
+        backlog = 600
+        for tenant, weight in tenant_weights.items():
+            ctx = TenantContext(tenant=tenant, weight=weight)
+            for _ in range(backlog):
+                _enqueue(window, ctx)
+        grants = 400  # every tenant stays backlogged throughout
+        order = _drain(window, grants)
+        assert len(order) == grants
+        total_weight = sum(tenant_weights.values())
+        for tenant, weight in tenant_weights.items():
+            expected = grants * weight / total_weight
+            # DRR's lag bound: within one quantum (= weight, and at
+            # least 1 grant) per tenant per direction, plus slack for
+            # the partial final round.
+            slack = 2.0 * max(1.0, weight) + 2.0
+            assert abs(order.count(tenant) - expected) <= slack, (
+                f"{tenant} got {order.count(tenant)} of {grants}, "
+                f"expected ~{expected:.1f} (weights {tenant_weights})"
+            )
+
+    @given(tenant_weights=st.fixed_dictionaries(
+        {tenant: weights for tenant in TENANTS}
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_no_starvation_every_round_serves_everyone(self, tenant_weights):
+        """A backlogged tenant is granted within a bounded window."""
+        window = FairInflightWindow(1, QoSConfig(max_queue_depth=100_000))
+        for tenant, weight in tenant_weights.items():
+            ctx = TenantContext(tenant=tenant, weight=weight)
+            for _ in range(200):
+                _enqueue(window, ctx)
+        order = _drain(window, 150)
+        # Worst case, a weight-w tenant needs ceil(1/w) ring rounds to
+        # accumulate one unit of deficit, and one round hands out at most
+        # sum(max(1, w_i)) + len(tenants) grants to the others.
+        min_weight = min(tenant_weights.values())
+        per_round = sum(max(1.0, w) for w in tenant_weights.values()) \
+            + len(tenant_weights)
+        bound = math.ceil(1.0 / min_weight) * per_round
+        for tenant in tenant_weights:
+            positions = [i for i, t in enumerate(order) if t == tenant]
+            assert positions, f"{tenant} never granted in {len(order)} grants"
+            assert positions[0] <= bound
+            gaps = [b - a for a, b in zip(positions, positions[1:])]
+            assert all(gap <= bound for gap in gaps), (
+                f"{tenant} starved for {max(gaps)} grants (bound {bound})"
+            )
+
+
+class TestShedding:
+    @given(
+        queued_priorities=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+        arrival_priority=st.integers(0, 3),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_shed_only_ever_hits_the_lowest_class(
+        self, queued_priorities, arrival_priority
+    ):
+        depth = len(queued_priorities)
+        window = FairInflightWindow(1, QoSConfig(max_queue_depth=depth))
+        waiters = []
+        for i, priority in enumerate(queued_priorities):
+            ctx = TenantContext(tenant=f"t{i}", priority=priority)
+            waiters.append(_enqueue(window, ctx))
+        lowest = min(queued_priorities)
+        arrival = TenantContext(tenant="arrival", priority=arrival_priority)
+        if arrival_priority <= lowest:
+            # The arrival is not strictly better than the worst queued
+            # work: it is the one shed, and the queue is untouched.
+            with pytest.raises(LoadShedError):
+                _enqueue(window, arrival)
+            assert all(w.error is None for w in waiters)
+            assert window.queued == depth
+        else:
+            filed = _enqueue(window, arrival)
+            assert filed.error is None
+            shed = [w for w in waiters if w.error is not None]
+            assert len(shed) == 1
+            assert shed[0].ctx.priority == lowest
+            assert window.queued == depth  # one in, one out
+        snapshot = window.snapshot()
+        total_shed = sum(entry["shed"]
+                        for entry in snapshot["tenants"].values())
+        assert total_shed == 1
+
+    @given(priorities=st.lists(st.integers(0, 3), min_size=2, max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_newest_of_lowest_class_is_the_victim(self, priorities):
+        """Among equal lowest-priority waiters, the newest one is shed."""
+        window = FairInflightWindow(
+            1, QoSConfig(max_queue_depth=len(priorities))
+        )
+        waiters = []
+        for i, priority in enumerate(priorities):
+            # One tenant per class keeps "newest of the class" observable
+            # through per-tenant FIFO queues.
+            ctx = TenantContext(tenant=f"class{priority}", priority=priority)
+            waiters.append((i, _enqueue(window, ctx)))
+        lowest = min(priorities)
+        arrival = TenantContext(tenant="vip", priority=lowest + 1)
+        _enqueue(window, arrival)
+        shed = [(i, w) for i, w in waiters if w.error is not None]
+        assert len(shed) == 1
+        victim_index, victim = shed[0]
+        assert victim.ctx.priority == lowest
+        newest_of_class = max(
+            i for i, w in waiters if w.ctx.priority == lowest
+        )
+        assert victim_index == newest_of_class

@@ -1,0 +1,59 @@
+"""HealthMonitor state exported as Prometheus gauges."""
+
+from __future__ import annotations
+
+from repro.offload.resilience import HealthMonitor, ResiliencePolicy
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.promexport import to_prometheus
+
+POLICY = ResiliencePolicy(degraded_after=1, down_after=3)
+
+
+class TestHealthGauges:
+    def test_state_machine_mirrors_onto_gauges(self):
+        recorder = telemetry.enable()
+        monitor = HealthMonitor(POLICY)
+        monitor.record_success(1)
+        gauges = recorder.metrics.snapshot()["gauges"]
+        assert gauges["health.node_state.1"] == 0
+        assert gauges["health.consecutive_failures.1"] == 0
+
+        monitor.record_failure(1)
+        gauges = recorder.metrics.snapshot()["gauges"]
+        assert gauges["health.node_state.1"] == 1  # degraded
+        assert gauges["health.consecutive_failures.1"] == 1
+
+        monitor.record_failure(1)
+        monitor.record_failure(1)
+        gauges = recorder.metrics.snapshot()["gauges"]
+        assert gauges["health.node_state.1"] == 2  # down
+        assert gauges["health.consecutive_failures.1"] == 3
+
+        # Recovery snaps both gauges back.
+        monitor.record_success(1)
+        gauges = recorder.metrics.snapshot()["gauges"]
+        assert gauges["health.node_state.1"] == 0
+        assert gauges["health.consecutive_failures.1"] == 0
+
+    def test_gauges_are_per_node(self):
+        recorder = telemetry.enable()
+        monitor = HealthMonitor(POLICY)
+        monitor.record_failure(1)
+        monitor.record_success(2)
+        gauges = recorder.metrics.snapshot()["gauges"]
+        assert gauges["health.node_state.1"] == 1
+        assert gauges["health.node_state.2"] == 0
+
+    def test_renders_in_prometheus_exposition(self):
+        recorder = telemetry.enable()
+        monitor = HealthMonitor(POLICY)
+        monitor.record_failure(3)
+        text = to_prometheus(recorder.metrics.snapshot())
+        assert "repro_health_node_state_3 1" in text
+        assert "repro_health_consecutive_failures_3 1" in text
+
+    def test_no_recorder_no_crash(self):
+        telemetry.disable()
+        monitor = HealthMonitor(POLICY)
+        monitor.record_failure(1)
+        monitor.record_success(1)
