@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Seeded randomized-fault soak against the TCP backend.
+"""Seeded randomized-fault soak against a live transport backend.
 
-Drives a live TCP offload stack (forked target server, real sockets)
-through a :class:`FaultInjectingBackend` for a wall-clock duration,
-checking the resilience layer's two core promises:
+Drives a live offload stack — a forked target server over real sockets
+(``--backend tcp``, default) or over shared-memory SPSC rings
+(``--backend shm``) — through a :class:`FaultInjectingBackend` for a
+wall-clock duration, checking the resilience layer's two core promises:
 
 * **zero hangs** — every operation completes or raises within its
   deadline (a watchdog thread hard-exits if the loop stops ticking);
@@ -24,6 +25,7 @@ rejection counters show the noisy tenant absorbed the overload.
 Usage::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --seed 7 --duration 30
+    PYTHONPATH=src python scripts/chaos_smoke.py --backend shm --duration 30
     PYTHONPATH=src python scripts/chaos_smoke.py --noisy-tenant --duration 20
 """
 
@@ -45,7 +47,13 @@ for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
     if _path not in sys.path:
         sys.path.insert(0, _path)
 
-from repro.backends import FaultInjectingBackend, TcpBackend, spawn_local_server
+from repro.backends import (
+    FaultInjectingBackend,
+    ShmBackend,
+    TcpBackend,
+    spawn_local_server,
+    spawn_shm_server,
+)
 from repro.errors import ReproError
 from repro.ham import f2f
 from repro.offload import ResiliencePolicy, Runtime
@@ -54,11 +62,25 @@ from tests import apps  # the offloadable catalog shared with the fork
 
 
 def build_stack(seed: int, args: argparse.Namespace):
-    """Spawn a fresh server + faulty TCP backend + resilient runtime."""
-    process, address = spawn_local_server(startup_timeout=args.deadline * 10)
-    tcp = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+    """Spawn a fresh server + faulty transport backend + resilient runtime."""
+    if args.backend == "shm":
+        process, segment = spawn_shm_server(
+            startup_timeout=args.deadline * 10
+        )
+        transport = ShmBackend(
+            segment,
+            alive_fn=process.is_alive,
+            on_shutdown=lambda: process.join(timeout=5),
+        )
+    else:
+        process, address = spawn_local_server(
+            startup_timeout=args.deadline * 10
+        )
+        transport = TcpBackend(
+            address, on_shutdown=lambda: process.join(timeout=5)
+        )
     faulty = FaultInjectingBackend(
-        tcp,
+        transport,
         seed=seed,
         drop_rate=args.drop,
         delay_rate=args.delay,
@@ -76,7 +98,7 @@ def build_stack(seed: int, args: argparse.Namespace):
         probe_interval=0.2,
     )
     runtime = Runtime(faulty, policy=policy)
-    return process, tcp, faulty, runtime
+    return process, transport, faulty, runtime
 
 
 def teardown_stack(process, runtime) -> None:
@@ -246,6 +268,13 @@ def run_noisy_tenant(args: argparse.Namespace) -> int:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=("tcp", "shm"),
+        default="tcp",
+        help="live transport under the fault injector: tcp sockets or "
+        "the shared-memory SPSC-ring backend (default tcp)",
+    )
     parser.add_argument("--duration", type=float, default=30.0, help="soak seconds")
     parser.add_argument("--deadline", type=float, default=1.0, help="per-op deadline")
     parser.add_argument("--drop", type=float, default=0.05)
@@ -321,7 +350,7 @@ def main() -> int:
     threading.Thread(target=watchdog, daemon=True).start()
 
     rng = np.random.default_rng(args.seed)
-    process, tcp, faulty, runtime = build_stack(args.seed, args)
+    process, transport, faulty, runtime = build_stack(args.seed, args)
     deadline_end = time.monotonic() + args.duration
     ops = 0
     respawns = 0
@@ -368,13 +397,13 @@ def main() -> int:
             except ReproError as exc:
                 surfaced[type(exc).__name__] += 1
                 faulty.reconnect()
-                if not tcp._alive:
+                if not transport._alive:
                     # The transport was poisoned (or the server died):
                     # recycle the whole stack, like a supervisor would.
                     teardown_stack(process, runtime)
                     epoch += 1
                     respawns += 1
-                    process, tcp, faulty, runtime = build_stack(epoch, args)
+                    process, transport, faulty, runtime = build_stack(epoch, args)
             except Exception:
                 print("UNTYPED ERROR escaped the resilience layer:")
                 traceback.print_exc()

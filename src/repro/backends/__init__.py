@@ -11,6 +11,13 @@ communication backend*; this package provides four:
     Functional TCP/IP backend (wall clock): real sockets, real processes.
     Plays the role of the paper's generic TCP backend ("interoperability
     rather than performance").
+``shm``
+    Functional shared-memory backend (wall clock): a
+    :mod:`multiprocessing.shared_memory` segment laid out as a pair of
+    lock-free SPSC rings, polled with adaptive spin-then-sleep loops on
+    both sides. The real-hardware analogue of the paper's Sec. IV-B
+    DMAATB protocol — small-message RTT several times below TCP on
+    localhost because no byte ever crosses the kernel.
 ``veo``
     The paper's Sec. III-D protocol on the simulated SX-Aurora: VH-managed
     message buffers in VE memory, accessed through VEO read/write over the
@@ -30,6 +37,7 @@ test harness for the resilience layer.
 from repro.backends.base import Backend, InvokeHandle
 from repro.backends.local import LocalBackend
 from repro.backends.tcp import TcpBackend, TcpTargetServer, spawn_local_server
+from repro.backends.shm import ShmBackend, ShmTargetServer, spawn_shm_server
 from repro.backends.veo_backend import VeoCommBackend
 from repro.backends.dma_backend import DmaCommBackend
 from repro.backends.cluster_backend import ClusterBackend
@@ -44,8 +52,60 @@ __all__ = [
     "FaultInjectingBackend",
     "InvokeHandle",
     "LocalBackend",
+    "ShmBackend",
+    "ShmTargetServer",
     "TcpBackend",
     "TcpTargetServer",
     "VeoCommBackend",
+    "create_backend",
     "spawn_local_server",
+    "spawn_shm_server",
 ]
+
+
+def create_backend(name: str, **options) -> Backend:
+    """Build a ready-to-use functional backend from a short name.
+
+    The string form of :func:`repro.offload.init`'s ``backend``
+    argument: ``"local"`` runs the target in-process, ``"tcp"`` and
+    ``"shm"`` fork a target server and connect to it, wiring
+    ``on_shutdown`` so the child is joined when the runtime shuts down.
+    Remaining keyword ``options`` are forwarded to the backend
+    constructor; for ``tcp`` an ``address=(host, port)`` option connects
+    to an already-running server instead of spawning one, and for
+    ``shm`` a ``segment="name"`` option attaches to an existing segment
+    by name.
+    """
+    if name == "local":
+        return LocalBackend(**options)
+    if name == "tcp":
+        if "address" in options:
+            return TcpBackend(**options)
+        workers = options.pop("workers", None)
+        spawn_kwargs = {} if workers is None else {"workers": workers}
+        process, address = spawn_local_server(**spawn_kwargs)
+        return TcpBackend(
+            address,
+            on_shutdown=lambda: process.join(timeout=10),
+            **options,
+        )
+    if name == "shm":
+        if "segment" in options:
+            return ShmBackend(options.pop("segment"), **options)
+        workers = options.pop("workers", None)
+        capacity = options.pop("capacity", None)
+        spawn_kwargs = {}
+        if workers is not None:
+            spawn_kwargs["workers"] = workers
+        if capacity is not None:
+            spawn_kwargs["capacity"] = capacity
+        process, segment = spawn_shm_server(**spawn_kwargs)
+        return ShmBackend(
+            segment,
+            alive_fn=process.is_alive,
+            on_shutdown=lambda: process.join(timeout=10),
+            **options,
+        )
+    raise ValueError(
+        f"unknown backend name {name!r}; expected 'local', 'tcp' or 'shm'"
+    )

@@ -1,11 +1,11 @@
-"""Standalone TCP offload target — ``python -m repro.backends.target_main``.
+"""Standalone offload target — ``python -m repro.backends.target_main``.
 
-Runs a :class:`~repro.backends.tcp.TcpTargetServer` in this process so a
-host on another machine (or another terminal) can offload to it with
-:class:`~repro.backends.tcp.TcpBackend`. The application modules named
-with ``--import`` are imported first so their ``@offloadable`` functions
-register — the runtime analogue of the paper's "build the whole
-application for both sides".
+Runs a :class:`~repro.backends.tcp.TcpTargetServer` (default) or — with
+``--transport shm`` — a :class:`~repro.backends.shm.ShmTargetServer` in
+this process so a host in another terminal can offload to it. The
+application modules named with ``--import`` are imported first so their
+``@offloadable`` functions register — the runtime analogue of the
+paper's "build the whole application for both sides".
 
 Example::
 
@@ -16,6 +16,20 @@ Example::
     from repro.backends import TcpBackend
     from repro.offload import Runtime
     runtime = Runtime(TcpBackend(("127.0.0.1", 7001)))
+
+Shared-memory transport (same machine only — the segment name printed
+at startup is what the host attaches to)::
+
+    # terminal 1 (target)
+    python -m repro.backends.target_main --transport shm --import myapp.kernels
+
+    # terminal 2 (host)
+    from repro.backends import ShmBackend
+    runtime = Runtime(ShmBackend("psm_xxxxxxxx"))  # name printed above
+
+The shm target owns the segment: it creates it at startup and unlinks
+it on shutdown, so an aborted host never leaves ``/dev/shm`` entries
+behind.
 """
 
 from __future__ import annotations
@@ -35,8 +49,26 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-target",
         description="Run a HAM-Offload TCP target server.",
     )
-    parser.add_argument("--host", default="127.0.0.1", help="bind address")
-    parser.add_argument("--port", type=int, default=0, help="port (0 = ephemeral)")
+    parser.add_argument(
+        "--transport",
+        choices=("tcp", "shm"),
+        default="tcp",
+        help="tcp listens on --host/--port; shm creates a shared-memory "
+        "segment (same machine only) and prints its name for the host "
+        "to attach to (default tcp)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (tcp)")
+    parser.add_argument(
+        "--port", type=int, default=0, help="port (tcp; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-direction ring capacity for --transport shm "
+        "(default 1 MiB)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -80,6 +112,32 @@ def main(argv: list[str] | None = None) -> int:
         except ImportError as exc:
             print(f"error: cannot import {module_name!r}: {exc}", file=sys.stderr)
             return 2
+
+    if args.transport == "shm":
+        from repro.backends.shm import (
+            DEFAULT_RING_CAPACITY,
+            ShmSegment,
+            ShmTargetServer,
+        )
+
+        segment = ShmSegment.create(args.capacity or DEFAULT_RING_CAPACITY)
+        try:
+            shm_server = ShmTargetServer(segment, workers=args.workers)
+            print(
+                f"HAM-Offload target on shared-memory segment {segment.name}",
+                flush=True,
+            )
+            print(
+                "offloadable types registered: "
+                f"{shm_server.image.catalog and len(shm_server.image.catalog)}",
+                flush=True,
+            )
+            shm_server.serve_forever()
+            print("client disconnected; target shutting down", flush=True)
+        finally:
+            segment.close()
+            segment.unlink()
+        return 0
 
     server = TcpTargetServer(host=args.host, port=args.port, workers=args.workers)
     host, port = server.address

@@ -233,6 +233,48 @@ def report_qos(quick: bool) -> Report:
     return text, {"qos": data}
 
 
+def report_shm(quick: bool) -> Report:
+    data = exp.measure_shm_latency(
+        samples=120 if quick else 300,
+        rounds=3 if quick else 4,
+        burst_rounds=20 if quick else 40,
+    )
+    rtt_rows = [
+        {"transport": "tcp (localhost)",
+         "RTT median": f"{data['tcp_rtt_time_us']:.1f} us",
+         "RTT p95": f"{data['tcp_rtt_p95_time_us']:.1f} us"},
+        {"transport": "shm (SPSC rings)",
+         "RTT median": f"{data['shm_rtt_time_us']:.1f} us",
+         "RTT p95": f"{data['shm_rtt_p95_time_us']:.1f} us"},
+        {"transport": "speedup",
+         "RTT median": f"{data['transport_rtt_speedup']:.1f}x",
+         "RTT p95": "-"},
+    ]
+    burst_rows = [
+        {"transport": "tcp (localhost)",
+         "messages/s": f"{data['tcp_throughput']:,.0f}"},
+        {"transport": "shm (SPSC rings)",
+         "messages/s": f"{data['shm_throughput']:,.0f}"},
+        {"transport": "speedup",
+         "messages/s": f"{data['transport_throughput_speedup']:.1f}x"},
+    ]
+    text = (
+        render_table(
+            rtt_rows,
+            title="S1a — small-message RTT, shm vs TCP (sync ping)",
+        )
+        + "\n\n"
+        + render_table(
+            burst_rows,
+            title=(
+                "S1b — pipelined message throughput "
+                f"(depth {int(data['burst_depth'])} ping bursts)"
+            ),
+        )
+    )
+    return text, {"shm": data}
+
+
 EXPERIMENTS: dict[str, callable] = {
     "fig9": report_fig9,
     "fig10": report_fig10,
@@ -243,6 +285,7 @@ EXPERIMENTS: dict[str, callable] = {
     "pipeline": report_pipeline,
     "telemetry": report_telemetry,
     "qos": report_qos,
+    "shm": report_shm,
 }
 
 

@@ -66,7 +66,7 @@ _metrics_server: MetricsServer | None = None
 
 
 def init(
-    backend: "Backend",
+    backend: "Backend | str",
     policy: ResiliencePolicy | None = None,
     *,
     telemetry: "bool | dict | TelemetryConfig" = False,
@@ -74,6 +74,13 @@ def init(
     qos: "QoSConfig | None" = None,
 ) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
+
+    ``backend`` is either a constructed
+    :class:`~repro.backends.base.Backend` or a short name —
+    ``"local"``, ``"tcp"`` or ``"shm"`` — resolved through
+    :func:`repro.backends.create_backend` (the string forms spawn and
+    connect to a target server in one call, e.g.
+    ``offload.init(backend="shm")``).
 
     ``policy`` optionally installs a
     :class:`~repro.offload.resilience.ResiliencePolicy` (deadlines,
@@ -116,6 +123,10 @@ def init(
     global _runtime, _metrics_server
     if _runtime is not None:
         raise OffloadError("offload API already initialized; call finalize() first")
+    if isinstance(backend, str):
+        from repro.backends import create_backend
+
+        backend = create_backend(backend)
     config = TelemetryConfig.coerce(telemetry)
     if config.enabled:
         recorder = _telemetry.enable(config.capacity)

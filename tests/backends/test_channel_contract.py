@@ -20,9 +20,11 @@ from repro.backends import (
     DmaCommBackend,
     FaultInjectingBackend,
     LocalBackend,
+    ShmBackend,
     TcpBackend,
     VeoCommBackend,
     spawn_local_server,
+    spawn_shm_server,
 )
 from repro.backends.base import DEFAULT_INFLIGHT_LIMIT
 from repro.backends.tcp import OP_PING, OP_REPLY_BIT, _recv_frame, _send_frame
@@ -33,7 +35,7 @@ from repro.offload import api as offload_api
 
 from tests import apps
 
-BACKENDS = ["local", "faulty", "dma", "veo", "tcp"]
+BACKENDS = ["local", "faulty", "dma", "veo", "tcp", "shm"]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -48,6 +50,13 @@ def channel(request):
         backend = DmaCommBackend()
     elif name == "veo":
         backend = VeoCommBackend()
+    elif name == "shm":
+        process, segment = spawn_shm_server(workers=4)
+        backend = ShmBackend(
+            segment,
+            alive_fn=process.is_alive,
+            on_shutdown=lambda: process.join(timeout=5),
+        )
     else:
         process, address = spawn_local_server(workers=4)
         backend = TcpBackend(
