@@ -293,6 +293,14 @@ def main() -> int:
         "burn-rate monitor into at least one telemetry.slo_breach event",
     )
     parser.add_argument(
+        "--crash-dir",
+        default=None,
+        help="arm the flight recorder to dump crash bundles here, "
+        "SIGKILL the target server once mid-soak (a real injected peer "
+        "death, on top of the fault schedule), and fail (exit 1) unless "
+        "the death left a readable crash bundle behind",
+    )
+    parser.add_argument(
         "--noisy-tenant",
         action="store_true",
         help="overload soak instead of fault injection: a best-effort "
@@ -310,6 +318,11 @@ def main() -> int:
 
     if args.noisy_tenant:
         return run_noisy_tenant(args)
+
+    if args.crash_dir:
+        from repro.telemetry import flightrecorder
+
+        flightrecorder.configure(args.crash_dir)
 
     recorder = None
     if args.trace_out or args.assert_slo_breach:
@@ -356,10 +369,22 @@ def main() -> int:
     respawns = 0
     surfaced: Counter[str] = Counter()
     epoch = args.seed
+    target_killed = False
 
     try:
         while time.monotonic() < deadline_end:
             last_tick[0] = time.monotonic()
+            if (
+                args.crash_dir
+                and not target_killed
+                and time.monotonic() > deadline_end - args.duration / 2
+            ):
+                # Injected peer death: SIGKILL the live target mid-soak.
+                # The client's receiver must detect the death, fail the
+                # pending futures and dump a flight-recorder bundle; the
+                # respawn path below then recycles the stack as usual.
+                process.kill()
+                target_killed = True
             step = ops % 7
             ops += 1
             try:
@@ -434,6 +459,28 @@ def main() -> int:
 
                 write_chrome_trace(args.trace_out, recorder)
                 print(f"chaos trace written: {args.trace_out}", flush=True)
+
+    if args.crash_dir:
+        from repro.telemetry import flightrecorder
+
+        bundles = flightrecorder.find_bundles(args.crash_dir)
+        deaths = [b for b in bundles if "peer_death" in b.name]
+        if not deaths:
+            print(
+                "FLIGHT RECORDER SILENT: the SIGKILLed target left no "
+                "peer_death crash bundle in " + args.crash_dir
+            )
+            return 1
+        try:
+            latest = flightrecorder.load_bundle(deaths[-1])
+        except ValueError as exc:
+            print(f"FLIGHT RECORDER CORRUPT: unreadable bundle: {exc}")
+            return 1
+        print(
+            f"crash bundles: {len(bundles)} "
+            f"({len(deaths)} peer_death), latest death captured "
+            f"{latest['manifest'].get('events')} events", flush=True,
+        )
 
     if args.assert_slo_breach and slo_breaches == 0:
         print(

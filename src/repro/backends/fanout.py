@@ -115,6 +115,51 @@ class FanoutBackend(Backend):
             "inner": [inner.stats() for inner in self._inners],
         }
 
+    def introspect_target(
+        self, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Aggregate introspection over every inner that supports it.
+
+        Returns the transport-agnostic shape with summed worker/pending
+        counts plus a ``targets`` list holding each inner's full payload
+        (keyed by outer node id), so per-target drill-down survives the
+        aggregation.
+        """
+        payloads: list[dict[str, Any]] = []
+        for index, inner in enumerate(self._inners):
+            probe = getattr(inner, "introspect_target", None)
+            if probe is None:
+                continue
+            try:
+                payload = dict(probe(timeout=timeout))
+            except BackendError:
+                payload = {"role": "target", "transport": inner.name,
+                           "error": "unreachable"}
+            payload["node"] = index + 1
+            payloads.append(payload)
+        return {
+            "role": "target",
+            "transport": self.name,
+            "pid": 0,
+            "workers": {
+                "pool_size": sum(
+                    p.get("workers", {}).get("pool_size", 0) for p in payloads
+                ),
+                "active": sum(
+                    p.get("workers", {}).get("active", 0) for p in payloads
+                ),
+            },
+            "pending_invokes": sum(
+                p.get("pending_invokes", 0) for p in payloads
+            ),
+            "messages_executed": sum(
+                p.get("messages_executed", 0) for p in payloads
+            ),
+            "live_buffers": sum(p.get("live_buffers", 0) for p in payloads),
+            "rings": None,
+            "targets": payloads,
+        }
+
     def fetch_target_telemetry(self, timeout: float = 1.0) -> list[Any]:
         """Drain target-side telemetry from every inner that supports it."""
         records: list[Any] = []

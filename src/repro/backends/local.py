@@ -12,6 +12,8 @@ modification (paper Sec. V end).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.backends._target_memory import HostedBuffers
@@ -162,6 +164,29 @@ class LocalBackend(Backend):
                 }
                 for node, target in self._targets.items()
             },
+        }
+
+    def introspect_target(self, timeout: float | None = None) -> dict:
+        """Live target state, in the transport-agnostic introspection shape.
+
+        The in-process analogue of the remote backends' ``OP_INTROSPECT``
+        roundtrip: execution is synchronous, so the worker pool reads as
+        one always-idle worker and nothing is ever pending. ``timeout``
+        is accepted for signature parity and ignored.
+        """
+        return {
+            "role": "target",
+            "transport": self.name,
+            "pid": os.getpid(),
+            "workers": {"pool_size": 1, "active": 0},
+            "pending_invokes": 0,
+            "messages_executed": sum(
+                t.messages_executed for t in self._targets.values()
+            ),
+            "live_buffers": sum(
+                t.buffers.live_count for t in self._targets.values()
+            ),
+            "rings": None,
         }
 
     def shutdown(self) -> None:

@@ -74,6 +74,7 @@ from repro.backends.tcp import (
     OP_CLOCK,
     OP_FAILURE,
     OP_FREE,
+    OP_INTROSPECT,
     OP_INVOKE,
     OP_PING,
     OP_READ,
@@ -91,6 +92,7 @@ from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
 from repro.telemetry import context as trace_context
+from repro.telemetry import flightrecorder
 from repro.telemetry import recorder as telemetry
 from repro.telemetry.distributed import ClockSync, align_records
 from repro.telemetry.export import dicts_to_records, records_to_dicts
@@ -331,6 +333,24 @@ class ShmRing:
         # course always be re-read from the segment.
         self._tail = _U64.unpack_from(self._buf, tail_off)[0]
         self._head = _U64.unpack_from(self._buf, head_off)[0]
+        # Spin-vs-sleep accounting: how many waits were satisfied inside
+        # the busy-spin phase versus spilling into the sleep backoff (a
+        # "stall"), and how long the stalls slept in total. Only touched
+        # when a wait actually happened — the no-wait fast path (data or
+        # space already there) costs nothing extra.
+        self.spin_waits = 0
+        self.sleep_stalls = 0
+        self.stalled_s = 0.0
+
+    def _account_wait(self, spins: int, slept: float) -> None:
+        """Book one completed wait into the spin/stall counters."""
+        if spins > self._spin:
+            self.sleep_stalls += 1
+            self.stalled_s += slept
+            telemetry.observe(f"shm.wait.stall_us.{self._name}", slept * 1e6)
+        else:
+            self.spin_waits += 1
+            telemetry.observe(f"shm.wait.spin_yields.{self._name}", spins)
 
     # -- cursors -----------------------------------------------------------
     def readable(self) -> bool:
@@ -409,8 +429,10 @@ class ShmRing:
         # yields, which shouldn't pay for timeout arithmetic.
         deadline: float | None = None
         spins = 0
+        slept = 0.0
         while True:
             if unpack(buf, tail_off)[0] != head:
+                self._account_wait(spins, slept)
                 return True
             spins += 1
             if spins <= spin:
@@ -419,11 +441,13 @@ class ShmRing:
                     continue
             else:
                 time.sleep(sleep_s)
+                slept += sleep_s
                 sleep_s = min(sleep_s + sleep_s, self._sleep_max)
             if stop is not None:
                 error = stop()
                 if error is not None:
                     if unpack(buf, tail_off)[0] != head:
+                        self._account_wait(spins, slept)
                         return True
                     raise error
             if timeout is not None:
@@ -431,7 +455,10 @@ class ShmRing:
                 if deadline is None:
                     deadline = now + timeout
                 elif now >= deadline:
-                    return unpack(buf, tail_off)[0] != head
+                    if unpack(buf, tail_off)[0] != head:
+                        self._account_wait(spins, slept)
+                        return True
+                    return False
 
     def read_frame(self) -> tuple[int, int, memoryview]:
         """Consume one frame; returns ``(op, correlation_id, body_view)``.
@@ -487,6 +514,7 @@ class ShmRing:
         sleep_s = self._sleep_min
         deadline = None if timeout is None else time.monotonic() + timeout
         spins = 0
+        slept = 0.0
         while self._capacity - (tail - unpack(buf, head_off)[0]) < total:
             spins += 1
             if spins <= spin:
@@ -495,6 +523,7 @@ class ShmRing:
                     continue
             else:
                 time.sleep(sleep_s)
+                slept += sleep_s
                 sleep_s = min(sleep_s + sleep_s, self._sleep_max)
             if stop is not None:
                 error = stop()
@@ -505,6 +534,7 @@ class ShmRing:
                     f"shm ring {self._name!r} stayed full for "
                     f"{timeout:g} s ({total} bytes needed)"
                 )
+        self._account_wait(spins, slept)
 
     def write_frame(
         self,
@@ -575,6 +605,31 @@ class ShmRing:
         return total
 
 
+def _ring_state(ring: ShmRing) -> dict[str, Any]:
+    """One ring's cursors, occupancy and wait counters (introspection).
+
+    Both ends report the same shape, so a wedged ring can be diagnosed
+    from either side: matching cursors with a stuck peer means the peer
+    stopped producing; ``used == capacity`` with growing ``sleep_stalls``
+    means the consumer stopped draining.
+    """
+    try:
+        tail = _U64.unpack_from(ring._buf, ring._tail_off)[0]
+        head = _U64.unpack_from(ring._buf, ring._head_off)[0]
+    except ValueError:  # mapping already released
+        tail = head = 0
+    return {
+        "name": ring._name,
+        "tail": tail,
+        "head": head,
+        "used": tail - head,
+        "capacity": ring._capacity,
+        "spin_waits": ring.spin_waits,
+        "sleep_stalls": ring.sleep_stalls,
+        "stalled_s": ring.stalled_s,
+    }
+
+
 def _host_to_target_ring(segment: ShmSegment, **knobs: Any) -> ShmRing:
     return ShmRing(
         segment, _OFF_H2T_TAIL, _OFF_H2T_HEAD, _DATA_OFFSET,
@@ -624,6 +679,9 @@ class ShmTargetServer:
         self._recv = _host_to_target_ring(segment, **knobs)
         self._send = _target_to_host_ring(segment, **knobs)
         self.messages_executed = 0
+        #: Invocations currently inside the worker pool (executing or
+        #: queued behind it) — the server-side backpressure depth.
+        self._active_invokes = 0
         self._count_lock = threading.Lock()
         #: Workers and the polling loop share the reply ring.
         self._send_lock = threading.Lock()
@@ -651,6 +709,8 @@ class ShmTargetServer:
                 except BackendError:
                     return  # client went away (or the ring is corrupt)
                 if op == OP_INVOKE:
+                    with self._count_lock:
+                        self._active_invokes += 1
                     pool.submit(self._execute_invoke, corr, body)
                     continue
                 if op == OP_PING and not len(body):
@@ -714,17 +774,27 @@ class ShmTargetServer:
             reply, _keep = execute_message(self.image, body, resolver=self._resolve)
             with self._count_lock:
                 self.messages_executed += 1
+                active = self._active_invokes
             if not sampled:
                 self._reply(OP_INVOKE | OP_REPLY_BIT, corr, reply)
                 return
+            # ``ring_used`` is the reply ring's occupancy *before* this
+            # reply is posted and ``pending`` the pool's concurrent-invoke
+            # depth: a slow reply with a near-full ring is host-side
+            # backpressure (the client is not draining), one with a deep
+            # pool is target-side congestion, neither is slow execution.
             with telemetry.span(
-                "shm.server.reply", worker=worker, corr=corr, bytes=len(reply)
+                "shm.server.reply", worker=worker, corr=corr, bytes=len(reply),
+                pending=active, ring_used=self._send.used(),
             ):
                 self._reply(OP_INVOKE | OP_REPLY_BIT, corr, reply)
         except (BackendError, OffloadTimeoutError):  # pragma: no cover
             pass  # client is already gone
         except Exception as exc:  # noqa: BLE001 - shipped to the client
             self._send_failure(corr, exc)
+        finally:
+            with self._count_lock:
+                self._active_invokes -= 1
 
     def _handle_inline(self, op: int, corr: int, body: memoryview) -> None:
         try:
@@ -768,12 +838,43 @@ class ShmTargetServer:
                     OP_CLOCK | OP_REPLY_BIT, corr,
                     _U64.pack(time.perf_counter_ns()),
                 )
+            elif op == OP_INTROSPECT:
+                self._reply(
+                    OP_INTROSPECT | OP_REPLY_BIT, corr,
+                    pickle.dumps(self.introspect(), protocol=4),
+                )
             else:
                 raise BackendError(f"unknown op {op:#x}")
         except (OffloadTimeoutError,):  # pragma: no cover - client gone
             pass
         except Exception as exc:  # noqa: BLE001 - shipped to the client
             self._send_failure(corr, exc)
+
+    def introspect(self) -> dict[str, Any]:
+        """Live target state, in the transport-agnostic introspection shape.
+
+        Same dict layout as :meth:`TcpTargetServer.introspect`, with the
+        ring block filled in: per-direction cursors and occupancy as this
+        process sees them (the request ring is this side's consumer view,
+        the reply ring its producer view).
+        """
+        with self._count_lock:
+            executed = self.messages_executed
+            active = self._active_invokes
+        return {
+            "role": "target",
+            "transport": "shm",
+            "pid": os.getpid(),
+            "workers": {"pool_size": self.workers, "active": active},
+            "pending_invokes": active,
+            "messages_executed": executed,
+            "live_buffers": self.buffers.live_count,
+            "rings": {
+                "capacity": self.segment.capacity,
+                "request": _ring_state(self._recv),
+                "reply": _ring_state(self._send),
+            },
+        }
 
     def _resolve(self, arg: Any) -> Any:
         if isinstance(arg, BufferPtr):
@@ -1025,6 +1126,19 @@ class ShmBackend(Backend):
         with self._pending_lock:
             sinks = list(self._pending.values())
             self._pending.clear()
+        if not (self._closing or self._closed):
+            # Unplanned loss (peer death, ring corruption): snapshot the
+            # last few seconds of events before retries/failover churn
+            # overwrite the evidence. Clean shutdown passes through the
+            # _closing/_closed path and records nothing.
+            flightrecorder.trigger(
+                "peer_death",
+                force=True,  # rare + catastrophic: never debounced away
+                transport=self.name,
+                segment=self.segment.name,
+                orphaned=len(sinks),
+                error=str(error),
+            )
         for kind, sink in sinks:
             if kind == "invoke":
                 sink.complete_with_error(error)
@@ -1475,6 +1589,14 @@ class ShmBackend(Backend):
             reply_used = self._t2h.used()
         except ValueError:  # mapping released by shutdown()
             request_used = reply_used = 0
+        if telemetry.get() is not None:
+            capacity = self.segment.capacity
+            telemetry.gauge("shm.ring_fill.request", request_used / capacity)
+            telemetry.gauge("shm.ring_fill.reply", reply_used / capacity)
+            telemetry.gauge(
+                "shm.wait.sleep_stalls",
+                self._h2t.sleep_stalls + self._t2h.sleep_stalls,
+            )
         return {
             "backend": self.name,
             "segment": self.segment.name,
@@ -1484,9 +1606,27 @@ class ShmBackend(Backend):
             "bytes_received": self.bytes_received,
             "request_ring_used": request_used,
             "reply_ring_used": reply_used,
+            "request_ring": _ring_state(self._h2t),
+            "reply_ring": _ring_state(self._t2h),
+            "pending_replies": self._pending_count(),
             "inflight": self.inflight_count,
             "inflight_limit": self.window.limit,
         }
+
+    def introspect_target(
+        self, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Ask the target for its live state (``OP_INTROSPECT``).
+
+        Same transport-agnostic dict as the TCP backend's, with the
+        ``rings`` block populated from the target's side of the segment.
+        """
+        payload = pickle.loads(self._roundtrip(OP_INTROSPECT, timeout=timeout))
+        if not isinstance(payload, dict):
+            raise BackendError(
+                f"malformed introspection reply: {type(payload).__name__}"
+            )
+        return payload
 
     # -- lifecycle ---------------------------------------------------------
     def shutdown(self) -> None:

@@ -20,6 +20,7 @@ Wire protocol (all integers little-endian)::
     op 0x07 PING      body = ""                   -> 0x87 body = ""
     op 0x08 TELEMETRY body = ""                   -> 0x88 body = pickled records
     op 0x09 CLOCK     body = ""                   -> 0x89 body = perf_ns:u64
+    op 0x0A INTROSPECT body = ""                  -> 0x8A body = pickled state
     any failure                                    -> 0xFF body = pickled info
 
 Every frame carries a **correlation id**; replies (including failure
@@ -36,6 +37,7 @@ storage, never concatenated host-side.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import select
 import socket
@@ -56,6 +58,7 @@ from repro.ham.registry import Catalog, ProcessImage
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
 from repro.telemetry import context as trace_context
+from repro.telemetry import flightrecorder
 from repro.telemetry import recorder as telemetry
 from repro.telemetry.distributed import ClockSync, align_records
 from repro.telemetry.export import dicts_to_records, records_to_dicts
@@ -71,6 +74,7 @@ OP_SHUTDOWN = 0x06
 OP_PING = 0x07
 OP_TELEMETRY = 0x08
 OP_CLOCK = 0x09
+OP_INTROSPECT = 0x0A
 OP_REPLY_BIT = 0x80
 OP_FAILURE = 0xFF
 
@@ -169,6 +173,45 @@ def _recv_frame(
     return op, corr, memoryview(payload)[_FRAME_META:]
 
 
+try:  # Linux-only kernel queue probes; depths read as zero elsewhere.
+    import fcntl
+    import termios
+
+    _TIOCOUTQ: int | None = getattr(termios, "TIOCOUTQ", None)
+    _FIONREAD: int | None = getattr(termios, "FIONREAD", None)
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+    _TIOCOUTQ = None
+    _FIONREAD = None
+
+
+def _socket_ioctl(sock: socket.socket, request: int | None) -> int:
+    if fcntl is None or request is None:
+        return 0
+    try:
+        return int(
+            struct.unpack("@i", fcntl.ioctl(sock.fileno(), request, b"\0" * 4))[0]
+        )
+    except (OSError, ValueError):
+        return 0
+
+
+def socket_queue_depths(sock: socket.socket) -> dict[str, int]:
+    """Kernel-side socket queue occupancy, in bytes.
+
+    ``send_queue`` is data accepted by the kernel but not yet acked by
+    the peer (``TIOCOUTQ``); ``recv_queue`` is data the peer sent that
+    this process has not yet read (``FIONREAD``). A persistently deep
+    send queue means the *network or peer* is the bottleneck; a deep
+    recv queue means *this process* is not draining replies. Both read
+    as zero on platforms without the ioctls or once the socket closes.
+    """
+    return {
+        "send_queue": _socket_ioctl(sock, _TIOCOUTQ),
+        "recv_queue": _socket_ioctl(sock, _FIONREAD),
+    }
+
+
 class TcpTargetServer:
     """The target-side message loop: one client, concurrent execution.
 
@@ -195,6 +238,9 @@ class TcpTargetServer:
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self.messages_executed = 0
+        #: Invocations currently inside the worker pool (executing or
+        #: queued behind it) — the server-side backpressure depth.
+        self._active_invokes = 0
         self._count_lock = threading.Lock()
         #: Workers and the receive loop share the socket for replies.
         self._send_lock = threading.Lock()
@@ -214,6 +260,8 @@ class TcpTargetServer:
                     except BackendError:
                         return  # client went away
                     if op == OP_INVOKE:
+                        with self._count_lock:
+                            self._active_invokes += 1
                         pool.submit(self._execute_invoke, conn, corr, body)
                         continue
                     if op == OP_SHUTDOWN:
@@ -259,20 +307,28 @@ class TcpTargetServer:
             reply, _keep = execute_message(self.image, body, resolver=self._resolve)
             with self._count_lock:
                 self.messages_executed += 1
+                active = self._active_invokes
             if not sampled:
                 self._reply(conn, OP_INVOKE | OP_REPLY_BIT, corr, reply)
                 return
             # Per-worker reply span: which pool thread produced which
             # correlation id (the execute span itself is recorded inside
-            # execute_message, parented to the sender's trace).
+            # execute_message, parented to the sender's trace). ``pending``
+            # is the pool's concurrent-invoke depth at reply time — a slow
+            # reply with pending ~= pool size is backpressure, with
+            # pending ~= 1 it is this invocation's own execution.
             with telemetry.span(
-                "tcp.server.reply", worker=worker, corr=corr, bytes=len(reply)
+                "tcp.server.reply", worker=worker, corr=corr, bytes=len(reply),
+                pending=active,
             ):
                 self._reply(conn, OP_INVOKE | OP_REPLY_BIT, corr, reply)
         except OSError:  # pragma: no cover - client is already gone
             pass
         except Exception as exc:  # noqa: BLE001 - shipped to the client
             self._send_failure(conn, corr, exc)
+        finally:
+            with self._count_lock:
+                self._active_invokes -= 1
 
     def _handle_inline(
         self, conn: socket.socket, op: int, corr: int, body: memoryview
@@ -327,12 +383,39 @@ class TcpTargetServer:
                     conn, OP_CLOCK | OP_REPLY_BIT, corr,
                     _U64.pack(time.perf_counter_ns()),
                 )
+            elif op == OP_INTROSPECT:
+                self._reply(
+                    conn, OP_INTROSPECT | OP_REPLY_BIT, corr,
+                    pickle.dumps(self.introspect(), protocol=4),
+                )
             else:
                 raise BackendError(f"unknown op {op:#x}")
         except OSError:  # pragma: no cover - client is already gone
             pass
         except Exception as exc:  # noqa: BLE001 - shipped to the client
             self._send_failure(conn, corr, exc)
+
+    def introspect(self) -> dict[str, Any]:
+        """Live target state, in the transport-agnostic introspection shape.
+
+        Every backend's target answers ``OP_INTROSPECT`` with this same
+        dict layout so host-side tooling (``RuntimeInspector``,
+        ``repro.telemetry.top``) needs no per-transport cases. ``rings``
+        is ``None`` for stream transports; the shm target fills it in.
+        """
+        with self._count_lock:
+            executed = self.messages_executed
+            active = self._active_invokes
+        return {
+            "role": "target",
+            "transport": "tcp",
+            "pid": os.getpid(),
+            "workers": {"pool_size": self.workers, "active": active},
+            "pending_invokes": active,
+            "messages_executed": executed,
+            "live_buffers": self.buffers.live_count,
+            "rings": None,
+        }
 
     def _resolve(self, arg: Any) -> Any:
         if isinstance(arg, BufferPtr):
@@ -552,6 +635,20 @@ class TcpBackend(Backend):
         with self._pending_lock:
             sinks = list(self._pending.values())
             self._pending.clear()
+        if not (self._closing or self._closed):
+            # Unplanned loss is exactly what the flight recorder exists
+            # for: capture the last few seconds of events before the
+            # failure cascades through retries and failover. A close
+            # initiated by shutdown() records nothing (the receiver may
+            # see the server's EOF before shutdown() flips _closing).
+            flightrecorder.trigger(
+                "peer_death",
+                force=True,  # rare + catastrophic: never debounced away
+                transport=self.name,
+                address=f"{self.address[0]}:{self.address[1]}",
+                orphaned=len(sinks),
+                error=str(error),
+            )
         for kind, sink in sinks:
             if kind == "invoke":
                 sink.complete_with_error(error)
@@ -741,6 +838,11 @@ class TcpBackend(Backend):
 
     def stats(self) -> dict:
         """Transport counters of this connection."""
+        depths = socket_queue_depths(self._sock) if self._alive else {
+            "send_queue": 0, "recv_queue": 0,
+        }
+        telemetry.gauge("tcp.send_queue_bytes", depths["send_queue"])
+        telemetry.gauge("tcp.recv_queue_bytes", depths["recv_queue"])
         return {
             "backend": self.name,
             "address": f"{self.address[0]}:{self.address[1]}",
@@ -749,7 +851,27 @@ class TcpBackend(Backend):
             "bytes_received": self.bytes_received,
             "inflight": self.inflight_count,
             "inflight_limit": self.window.limit,
+            "pending_replies": self._pending_count(),
+            "send_queue_bytes": depths["send_queue"],
+            "recv_queue_bytes": depths["recv_queue"],
         }
+
+    def introspect_target(
+        self, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Ask the target for its live state (``OP_INTROSPECT``).
+
+        Returns the transport-agnostic introspection dict — worker-pool
+        depth, executed-message count, live buffer count, ring cursors
+        (``None`` on TCP). Raises the usual transport errors when the
+        target is gone or predates the op.
+        """
+        payload = pickle.loads(self._roundtrip(OP_INTROSPECT, timeout=timeout))
+        if not isinstance(payload, dict):
+            raise BackendError(
+                f"malformed introspection reply: {type(payload).__name__}"
+            )
+        return payload
 
     def drive(
         self, handle: InvokeHandle, *, blocking: bool, timeout: float | None = None

@@ -177,15 +177,21 @@ def report_telemetry(quick: bool) -> Report:
          "round trip": format_time(data[f"{mode}_mean_us"] / 1e6),
          "vs disabled": (
              f"{(data[f'overhead_{mode}'] - 1.0) * 100:+.1f}%"
-             if mode != "disabled" else "-"
+             if f"overhead_{mode}" in data else "-"
          )}
         for mode, label in (
+            ("flight_off", "disabled + flight recorder off"),
             ("disabled", "disabled"),
             ("rate_0", "sample_rate=0.0"),
             ("rate_0_01", "sample_rate=0.01"),
             ("rate_1", "sample_rate=1.0"),
         )
     ]
+    rows.append({
+        "telemetry": "flight recorder cost",
+        "round trip": "-",
+        "vs disabled": f"{(data['overhead_flight_on'] - 1.0) * 100:+.1f}%",
+    })
     text = render_table(
         rows, title="T1 — telemetry sampling overhead (TCP round trip)"
     )

@@ -35,7 +35,9 @@ from repro.offload.node import NodeDescriptor, NodeId
 from repro.offload.qos import QoSConfig, TenantContext
 from repro.offload.resilience import ResiliencePolicy
 from repro.offload.runtime import Runtime
+from repro.telemetry import flightrecorder as _flightrecorder
 from repro.telemetry import recorder as _telemetry
+from repro.telemetry.inspect import RuntimeInspector
 from repro.telemetry.promexport import MetricsServer, TelemetryConfig
 from repro.telemetry.sampling import HeadSampler, TailPipeline
 from repro.telemetry.slo import SLOMonitor
@@ -59,6 +61,7 @@ __all__ = [
     "this_node",
     "get_node_descriptor",
     "metrics_server",
+    "introspect",
 ]
 
 _runtime: Runtime | None = None
@@ -153,7 +156,12 @@ def init(
                 host=config.metrics_host,
                 port=config.metrics_port,
                 health_fn=_health_fn(recorder),
+                introspect_fn=_introspect_fn,
             )
+    if config.crash_dir is not None:
+        # Arm flight-recorder dumping (and SIGUSR2) for this process;
+        # the recorder itself has been noting events since import.
+        _flightrecorder.configure(config.crash_dir)
     _runtime = Runtime(backend, policy=policy, window=window, qos=qos)
     return _runtime
 
@@ -180,6 +188,27 @@ def _health_fn(recorder: "_telemetry.Recorder"):
         return {"status": "ok"}
 
     return health
+
+
+def _introspect_fn() -> dict:
+    """``GET /introspect`` body: the live-state snapshot, or a stub.
+
+    Reads the module global lazily — the metrics server starts before
+    the runtime exists and may outlive a ``finalize``/``init`` cycle.
+    """
+    if _runtime is None:
+        return {"error": "offload API not initialized"}
+    return RuntimeInspector(_runtime).snapshot()
+
+
+def introspect(*, probe_target: bool = True) -> dict:
+    """One merged live-state snapshot of the global runtime.
+
+    See :class:`repro.telemetry.inspect.RuntimeInspector`. The same
+    payload is served on the metrics server's ``/introspect`` endpoint
+    when one is running.
+    """
+    return RuntimeInspector(runtime()).snapshot(probe_target=probe_target)
 
 
 def finalize() -> None:

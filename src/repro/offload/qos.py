@@ -48,6 +48,7 @@ from repro.errors import (
     OffloadTimeoutError,
     RateLimitedError,
 )
+from repro.telemetry import flightrecorder
 from repro.telemetry import recorder as telemetry
 
 __all__ = [
@@ -404,6 +405,9 @@ class AdmissionController:
             tenant=ctx.tenant, kernel=kernel, reason=reason,
             priority=ctx.priority,
         )
+        flightrecorder.note(
+            "qos.rejected", tenant=ctx.tenant, kernel=kernel, reason=reason,
+        )
 
     def snapshot(self) -> dict[str, Any]:
         """Per-tenant admitted/rejected counters and bucket levels."""
@@ -500,6 +504,7 @@ class FairInflightWindow(InflightWindow):
                     len(self._inflight) + self._reserved < self._limit:
                 self._reserved += 1
                 self._granted[ctx.tenant] = self._granted.get(ctx.tenant, 0) + 1
+                flightrecorder.note("window.grant", tenant=ctx.tenant, queued=0)
                 return
             waiter = self._enqueue_locked(ctx)
         with telemetry.span(
@@ -509,6 +514,9 @@ class FairInflightWindow(InflightWindow):
             self._await_grant(waiter, timeout)
         with self._lock:
             self._granted[ctx.tenant] = self._granted.get(ctx.tenant, 0) + 1
+            flightrecorder.note(
+                "window.grant", tenant=ctx.tenant, queued=self._queued,
+            )
 
     def _enqueue_locked(self, ctx: TenantContext) -> _Waiter:
         """File a waiter, shedding lowest-priority work under overload."""
@@ -530,7 +538,20 @@ class FairInflightWindow(InflightWindow):
             self._ring.append(ctx.tenant)
         queue.append(waiter)
         self._queued += 1
+        self._depth_gauges_locked(ctx.tenant)
         return waiter
+
+    def _depth_gauges_locked(self, tenant: str) -> None:
+        """Mirror queue depths onto ``/metrics`` (transport-depth view).
+
+        ``qos.queued`` is the total backlog the shedder compares against
+        ``max_queue_depth``; ``qos.queue_depth.<tenant>`` shows which
+        tenant the backlog belongs to. No-ops while telemetry is off.
+        """
+        telemetry.gauge("qos.queued", self._queued)
+        telemetry.gauge(
+            f"qos.queue_depth.{tenant}", len(self._queues.get(tenant, ()))
+        )
 
     def _await_grant(self, waiter: _Waiter, timeout: float | None) -> None:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -560,6 +581,7 @@ class FairInflightWindow(InflightWindow):
                 break
             self._reserved += 1
             self._queued -= 1
+            self._depth_gauges_locked(waiter.ctx.tenant)
             waiter.granted = True
         # Wake everything: granted waiters return, FIFO-fallback waiters
         # (base-class acquire on the progress path) re-check capacity.
@@ -640,6 +662,7 @@ class FairInflightWindow(InflightWindow):
             except ValueError:  # pragma: no cover - defensive
                 return
             self._queued -= 1
+            self._depth_gauges_locked(victim.ctx.tenant)
             if not queue:
                 self._retire_locked(victim.ctx.tenant)
         victim.error = LoadShedError(
@@ -656,6 +679,10 @@ class FairInflightWindow(InflightWindow):
             "offload.shed", category="qos",
             tenant=ctx.tenant, priority=ctx.priority, queued=self._queued,
         )
+        flightrecorder.note(
+            "offload.shed", tenant=ctx.tenant, priority=ctx.priority,
+            queued=self._queued,
+        )
 
     def _remove_locked(self, waiter: _Waiter) -> None:
         queue = self._queues.get(waiter.ctx.tenant)
@@ -663,6 +690,7 @@ class FairInflightWindow(InflightWindow):
             try:
                 queue.remove(waiter)
                 self._queued -= 1
+                self._depth_gauges_locked(waiter.ctx.tenant)
             except ValueError:
                 pass
             if not queue:

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import CircuitOpenError, OffloadError
+from repro.telemetry import flightrecorder
 from repro.telemetry import recorder as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -240,8 +241,16 @@ class HealthMonitor:
             node=node, previous=previous.value, new=new.value,
         )
         telemetry.count("health.transitions")
+        flightrecorder.note(
+            "health.transition", node=node,
+            previous=previous.value, new=new.value,
+        )
         if new is NodeHealth.DOWN:
             telemetry.count("health.circuit_opened")
+            # A node going DOWN is the host-side face of peer death:
+            # capture the evidence while the in-flight table still
+            # shows what was stranded on it.
+            flightrecorder.trigger("node_down", node=node)
 
     # -- queries --------------------------------------------------------------
     def health(self, node: NodeId) -> NodeHealth:

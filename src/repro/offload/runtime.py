@@ -45,6 +45,7 @@ from repro.offload.qos import (
 )
 from repro.offload.resilience import HealthMonitor, ResiliencePolicy
 from repro.telemetry import context as trace_context
+from repro.telemetry import flightrecorder
 from repro.telemetry import recorder as telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -143,6 +144,9 @@ class Runtime:
         self._puts = 0
         self._gets = 0
         self._copies = 0
+        # The black-box flight recorder includes this runtime's in-flight
+        # table in crash bundles until a clean shutdown detaches it.
+        flightrecorder.attach_runtime(self)
 
     # -- topology ------------------------------------------------------------
     def num_nodes(self) -> int:
@@ -240,10 +244,14 @@ class Runtime:
         try:
             with trace_context.activate(ctx), tenant_scope(tctx):
                 handle = self.backend.post_invoke(node, functor)
-        except _TRANSPORT_ERRORS:
+        except _TRANSPORT_ERRORS as exc:
             if self.monitor is not None:
                 self.monitor.record_failure(node)
             telemetry.count("offload.issue_failures")
+            flightrecorder.note(
+                "offload.post_failed", node=node,
+                functor=functor.type_name, error=type(exc).__name__,
+            )
             # An offload that never left the host is still a failed
             # offload to its caller: count it against the availability
             # SLO (no future will ever settle to do it).
@@ -338,6 +346,10 @@ class Runtime:
                     "resilience.retry", category="resilience",
                     functor=functor.type_name, attempt=attempt, node=target,
                 )
+                flightrecorder.note(
+                    "resilience.retry", functor=functor.type_name,
+                    attempt=attempt, node=target,
+                )
                 if policy.failover:
                     successor = self._failover_target(target, tried)
                     if successor is None:
@@ -391,6 +403,12 @@ class Runtime:
                 self.monitor.record_success(target)
             return value
         assert last_error is not None
+        # Every retry and failover is spent: this error reaches the
+        # caller, which is exactly the moment a post-mortem bundle pays.
+        flightrecorder.trigger(
+            "offload_error", functor=functor.type_name,
+            error=type(last_error).__name__, attempts=len(tried),
+        )
         raise last_error
 
     def _failover_target(self, current: NodeId, tried: list[NodeId]) -> NodeId | None:
@@ -621,6 +639,9 @@ class Runtime:
         """
         if not self._shutdown:
             self._shutdown = True
+            # A clean shutdown is not a crash: leave the flight
+            # recorder's bundle scope before futures are torn down.
+            flightrecorder.detach_runtime(self)
             self._drain_target_telemetry()
             if self._live_buffers:
                 pointers = ", ".join(

@@ -37,7 +37,17 @@ Layout:
   degradation);
 * :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``,
   per-phase latency percentiles, per-message groupings, critical paths
-  and per-kernel profiles from a trace file.
+  and per-kernel profiles from a trace file — or a post-mortem view of
+  a flight-recorder crash bundle directory;
+* :mod:`repro.telemetry.flightrecorder` — always-on black-box ring of
+  control-plane events, dumped as a crash bundle on offload errors,
+  peer death, SLO breaches, ``SIGUSR2`` or exit-with-pending;
+* :mod:`repro.telemetry.inspect` — :class:`RuntimeInspector`, the
+  merged host + target live-state snapshot behind
+  ``offload.introspect()`` and the ``/introspect`` endpoint;
+* :mod:`repro.telemetry.top` — ``python -m repro.telemetry.top``, a
+  live terminal view (`top` for the offload runtime) over
+  ``/introspect``.
 
 Quick start::
 
@@ -61,6 +71,8 @@ from repro.telemetry.context import (
     current_trace_id_hex,
     new_trace,
 )
+from repro.telemetry.flightrecorder import FlightRecorder
+from repro.telemetry.inspect import RuntimeInspector
 from repro.telemetry.distributed import (
     ClockSync,
     align_records,
@@ -105,6 +117,7 @@ __all__ = [
     "ClockSync",
     "Counter",
     "EventRecord",
+    "FlightRecorder",
     "Gauge",
     "HeadSampler",
     "Histogram",
@@ -114,6 +127,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsServer",
     "Recorder",
+    "RuntimeInspector",
     "SLO",
     "SLOMonitor",
     "SpanRecord",

@@ -1,0 +1,130 @@
+"""Live runtime introspection: one merged host + target state snapshot.
+
+The metrics registry answers "how much, how fast"; the flight recorder
+answers "what just happened". This module answers the operator's third
+question — **"what is it doing right now?"** — by merging, at call
+time:
+
+* host-side state straight off a :class:`~repro.offload.runtime.Runtime`
+  (in-flight window occupancy with per-handle labels, QoS queue depths,
+  health-monitor verdicts, hedger counters, transport-depth stats);
+* target-side state fetched live over the wire via the backends'
+  ``OP_INTROSPECT`` roundtrip (worker-pool depth, executed-message
+  count, shm ring cursors/occupancy) — every transport answers the same
+  dict shape, so nothing here is per-backend;
+* the flight recorder's ring counters, so a wedged process can be told
+  apart from an idle one ("nothing noted for minutes" vs "sheds every
+  second").
+
+The snapshot is plain JSON-serializable data. It is surfaced on the
+metrics server as ``GET /introspect`` (see
+:class:`~repro.telemetry.promexport.MetricsServer`) and rendered live
+by ``python -m repro.telemetry.top``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.telemetry import flightrecorder
+
+__all__ = ["RuntimeInspector", "SNAPSHOT_SCHEMA_VERSION"]
+
+#: Bump when the snapshot shape changes incompatibly (the ``top`` CLI
+#: checks it before rendering).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+class RuntimeInspector:
+    """Builds merged live-state snapshots for one runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The :class:`~repro.offload.runtime.Runtime` to introspect.
+    probe_timeout:
+        Deadline for the target-side ``OP_INTROSPECT`` roundtrip. Kept
+        short by default: introspection is an observer, it must not
+        hang alongside the thing it observes.
+    """
+
+    def __init__(self, runtime: Any, *, probe_timeout: float = 1.0) -> None:
+        self.runtime = runtime
+        self.probe_timeout = probe_timeout
+
+    # -- host side ---------------------------------------------------------
+    def _window_snapshot(self) -> dict[str, Any]:
+        window = self.runtime.backend.window
+        handles = [
+            {"corr": handle.correlation_id, "label": handle.label}
+            for handle in window.handles()
+        ]
+        return {
+            "in_flight": window.in_flight,
+            "limit": window.limit,
+            "handles": handles,
+        }
+
+    def host_snapshot(self) -> dict[str, Any]:
+        """Everything knowable without touching the wire."""
+        runtime = self.runtime
+        host: dict[str, Any] = {
+            "pid": os.getpid(),
+            "window": self._window_snapshot(),
+            "transport": runtime.backend.stats(),
+        }
+        if runtime.admission is not None:
+            host["qos"] = {
+                "admission": runtime.admission.snapshot(),
+                "window": runtime._fair_window.snapshot()
+                if runtime._fair_window is not None else {},
+            }
+        if runtime.monitor is not None:
+            host["health"] = runtime.monitor.snapshot()
+        hedger = runtime._hedger
+        if hedger is not None:
+            host["hedging"] = hedger.snapshot()
+        return host
+
+    # -- target side -------------------------------------------------------
+    def target_snapshot(self) -> dict[str, Any] | None:
+        """The target's live state, or an ``error`` dict when unreachable.
+
+        ``None`` only when the backend has no introspection support at
+        all (predates ``OP_INTROSPECT``).
+        """
+        probe = getattr(self.runtime.backend, "introspect_target", None)
+        if probe is None:
+            return None
+        try:
+            return probe(timeout=self.probe_timeout)
+        except Exception as exc:  # noqa: BLE001 - observers must not raise
+            return {
+                "role": "target",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    # -- the merged snapshot -----------------------------------------------
+    def snapshot(self, *, probe_target: bool = True) -> dict[str, Any]:
+        """One merged, JSON-serializable live-state snapshot.
+
+        ``probe_target=False`` skips the wire roundtrip — used when the
+        caller only wants host-side state (e.g. the target is known
+        dead and the question is what the host is still holding).
+        """
+        flight = flightrecorder.get()
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "time_ns": time.time_ns(),
+            "host": self.host_snapshot(),
+            "target": self.target_snapshot() if probe_target else None,
+            "flight": {
+                "noted": flight.noted,
+                "dropped": flight.dropped,
+                "dumps": [str(path) for path in flight.dumps],
+                "crash_dir": str(flight.crash_dir)
+                if flight.crash_dir is not None else None,
+            },
+        }

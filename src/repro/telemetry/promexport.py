@@ -157,6 +157,10 @@ class TelemetryConfig:
     slo_slow_window: int = 600
     slo_burn_threshold: float = 2.0
     slo_min_samples: int = 10
+    #: Flight-recorder crash-bundle directory (see
+    #: :mod:`repro.telemetry.flightrecorder`). ``None`` leaves dumping
+    #: governed by the ``REPRO_CRASH_DIR`` environment variable.
+    crash_dir: str | None = None
 
     @classmethod
     def coerce(
@@ -192,11 +196,13 @@ class TelemetryConfig:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Serves ``/metrics`` (Prometheus text) and ``/healthz`` (JSON)."""
+    """Serves ``/metrics`` (Prometheus), ``/healthz`` and ``/introspect``
+    (JSON)."""
 
     # Set per-server via the factory in MetricsServer.
     snapshot_fn: Callable[[], Mapping[str, Any]]
     health_fn: Callable[[], Mapping[str, Any]] | None
+    introspect_fn: Callable[[], Mapping[str, Any]] | None
     prefix: str
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -209,6 +215,20 @@ class _Handler(BaseHTTPRequestHandler):
             if self.health_fn is not None:
                 health = self.health_fn()
             body = json.dumps(dict(health)).encode()
+            self._reply(200, body, "application/json")
+        elif path == "/introspect":
+            if self.introspect_fn is None:
+                self._reply(404, b"introspection not wired\n", "text/plain")
+                return
+            try:
+                snapshot = dict(self.introspect_fn())
+            except Exception as exc:  # noqa: BLE001 - observer endpoint
+                body = json.dumps(
+                    {"error": f"{type(exc).__name__}: {exc}"}
+                ).encode()
+                self._reply(500, body, "application/json")
+                return
+            body = json.dumps(snapshot, default=str).encode()
             self._reply(200, body, "application/json")
         else:
             self._reply(404, b"not found\n", "text/plain")
@@ -243,6 +263,11 @@ class MetricsServer:
         body — the SLO monitor reports ``{"status": "degraded",
         "breached": [...]}`` here while objectives burn too hot. When
         omitted the endpoint answers a static ``{"status": "ok"}``.
+    introspect_fn:
+        Optional zero-argument callable returning the live-state
+        snapshot served as JSON on ``/introspect`` — typically
+        :meth:`repro.telemetry.inspect.RuntimeInspector.snapshot`. When
+        omitted the endpoint answers 404.
     """
 
     def __init__(
@@ -252,11 +277,14 @@ class MetricsServer:
         port: int = 0,
         prefix: str = "repro_",
         health_fn: Callable[[], Mapping[str, Any]] | None = None,
+        introspect_fn: Callable[[], Mapping[str, Any]] | None = None,
     ) -> None:
         handler = type(
             "_BoundHandler", (_Handler,),
             {"snapshot_fn": staticmethod(snapshot_fn), "prefix": prefix,
-             "health_fn": staticmethod(health_fn) if health_fn else None},
+             "health_fn": staticmethod(health_fn) if health_fn else None,
+             "introspect_fn":
+                 staticmethod(introspect_fn) if introspect_fn else None},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

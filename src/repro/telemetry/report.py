@@ -10,6 +10,13 @@ flat JSONL, auto-detected) and prints per-phase latency percentiles::
     python -m repro.telemetry.report trace.json --profile
     python -m repro.telemetry.report trace.json --format json
 
+Passing a *directory* reads it as a flight-recorder crash bundle
+(see :mod:`repro.telemetry.flightrecorder`) instead: the manifest, the
+in-flight table at dump time, and a tally of the recorded control-plane
+events::
+
+    python -m repro.telemetry.report /var/crash/repro/crash-1234-1-node_down
+
 The default table covers every span name (one row per phase: serialize,
 enqueue, transport, execute, reply, deserialize, ...), with count,
 p50/p95, mean and total time, plus the trace's instantaneous events
@@ -28,18 +35,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import time as _time
 from collections import Counter as _TallyCounter
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.bench.tables import format_time, render_table
+from repro.telemetry import flightrecorder
 from repro.telemetry.distributed import group_by_trace, trace_summary
-from repro.telemetry.export import Record, durations_by_name, load_any
+from repro.telemetry.export import (
+    Record,
+    dicts_to_records,
+    durations_by_name,
+    load_any,
+)
 from repro.telemetry.metrics import percentile
 from repro.telemetry.profile import KernelProfiler, render_profile_table
 
 __all__ = [
     "main",
     "profile_from_records",
+    "render_bundle",
     "render_critical_paths",
     "render_per_message",
     "render_profile",
@@ -193,6 +209,72 @@ def render_profile(records: Sequence[Record], sort_by: str = "total") -> str:
     return render_profile_table(profile_from_records(records), sort_by=sort_by)
 
 
+def render_bundle(bundle: dict[str, Any]) -> str:
+    """Render a loaded crash bundle: manifest, in-flight table, events.
+
+    ``bundle`` is the dict from
+    :func:`repro.telemetry.flightrecorder.load_bundle`. The recent
+    control-plane events reuse the standard event-tally rendering; the
+    last few events are listed verbatim — in a post-mortem, the final
+    seconds matter more than the aggregate.
+    """
+    manifest = bundle.get("manifest") or {}
+    when = manifest.get("time_ns")
+    stamp = (
+        _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(when / 1e9))
+        if isinstance(when, (int, float)) and when else "?"
+    )
+    lines = [
+        f"crash bundle: reason={manifest.get('reason', '?')} "
+        f"pid={manifest.get('pid', '?')} at {stamp}",
+        f"  events retained {manifest.get('events', 0)} "
+        f"(noted {manifest.get('noted', 0)}, "
+        f"dropped {manifest.get('dropped', 0)}, "
+        f"suppressed triggers {manifest.get('suppressed_triggers', 0)})",
+        f"  offloads pending at dump: {manifest.get('pending', 0)}",
+    ]
+    if manifest.get("attrs"):
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(manifest["attrs"].items())
+        )
+        lines.append(f"  trigger attrs: {attrs}")
+    if bundle.get("skipped_lines"):
+        lines.append(
+            f"  ({bundle['skipped_lines']} truncated event line(s) skipped)"
+        )
+    for entry in bundle.get("inflight") or []:
+        if "error" in entry:
+            lines.append(f"  in flight: <{entry['error']}>")
+            continue
+        corrs = entry.get("correlation_ids") or []
+        shown = ", ".join(str(corr) for corr in corrs[:8])
+        if len(corrs) > 8:
+            shown += ", ..."
+        lines.append(
+            f"  in flight: {entry.get('in_flight', 0)}/"
+            f"{entry.get('limit', 0)} on {entry.get('backend', '?')}"
+            + (f"  [{shown}]" if shown else "")
+        )
+    events = bundle.get("events") or []
+    if not events:
+        lines.append("\nno recorded events")
+        return "\n".join(lines)
+    records = dicts_to_records(events)
+    tail = [
+        f"  {row.get('name', '?')} "
+        + " ".join(
+            f"{key}={value}"
+            for key, value in sorted((row.get("attrs") or {}).items())
+        )
+        for row in events[-10:]
+    ]
+    return "\n".join(
+        lines
+        + ["", render_report(records), "", "last events:"]
+        + tail
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -226,6 +308,17 @@ def main(argv: list[str] | None = None) -> int:
         help="output format (default: table)",
     )
     args = parser.parse_args(argv)
+    path = Path(args.trace)
+    if path.is_dir():
+        try:
+            bundle = flightrecorder.load_bundle(path)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load crash bundle {args.trace!r}: {exc}")
+        if args.format == "json":
+            print(json.dumps(bundle, indent=2, sort_keys=True, default=str))
+        else:
+            print(render_bundle(bundle))
+        return 0
     try:
         records = load_any(args.trace)
     except (OSError, ValueError) as exc:

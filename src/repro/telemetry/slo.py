@@ -33,6 +33,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
+from repro.telemetry import flightrecorder
+
 __all__ = ["SLO", "SLOMonitor", "default_slos"]
 
 #: Phase name carrying the whole issue->result round trip.
@@ -318,6 +320,13 @@ class SLOMonitor:
             if slo_tenant is not None:
                 attrs["tenant"] = slo_tenant
             self.emit(name, **attrs)
+            if breached:
+                # SLO breaches are flight-recorder triggers: when the
+                # burn rate pages, the evidence of *why* is the recent
+                # control-plane event stream, captured right now.
+                flightrecorder.trigger("slo_breach", **attrs)
+            else:
+                flightrecorder.note("slo.recovered", **attrs)
 
     # Alias used by the recorder's span fold, which feeds phase streams.
     observe_phase = observe

@@ -1,0 +1,115 @@
+"""Peer death must leave a readable flight-recorder bundle behind.
+
+The acceptance scenario for the black-box recorder: SIGKILL the target
+mid-burst and a post-mortem bundle — readable by
+``repro.telemetry.report`` — appears in the crash directory, while a
+clean shutdown leaves nothing.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.backends import (
+    ShmBackend,
+    TcpBackend,
+    spawn_local_server,
+    spawn_shm_server,
+)
+from repro.errors import ReproError
+from repro.ham import f2f
+from repro.offload import Runtime
+from repro.telemetry import flightrecorder
+from repro.telemetry.report import render_bundle
+
+from tests import apps
+
+
+@pytest.fixture(autouse=True)
+def _armed_recorder(tmp_path):
+    """Arm the global recorder at tmp_path; disarm afterwards."""
+    flight = flightrecorder.get()
+    saved_dir, saved_debounce = flight.crash_dir, flight.debounce
+    flightrecorder.configure(tmp_path, install_signal=False)
+    yield tmp_path
+    flight.crash_dir, flight.debounce = saved_dir, saved_debounce
+
+
+def _drive_burst_and_kill(runtime, process):
+    futures = [
+        runtime.async_(1, f2f(apps.sleep_then, 30.0, i)) for i in range(3)
+    ]
+    os.kill(process.pid, signal.SIGKILL)
+    process.join(timeout=5)
+    for future in futures:
+        with pytest.raises(ReproError):
+            future.get(timeout=10.0)
+
+
+def _assert_peer_death_bundle(crash_dir, transport):
+    bundles = flightrecorder.find_bundles(crash_dir)
+    deaths = [b for b in bundles if "peer_death" in b.name]
+    assert deaths, f"no peer_death bundle in {list(bundles)}"
+    loaded = flightrecorder.load_bundle(deaths[-1])
+    manifest = loaded["manifest"]
+    assert manifest["reason"] == "peer_death"
+    assert manifest["attrs"]["transport"] == transport
+    names = [event["name"] for event in loaded["events"]]
+    assert "flight.trigger" in names
+    # And the offline report renders it without choking.
+    text = render_bundle(loaded)
+    assert "reason=peer_death" in text
+
+
+class TestSigkillMidBurst:
+    def test_shm_target_death_dumps_bundle(self, _armed_recorder):
+        process, segment = spawn_shm_server()
+        backend = ShmBackend(
+            segment,
+            alive_fn=process.is_alive,
+            on_shutdown=lambda: process.join(timeout=5),
+        )
+        runtime = Runtime(backend)
+        try:
+            _drive_burst_and_kill(runtime, process)
+        finally:
+            runtime.shutdown()
+        _assert_peer_death_bundle(_armed_recorder, "shm")
+
+    def test_tcp_target_death_dumps_bundle(self, _armed_recorder):
+        process, address = spawn_local_server()
+        backend = TcpBackend(
+            address, on_shutdown=lambda: process.join(timeout=5)
+        )
+        runtime = Runtime(backend)
+        try:
+            _drive_burst_and_kill(runtime, process)
+        finally:
+            runtime.shutdown()
+        _assert_peer_death_bundle(_armed_recorder, "tcp")
+
+
+class TestCleanShutdownIsNotACrash:
+    @pytest.mark.parametrize("transport", ["tcp", "shm"])
+    def test_clean_shutdown_leaves_no_bundle(self, _armed_recorder, transport):
+        if transport == "shm":
+            process, segment = spawn_shm_server()
+            backend = ShmBackend(
+                segment,
+                alive_fn=process.is_alive,
+                on_shutdown=lambda: process.join(timeout=5),
+            )
+        else:
+            process, address = spawn_local_server()
+            backend = TcpBackend(
+                address, on_shutdown=lambda: process.join(timeout=5)
+            )
+        runtime = Runtime(backend)
+        runtime.sync(1, f2f(apps.add, 1, 2))
+        runtime.shutdown()
+        deaths = [
+            b for b in flightrecorder.find_bundles(_armed_recorder)
+            if "peer_death" in b.name
+        ]
+        assert deaths == []

@@ -1,0 +1,257 @@
+"""Live introspection: OP_INTROSPECT, RuntimeInspector, /introspect, top.
+
+The contract under test: every transport answers ``introspect_target``
+with the same payload shape, the inspector merges host + target + the
+flight recorder into one snapshot, the metrics server serves it as
+JSON, and ``repro top`` renders it without touching the network.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.backends import (
+    LocalBackend,
+    ShmBackend,
+    TcpBackend,
+    spawn_local_server,
+    spawn_shm_server,
+)
+from repro.ham import f2f
+from repro.offload import Runtime
+from repro.telemetry import top
+from repro.telemetry.inspect import SNAPSHOT_SCHEMA_VERSION, RuntimeInspector
+
+from tests import apps
+
+#: Every transport's introspect payload must carry exactly these keys.
+_PAYLOAD_KEYS = {
+    "role", "transport", "pid", "workers", "pending_invokes",
+    "messages_executed", "live_buffers", "rings",
+}
+
+
+def _check_payload(payload, transport):
+    assert _PAYLOAD_KEYS <= set(payload)
+    assert payload["role"] == "target"
+    assert payload["transport"] == transport
+    assert isinstance(payload["pid"], int)
+    assert payload["workers"]["pool_size"] >= 1
+    assert payload["messages_executed"] >= 1
+
+
+class TestIntrospectTarget:
+    def test_local_round_trip(self):
+        runtime = Runtime(LocalBackend())
+        try:
+            runtime.sync(1, f2f(apps.add, 1, 2))
+            payload = runtime.backend.introspect_target()
+        finally:
+            runtime.shutdown()
+        _check_payload(payload, "local")
+        assert payload["rings"] is None
+
+    def test_tcp_round_trip(self):
+        process, address = spawn_local_server()
+        backend = TcpBackend(
+            address, on_shutdown=lambda: process.join(timeout=5)
+        )
+        runtime = Runtime(backend)
+        try:
+            runtime.sync(1, f2f(apps.add, 1, 2))
+            payload = backend.introspect_target(timeout=5.0)
+        finally:
+            runtime.shutdown()
+        _check_payload(payload, "tcp")
+        assert payload["rings"] is None
+        # The worker decrements its active counter after sending the
+        # reply, so a probe racing the tail of the last sync may still
+        # see it — a live view, not a settled ledger.
+        assert payload["pending_invokes"] in (0, 1)
+
+    def test_shm_round_trip_reports_rings(self):
+        process, segment = spawn_shm_server()
+        backend = ShmBackend(
+            segment,
+            alive_fn=process.is_alive,
+            on_shutdown=lambda: process.join(timeout=5),
+        )
+        runtime = Runtime(backend)
+        try:
+            runtime.sync(1, f2f(apps.add, 1, 2))
+            payload = backend.introspect_target(timeout=5.0)
+        finally:
+            runtime.shutdown()
+        _check_payload(payload, "shm")
+        rings = payload["rings"]
+        assert rings["capacity"] > 0
+        for ring in (rings["request"], rings["reply"]):
+            assert {"used", "capacity", "spin_waits",
+                    "sleep_stalls", "stalled_s"} <= set(ring)
+
+    def test_payload_shape_is_transport_agnostic(self):
+        """The tool contract: tcp and shm answer identical key sets."""
+        process, address = spawn_local_server()
+        tcp = TcpBackend(address, on_shutdown=lambda: process.join(timeout=5))
+        tcp_runtime = Runtime(tcp)
+        try:
+            tcp_runtime.sync(1, f2f(apps.add, 1, 2))
+            tcp_payload = tcp.introspect_target(timeout=5.0)
+        finally:
+            tcp_runtime.shutdown()
+        shm_process, segment = spawn_shm_server()
+        shm = ShmBackend(
+            segment,
+            alive_fn=shm_process.is_alive,
+            on_shutdown=lambda: shm_process.join(timeout=5),
+        )
+        shm_runtime = Runtime(shm)
+        try:
+            shm_runtime.sync(1, f2f(apps.add, 1, 2))
+            shm_payload = shm.introspect_target(timeout=5.0)
+        finally:
+            shm_runtime.shutdown()
+        assert set(tcp_payload) == set(shm_payload)
+
+
+class TestRuntimeInspector:
+    def test_snapshot_merges_host_target_and_flight(self):
+        runtime = Runtime(LocalBackend())
+        try:
+            runtime.sync(1, f2f(apps.add, 1, 2))
+            snapshot = RuntimeInspector(runtime).snapshot()
+        finally:
+            runtime.shutdown()
+        assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        assert snapshot["host"]["pid"] > 0
+        window = snapshot["host"]["window"]
+        assert window["in_flight"] == 0 and window["limit"] > 0
+        assert snapshot["target"]["role"] == "target"
+        assert {"noted", "dropped", "dumps", "crash_dir"} <= set(
+            snapshot["flight"]
+        )
+
+    def test_probe_target_false_skips_the_wire(self):
+        runtime = Runtime(LocalBackend())
+        try:
+            snapshot = RuntimeInspector(runtime).snapshot(probe_target=False)
+        finally:
+            runtime.shutdown()
+        assert snapshot["target"] is None
+
+    def test_snapshot_is_json_serializable(self):
+        """The /introspect endpoint must be able to serve it verbatim."""
+        runtime = Runtime(LocalBackend())
+        try:
+            snapshot = RuntimeInspector(runtime).snapshot()
+        finally:
+            runtime.shutdown()
+        json.dumps(snapshot, default=str)
+
+
+class TestIntrospectEndpoint:
+    def test_endpoint_serves_the_snapshot(self):
+        from repro.offload import api as offload
+
+        offload.init(LocalBackend(), telemetry={"metrics_port": 0})
+        try:
+            offload.sync(1, f2f(apps.add, 2, 3))
+            url = offload.metrics_server().url
+            snapshot = top.fetch_snapshot(url)
+            assert snapshot["host"]["pid"] > 0
+            assert snapshot["target"]["transport"] == "local"
+            # offload.introspect() returns the same merged payload.
+            direct = offload.introspect()
+            assert set(direct) == set(snapshot)
+        finally:
+            offload.finalize()
+
+    def test_server_without_introspect_fn_404s(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.promexport import MetricsServer
+
+        server = MetricsServer(MetricsRegistry().snapshot)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/introspect", timeout=2)
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+
+class TestTopRendering:
+    def _snapshot(self):
+        return {
+            "schema_version": 1,
+            "host": {
+                "pid": 100,
+                "window": {
+                    "in_flight": 2, "limit": 8,
+                    "handles": [
+                        {"corr": 1, "label": "stencil"},
+                        {"corr": 2, "label": "stencil"},
+                    ],
+                },
+                "transport": {
+                    "backend": "shm",
+                    "request_ring": {"used": 512, "capacity": 1024,
+                                     "sleep_stalls": 3},
+                    "reply_ring": {"used": 0, "capacity": 1024},
+                    "pending_replies": 2,
+                },
+                "health": {1: {"health": "up"}},
+            },
+            "target": {
+                "role": "target", "transport": "shm", "pid": 200,
+                "workers": {"pool_size": 4, "active": 1},
+                "pending_invokes": 1, "messages_executed": 42,
+                "live_buffers": 2,
+                "rings": {"capacity": 1024,
+                          "request": {"used": 512, "capacity": 1024},
+                          "reply": {"used": 0, "capacity": 1024}},
+            },
+            "flight": {"noted": 7, "dropped": 0, "dumps": [],
+                       "crash_dir": None},
+        }
+
+    def test_render_frame_shows_all_sections(self):
+        frame = top.render_frame(self._snapshot(), source="test")
+        assert "HOST  pid 100" in frame
+        assert "2/8 in flight" in frame
+        assert "stencilx2" in frame
+        assert "512/1024 (50.0%) (3 stalls)" in frame
+        assert "TARGET  pid 200 (shm)" in frame
+        assert "1/4 active" in frame
+        assert "executed 42" in frame
+        assert "FLIGHT  noted 7" in frame
+        assert "1:up" in frame
+
+    def test_render_frame_handles_unreachable_target(self):
+        snapshot = self._snapshot()
+        snapshot["target"] = {"role": "target", "error": "unreachable"}
+        frame = top.render_frame(snapshot, source="test")
+        assert "TARGET  unreachable" in frame
+
+    def test_render_frame_handles_error_payload(self):
+        frame = top.render_frame(
+            {"error": "offload API not initialized"}, source="test"
+        )
+        assert "offload API not initialized" in frame
+
+    def test_once_against_dead_endpoint_exits_nonzero(self, capsys):
+        rc = top.main(["http://127.0.0.1:1", "--once", "--timeout", "0.2"])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_once_against_live_endpoint_exits_zero(self, capsys):
+        from repro.offload import api as offload
+
+        offload.init(LocalBackend(), telemetry={"metrics_port": 0})
+        try:
+            rc = top.main([offload.metrics_server().url, "--once"])
+        finally:
+            offload.finalize()
+        assert rc == 0
+        assert "HOST" in capsys.readouterr().out
