@@ -22,10 +22,17 @@ while a premium tenant keeps a modest request rate, and the run fails
 unless the premium tenant's p99 latency and SLO hold while the shed /
 rejection counters show the noisy tenant absorbed the overload.
 
+A third mode, ``--async``, runs the fault soak from a single asyncio
+event loop: every offload is *awaited* through ``Future.__await__``
+rather than collected with a blocking ``get``, proving the awaitable
+surface holds the same promises (typed errors, no hangs, no unraised
+corruption) under the same fault schedule. Composes with ``--backend``.
+
 Usage::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --seed 7 --duration 30
     PYTHONPATH=src python scripts/chaos_smoke.py --backend shm --duration 30
+    PYTHONPATH=src python scripts/chaos_smoke.py --async --duration 20
     PYTHONPATH=src python scripts/chaos_smoke.py --noisy-tenant --duration 20
 """
 
@@ -265,6 +272,126 @@ def run_noisy_tenant(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_async_soak(args: argparse.Namespace) -> int:
+    """Fault soak driven entirely from one asyncio event loop.
+
+    Same live stack as the default mode, but no blocking ``get``
+    anywhere: each wave posts a handful of offloads and awaits them
+    concurrently through ``Future.__await__``. The awaited path has no
+    retry loop to hide a dropped frame behind, so every await carries a
+    bounded timeout; a timed-out wave (or a dead transport) makes the
+    supervisor recycle the whole stack, exactly like the sync loop does
+    when the transport is poisoned — leaked window slots from abandoned
+    awaits cannot accumulate across epochs.
+
+    Pass criteria mirror the sync soak: zero hangs (watchdog), zero
+    unraised corruption, every fault surfaced as a typed
+    :class:`ReproError` (or a counted await timeout).
+    """
+    import asyncio
+
+    last_tick = [time.monotonic()]
+    hang_budget = args.deadline * 10 + 10.0
+
+    def watchdog() -> None:
+        while True:
+            time.sleep(1.0)
+            stall = time.monotonic() - last_tick[0]
+            if stall > hang_budget:
+                print(
+                    f"WATCHDOG: async soak stalled for {stall:.1f} s — HANG",
+                    flush=True,
+                )
+                os._exit(2)
+
+    threading.Thread(target=watchdog, daemon=True).start()
+
+    rng = np.random.default_rng(args.seed)
+    surfaced: Counter[str] = Counter()
+    stack = build_stack(args.seed, args)
+    epoch = args.seed
+    respawns = 0
+    ops = 0
+
+    async def settle(future):
+        return await future
+
+    async def soak() -> int:
+        nonlocal stack, epoch, respawns, ops
+        deadline_end = time.monotonic() + args.duration
+        while time.monotonic() < deadline_end:
+            last_tick[0] = time.monotonic()
+            process, transport, faulty, runtime = stack
+            width = 4 + int(rng.integers(5))
+            pairs = [
+                (int(rng.integers(1000)), int(rng.integers(1000)))
+                for _ in range(width)
+            ]
+            futures = []
+            try:
+                for a, b in pairs:
+                    futures.append(runtime.async_(1, f2f(apps.add, a, b)))
+            except ReproError as exc:
+                # Posting itself can raise under faults (open circuit,
+                # poisoned transport); the posted prefix still settles.
+                # Unlike runtime.sync there is no retry loop backing
+                # off for us, so breathe before the next wave rather
+                # than busy-spinning against an open circuit.
+                surfaced[type(exc).__name__] += 1
+                await asyncio.sleep(0.05)
+            outcomes = await asyncio.gather(
+                *(
+                    asyncio.wait_for(settle(f), timeout=args.deadline * 4)
+                    for f in futures
+                ),
+                return_exceptions=True,
+            )
+            ops += len(futures)
+            timed_out = False
+            wave_errors = False
+            for (a, b), outcome in zip(pairs, outcomes):
+                if isinstance(outcome, asyncio.TimeoutError):
+                    surfaced["AwaitTimeout"] += 1
+                    timed_out = True
+                elif isinstance(outcome, ReproError):
+                    surfaced[type(outcome).__name__] += 1
+                    wave_errors = True
+                elif isinstance(outcome, BaseException):
+                    print("UNTYPED ERROR escaped the awaited path:")
+                    traceback.print_exception(
+                        type(outcome), outcome, outcome.__traceback__
+                    )
+                    return 1
+                elif outcome != a + b:
+                    print(
+                        f"UNRAISED CORRUPTION: awaited add({a},{b}) "
+                        f"-> {outcome}"
+                    )
+                    return 1
+            if timed_out or not transport._alive:
+                teardown_stack(process, runtime)
+                epoch += 1
+                respawns += 1
+                stack = build_stack(epoch, args)
+            elif wave_errors:
+                faulty.reconnect()
+        return 0
+
+    try:
+        code = asyncio.run(soak())
+    finally:
+        process, _transport, _faulty, runtime = stack
+        teardown_stack(process, runtime)
+
+    if code == 0:
+        print(
+            f"async chaos smoke OK: {ops} awaited ops in "
+            f"{args.duration:.0f} s on {args.backend}, {respawns} respawns, "
+            f"surfaced errors: {dict(surfaced) or 'none'}"
+        )
+    return code
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -301,6 +428,14 @@ def main() -> int:
         "the death left a readable crash bundle behind",
     )
     parser.add_argument(
+        "--async",
+        dest="async_soak",
+        action="store_true",
+        help="drive the fault soak from one asyncio event loop: every "
+        "offload awaited through Future.__await__ instead of a blocking "
+        "get (composes with --backend tcp|shm)",
+    )
+    parser.add_argument(
         "--noisy-tenant",
         action="store_true",
         help="overload soak instead of fault injection: a best-effort "
@@ -318,6 +453,8 @@ def main() -> int:
 
     if args.noisy_tenant:
         return run_noisy_tenant(args)
+    if args.async_soak:
+        return run_async_soak(args)
 
     if args.crash_dir:
         from repro.telemetry import flightrecorder

@@ -32,10 +32,12 @@ futures by the runtime.
 from __future__ import annotations
 
 import abc
+import contextlib
+import contextvars
 import itertools
 import threading
 import time
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
@@ -47,15 +49,237 @@ from repro.telemetry import recorder as telemetry
 
 __all__ = [
     "Backend",
+    "CoalescePolicy",
     "DEFAULT_INFLIGHT_LIMIT",
+    "FrameCoalescer",
     "InflightWindow",
     "InvokeHandle",
+    "window_budget",
 ]
 
 #: Default bound on invocations in flight per backend. Large enough to
 #: keep a pipelined transport busy, small enough that a runaway producer
 #: hits backpressure before exhausting memory.
 DEFAULT_INFLIGHT_LIMIT = 64
+
+#: Absolute ``time.monotonic`` deadline bounding window-slot waits for
+#: the current offload (see :func:`window_budget`). ``None`` outside a
+#: budget scope: the backend's static window timeout applies alone.
+_window_budget: contextvars.ContextVar[float | None] = contextvars.ContextVar(
+    "repro_window_budget", default=None
+)
+
+
+@contextlib.contextmanager
+def window_budget(deadline: float | None) -> Iterator[None]:
+    """Scope window-slot waits to one offload's *remaining* budget.
+
+    ``deadline`` is an absolute ``time.monotonic`` instant, computed
+    **once** when the offload (with its retries) starts. Every window
+    acquisition inside the scope waits at most until that instant —
+    not the policy's full deadline again — so an offload that retries
+    N times cannot spend N full deadlines queueing for a slot. The
+    effective wait is the *minimum* of the scoped remainder and the
+    backend's static window timeout (:meth:`Backend.set_window_timeout`).
+    """
+    if deadline is None:
+        yield
+        return
+    token = _window_budget.set(deadline)
+    try:
+        yield
+    finally:
+        _window_budget.reset(token)
+
+
+class CoalescePolicy:
+    """Flush thresholds of the adaptive message coalescer.
+
+    The wire analogue of the paper's Sec. IV bulk-DMA translation:
+    many small active messages amortized into one transfer. A batch is
+    flushed by whichever trips first:
+
+    * ``max_bytes`` — the byte budget of one ``sendmsg`` batch;
+    * ``max_frames`` — the frame-count budget;
+    * ``max_delay`` — a sub-millisecond deadline armed when the first
+      frame is buffered, so a lull never strands a batch.
+
+    Adaptivity: while the observed in-flight depth is at most
+    ``idle_depth`` the producer is latency-bound, not rate-bound, and
+    every frame is flushed immediately ("batch hard under load, flush
+    eagerly when idle").
+    """
+
+    __slots__ = ("max_bytes", "max_frames", "max_delay", "idle_depth")
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = 64 * 1024,
+        max_frames: int = 16,
+        max_delay: float = 200e-6,
+        idle_depth: int = 2,
+    ) -> None:
+        if max_bytes < 1 or max_frames < 1:
+            raise BackendError("coalescing budgets must be positive")
+        if max_delay < 0:
+            raise BackendError("coalescing delay must be non-negative")
+        self.max_bytes = max_bytes
+        self.max_frames = max_frames
+        self.max_delay = max_delay
+        self.idle_depth = idle_depth
+
+    @classmethod
+    def from_option(cls, batch: Any) -> "CoalescePolicy | None":
+        """Resolve a user-facing ``batch=`` knob.
+
+        ``None``/``True`` → defaults; ``False`` → coalescing disabled
+        (every frame is its own ``sendmsg``, the PR 4 wire behavior);
+        a dict → keyword overrides (``max_bytes``, ``max_frames``,
+        ``max_delay_us``, ``idle_depth``); a policy → itself.
+        """
+        if batch is None or batch is True:
+            return cls()
+        if batch is False:
+            return None
+        if isinstance(batch, cls):
+            return batch
+        if isinstance(batch, dict):
+            options = dict(batch)
+            delay_us = options.pop("max_delay_us", None)
+            if delay_us is not None:
+                options["max_delay"] = float(delay_us) * 1e-6
+            try:
+                return cls(**options)
+            except TypeError as exc:
+                raise BackendError(f"bad batch= options: {exc}") from None
+        raise BackendError(
+            f"batch= expects bool, dict or CoalescePolicy, got {type(batch).__name__}"
+        )
+
+
+class FrameCoalescer:
+    """Accumulates encoded frames into one scatter-gather batch.
+
+    Transport-agnostic: the owner supplies ``transmit`` (send a list of
+    buffer parts — one kernel call for the whole batch), ``schedule``
+    (arm a flush deadline on the shared reactor; returns a handle with
+    ``cancel()``) and ``depth`` (the observed in-flight depth driving
+    adaptivity). Thread-safe; the buffer is stolen under the internal
+    lock and transmitted outside it, so a slow send never blocks
+    producers from buffering the next batch.
+
+    Telemetry: every flush records the ``net.batch_size`` (frames) and
+    ``net.batch_bytes`` histograms and bumps the
+    ``net.flush_reason.<reason>`` counter.
+    """
+
+    def __init__(
+        self,
+        *,
+        transmit: Callable[[list[Any]], None],
+        schedule: Callable[[float, Callable[[], None]], Any],
+        policy: CoalescePolicy | None = None,
+        depth: Callable[[], int] = lambda: 0,
+    ) -> None:
+        self.policy = policy or CoalescePolicy()
+        self._transmit = transmit
+        self._schedule = schedule
+        self._depth = depth
+        self._lock = threading.Lock()
+        self._parts: list[Any] = []
+        self._frames = 0
+        self._bytes = 0
+        self._timer: Any = None
+        #: Cumulative counters (see :meth:`stats`).
+        self.batches = 0
+        self.frames_coalesced = 0
+        self.flush_reasons: dict[str, int] = {}
+
+    def add(self, parts: list[Any], nbytes: int) -> None:
+        """Buffer one encoded frame; flush if a budget trips or idle."""
+        policy = self.policy
+        with self._lock:
+            self._parts.extend(parts)
+            self._frames += 1
+            self._bytes += nbytes
+            if (
+                self._frames >= policy.max_frames
+                or self._bytes >= policy.max_bytes
+            ):
+                reason = "size" if self._bytes >= policy.max_bytes else "count"
+                batch, frames, nbytes = self._steal_locked()
+            elif self._depth() <= policy.idle_depth:
+                # Few offloads outstanding: the producer is waiting on
+                # latency, not building a pipeline — send immediately.
+                reason = "idle"
+                batch, frames, nbytes = self._steal_locked()
+            else:
+                if self._timer is None:
+                    self._timer = self._schedule(policy.max_delay, self._on_deadline)
+                return
+        self._send_batch(batch, frames, nbytes, reason)
+
+    def flush(self, reason: str = "explicit") -> int:
+        """Transmit everything buffered; returns the frame count sent."""
+        with self._lock:
+            if not self._frames:
+                return 0
+            batch, frames, nbytes = self._steal_locked()
+        self._send_batch(batch, frames, nbytes, reason)
+        return frames
+
+    def discard(self) -> tuple[int, int]:
+        """Drop the buffer without sending; ``(frames, bytes)`` dropped.
+
+        Used when the transport is already dead: the frames can never
+        be delivered, and the caller reports the count in the error it
+        fails pending futures with.
+        """
+        with self._lock:
+            frames, nbytes = self._frames, self._bytes
+            self._steal_locked()
+        return frames, nbytes
+
+    def pending(self) -> tuple[int, int]:
+        """Currently buffered ``(frames, bytes)``."""
+        with self._lock:
+            return self._frames, self._bytes
+
+    def _steal_locked(self) -> tuple[list[Any], int, int]:
+        batch, frames, nbytes = self._parts, self._frames, self._bytes
+        self._parts, self._frames, self._bytes = [], 0, 0
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        return batch, frames, nbytes
+
+    def _on_deadline(self) -> None:
+        self.flush("deadline")
+
+    def _send_batch(
+        self, batch: list[Any], frames: int, nbytes: int, reason: str
+    ) -> None:
+        self.batches += 1
+        self.frames_coalesced += frames
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+        telemetry.observe("net.batch_size", frames)
+        telemetry.observe("net.batch_bytes", nbytes)
+        telemetry.count(f"net.flush_reason.{reason}")
+        self._transmit(batch)
+
+    def stats(self) -> dict[str, Any]:
+        frames, nbytes = self.pending()
+        return {
+            "batches": self.batches,
+            "frames_coalesced": self.frames_coalesced,
+            "avg_batch_frames": round(
+                self.frames_coalesced / self.batches, 2
+            ) if self.batches else 0.0,
+            "flush_reasons": dict(self.flush_reasons),
+            "buffered_frames": frames,
+            "buffered_bytes": nbytes,
+        }
 
 
 class InflightWindow:
@@ -196,6 +420,8 @@ class InvokeHandle:
         self._reply: Any = None
         self._error: BaseException | None = None
         self._done = threading.Event()
+        self._callbacks: list[Callable[["InvokeHandle"], None]] = []
+        self._cb_lock = threading.Lock()
         # Synchronous backends that record their own transport span set
         # this so ``wait`` doesn't add a redundant zero-duration one.
         self._transport_spanned = False
@@ -219,6 +445,35 @@ class InvokeHandle:
     def _finish(self) -> None:
         self._done.set()
         self.backend._handle_completed(self)
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._run_callback(fn)
+
+    def add_done_callback(
+        self, fn: Callable[["InvokeHandle"], None]
+    ) -> None:
+        """Invoke ``fn(handle)`` once the handle completes (thread-safe).
+
+        The push half of the asyncio bridge: callbacks fire *after* the
+        window slot is released, from whichever thread delivers the
+        completion — or immediately, in the calling thread, when the
+        handle is already done. Callbacks must be cheap and must not
+        block (on reactor-driven transports they run on the shared I/O
+        loop); exceptions are counted and swallowed.
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                self.backend._callback_armed(self)
+                return
+        self._run_callback(fn)
+
+    def _run_callback(self, fn: Callable[["InvokeHandle"], None]) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - observers must not poison I/O
+            telemetry.count("offload.callback_errors")
 
     # -- future side ------------------------------------------------------------
     @property
@@ -332,12 +587,35 @@ class Backend(abc.ABC):
     def _admit_invoke(
         self, label: str = "", progress: Callable[[], None] | None = None
     ) -> None:
-        """Reserve window capacity for one invoke (backpressure point)."""
-        self.window.acquire(
-            timeout=getattr(self, "_window_timeout", None),
-            progress=progress,
-            label=label,
-        )
+        """Reserve window capacity for one invoke (backpressure point).
+
+        The wait is bounded by the backend's static window timeout
+        *and* — inside a :func:`window_budget` scope — by the
+        offload's remaining budget, whichever is tighter. The budget
+        is an absolute deadline computed once per offload, so a
+        retried offload re-arms with what is *left*, never with the
+        full policy deadline again.
+        """
+        timeout = getattr(self, "_window_timeout", None)
+        budget = _window_budget.get()
+        if budget is not None:
+            remaining = budget - time.monotonic()
+            if remaining <= 0:
+                raise OffloadTimeoutError(
+                    "offload budget exhausted before a window slot was acquired"
+                )
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        self.window.acquire(timeout=timeout, progress=progress, label=label)
+
+    def _callback_armed(self, handle: "InvokeHandle") -> None:
+        """Hook: a done-callback was attached to a pending handle.
+
+        Push-driven transports need no action (the reactor completes
+        handles regardless); pull-driven ones (shm's driven client)
+        override this to arm a backstop pump so a callback-only
+        consumer — an asyncio awaiter with no thread blocked in
+        ``drive`` — still observes completion.
+        """
 
     def _register_invoke(self, handle: "InvokeHandle") -> None:
         """File a posted handle in the in-flight table; updates the gauge."""

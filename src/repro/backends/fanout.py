@@ -14,6 +14,13 @@ backpressure and — with a :class:`~repro.offload.qos.FairInflightWindow`
 — tenant fairness are enforced over the *union* of traffic, exactly as
 a single pipelined channel would. Completions on any inner transport
 free capacity for posts to any other.
+
+One loop, N connections: every inner TCP backend registers its socket
+with the process-wide reactor (:mod:`repro.backends.eventloop`), so a
+fan-out over N targets multiplexes N connections — receive parsing,
+coalescing deadlines, backstop pumps — on **one** thread instead of
+running N receiver threads. :meth:`stats` surfaces the shared loop's
+health alongside the per-inner counters.
 """
 
 from __future__ import annotations
@@ -110,9 +117,17 @@ class FanoutBackend(Backend):
 
     # -- introspection -----------------------------------------------------
     def stats(self) -> dict[str, Any]:
+        inner_stats = [inner.stats() for inner in self._inners]
+        # All reactor-driven inners share one loop; surface it once at
+        # the top level (each inner's copy is identical by construction).
+        reactor = next(
+            (s["reactor"] for s in inner_stats if s.get("reactor")), None
+        )
         return {
             "targets": len(self._inners),
-            "inner": [inner.stats() for inner in self._inners],
+            "receiver_threads": 0,
+            "reactor": reactor,
+            "inner": inner_stats,
         }
 
     def introspect_target(

@@ -65,6 +65,7 @@ from concurrent.futures import ThreadPoolExecutor
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Callable
 
+from repro.backends import eventloop
 from repro.backends._target_memory import HostedBuffers
 from repro.backends.base import Backend, InvokeHandle
 from repro.backends.tcp import (
@@ -128,6 +129,12 @@ DEFAULT_SLEEP_MIN = 50e-6
 #: Sleep cap of the backoff phase (seconds) — bounds wakeup latency
 #: after a long idle period.
 DEFAULT_SLEEP_MAX = 2e-3
+
+#: Reactor-backstop pump cadence while replies are flowing (seconds) —
+#: the completion latency an asyncio awaiter observes on shm.
+_BACKSTOP_MIN = 1e-3
+#: Backstop cadence cap while outstanding work is quiet.
+_BACKSTOP_MAX = 50e-3
 
 #: Segment header field offsets (see the module docstring's layout).
 _OFF_MAGIC = 0
@@ -1022,6 +1029,14 @@ class ShmBackend(Backend):
         self.invokes_posted = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Reactor backstop (see :meth:`_backstop_pump`): attached
+        #: lazily, and only pumping while done-callbacks are armed, so
+        #: the driven hot path never shares the CPU with a poller.
+        self._reactor: eventloop.Reactor | None = None
+        self._reactor_lock = threading.Lock()
+        self._backstop_timer: Any = None
+        self._backstop_interval = _BACKSTOP_MIN
+        self.backstop_pumps = 0
         self._wait_ready(startup_timeout)
         self.segment.client_pid = os.getpid()
         try:
@@ -1145,6 +1160,7 @@ class ShmBackend(Backend):
             else:
                 sink["error"] = error
                 sink["event"].set()
+        self._release_backstop()
 
     def _send_stall(self) -> BackendError | None:
         """Stop-callback while blocked on a full request ring.
@@ -1514,6 +1530,81 @@ class ShmBackend(Backend):
         effective = timeout if timeout is not None else self.op_timeout
         self._drive_until(handle._done, effective, f"invoke {handle.label}")
 
+    # -- reactor backstop --------------------------------------------------
+    def _callback_armed(self, handle: InvokeHandle) -> None:
+        """A done-callback was attached: make the driven client pollable.
+
+        The shm client is *driven* — replies are consumed by whoever
+        waits on them. A callback-only consumer (an asyncio awaiter
+        bridged through ``Future.__await__``) never enters ``drive``,
+        so nothing would pump the reply ring on its behalf. This arms a
+        self-rescheduling timer on the shared reactor that
+        opportunistically drains the ring until nothing is pending,
+        converting the pump into a reactor-registered pollable without
+        dedicating a thread to it.
+        """
+        with self._reactor_lock:
+            if self._closed or not self._alive:
+                return
+            if self._reactor is None:
+                self._reactor = eventloop.get_reactor()
+            if self._backstop_timer is None:
+                self._backstop_interval = _BACKSTOP_MIN
+                self._backstop_timer = self._reactor.call_later(
+                    self._backstop_interval, self._backstop_pump
+                )
+
+    def _backstop_pump(self) -> None:
+        """Reactor timer: drain whatever arrived, reschedule adaptively.
+
+        Never blocks the loop: the drive lock is taken opportunistically
+        (a pumping leader already completes handles for everyone) and
+        the pump itself only drains frames that are already readable.
+        Cadence tightens to ``_BACKSTOP_MIN`` while replies flow and
+        backs off toward ``_BACKSTOP_MAX`` while the outstanding work
+        is quiet; the timer disarms once nothing is pending (re-armed
+        by the next callback attachment).
+        """
+        with self._reactor_lock:
+            self._backstop_timer = None
+            if self._closed or not self._alive or self._reactor is None:
+                return
+        progressed = False
+        if self._pending_count() and self._drive_lock.acquire(blocking=False):
+            try:
+                before = self.bytes_received
+                self.backstop_pumps += 1
+                self._pump(0.0)
+                progressed = self.bytes_received != before
+            finally:
+                self._drive_lock.release()
+        with self._reactor_lock:
+            if (
+                self._closed
+                or not self._alive
+                or self._reactor is None
+                or self._backstop_timer is not None
+                or not self._pending_count()
+            ):
+                return
+            self._backstop_interval = (
+                _BACKSTOP_MIN if progressed
+                else min(self._backstop_interval * 2, _BACKSTOP_MAX)
+            )
+            self._backstop_timer = self._reactor.call_later(
+                self._backstop_interval, self._backstop_pump
+            )
+
+    def _release_backstop(self) -> None:
+        """Cancel the backstop and detach from the shared reactor."""
+        with self._reactor_lock:
+            timer, self._backstop_timer = self._backstop_timer, None
+            reactor, self._reactor = self._reactor, None
+        if timer is not None:
+            timer.cancel()
+        if reactor is not None:
+            eventloop.release_reactor(reactor)
+
     # -- memory ------------------------------------------------------------
     def _chunk_size(self) -> int:
         # Half the ring per frame: a bulk transfer never deadlocks
@@ -1611,6 +1702,11 @@ class ShmBackend(Backend):
             "pending_replies": self._pending_count(),
             "inflight": self.inflight_count,
             "inflight_limit": self.window.limit,
+            # Driven client: no receiver thread here either; the async
+            # bridge rides the shared reactor's backstop pump.
+            "receiver_threads": 0,
+            "backstop_pumps": self.backstop_pumps,
+            "backstop_armed": self._backstop_timer is not None,
         }
 
     def introspect_target(
@@ -1650,6 +1746,7 @@ class ShmBackend(Backend):
         self._closing = True
         if self._alive:
             self._fail_pending(BackendError("shm backend is shut down"))
+        self._release_backstop()
         if self._on_shutdown is not None:
             self._on_shutdown()
         self.segment.close()

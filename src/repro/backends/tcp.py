@@ -31,7 +31,18 @@ pool) while memory operations stay synchronous roundtrips.
 
 Frames are assembled with vectored I/O (``sendmsg``): large array
 payloads travel as ``memoryview`` parts straight from the arrays' own
-storage, never concatenated host-side.
+storage, never concatenated host-side. Small invoke frames take the
+**coalescing path** instead (:class:`~repro.backends.base.FrameCoalescer`):
+they accumulate into one ``sendmsg`` batch flushed on byte budget,
+frame count or a sub-millisecond deadline. A batch is just frames
+back-to-back on the stream — the server's frame-at-a-time decode loop
+is wire-compatible with both paths, unchanged.
+
+The client's inbound side is owned by the process-wide reactor
+(:mod:`repro.backends.eventloop`): the socket registers a read
+callback and frames are parsed incrementally on the shared loop
+thread. There is **no per-connection receiver thread** — fifty
+connections cost one loop, not fifty blocking readers.
 """
 
 from __future__ import annotations
@@ -39,7 +50,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import select
 import socket
 import struct
 import threading
@@ -48,8 +58,9 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from repro.backends import eventloop
 from repro.backends._target_memory import HostedBuffers
-from repro.backends.base import Backend, InvokeHandle
+from repro.backends.base import Backend, CoalescePolicy, FrameCoalescer, InvokeHandle
 from repro.errors import BackendError, OffloadTimeoutError, RemoteExecutionError
 from repro.ham.execution import build_invoke_parts, execute_message
 from repro.ham.functor import Functor
@@ -87,6 +98,11 @@ FRAME_OVERHEAD = _LEN.size + _FRAME_META
 
 #: Default size of the target-side worker pool (concurrent INVOKEs).
 DEFAULT_SERVER_WORKERS = 4
+
+#: Bytes pulled off the socket per reactor read callback. Bounded so
+#: one firehose connection cannot monopolize the shared loop; the
+#: level-triggered selector re-fires while data remains.
+_RECV_CHUNK = 256 * 1024
 
 
 def _sendmsg_all(sock: socket.socket, parts: list) -> None:
@@ -493,11 +509,21 @@ def spawn_local_server(
 class TcpBackend(Backend):
     """Client side of the TCP backend (one target).
 
-    A dedicated receiver thread owns the inbound side of the socket:
-    it reads frames, matches each reply to its request through the
-    correlation-id table, and completes the waiting handle — so replies
-    complete out of order and a soft timeout never desynchronizes the
-    stream (the frame is simply matched when it eventually arrives).
+    The inbound side of the socket is owned by the process-wide
+    reactor (:mod:`repro.backends.eventloop`): a read callback parses
+    frames incrementally on the shared loop thread, matches each reply
+    to its request through the correlation-id table, and completes the
+    waiting handle — so replies complete out of order and a soft
+    timeout never desynchronizes the stream (the frame is simply
+    matched when it eventually arrives). No thread is spawned per
+    connection; every ``TcpBackend`` in the process shares one loop.
+
+    The outbound side coalesces small invoke frames into one
+    ``sendmsg`` batch (see :class:`~repro.backends.base.FrameCoalescer`),
+    adapting to the observed in-flight depth: batches build under
+    pipelined load, single frames flush immediately when the caller is
+    latency-bound. Synchronous roundtrips and large payloads flush the
+    buffer first, so frame order on the stream is preserved.
 
     Parameters
     ----------
@@ -516,6 +542,13 @@ class TcpBackend(Backend):
         on the runtime sets this via :meth:`set_default_timeout`.
     connect_timeout:
         Deadline for establishing the connection and handshake.
+    batch:
+        Coalescing knobs: ``True``/``None`` for the adaptive defaults,
+        ``False`` to disable (every frame is its own send, the PR 4
+        wire behavior), or a dict of
+        :class:`~repro.backends.base.CoalescePolicy` overrides
+        (``max_bytes``, ``max_frames``, ``max_delay_us``,
+        ``idle_depth``).
     """
 
     name = "tcp"
@@ -528,6 +561,7 @@ class TcpBackend(Backend):
         *,
         op_timeout: float | None = None,
         connect_timeout: float = 10.0,
+        batch: Any = None,
     ) -> None:
         super().__init__()
         self.host_image = ProcessImage("tcp-host", catalog)
@@ -548,10 +582,20 @@ class TcpBackend(Backend):
         self.invokes_posted = 0
         self.bytes_sent = 0
         self.bytes_received = 0
-        self._receiver = threading.Thread(
-            target=self._recv_loop, name="tcp-receiver", daemon=True
-        )
-        self._receiver.start()
+        #: Partial-frame reassembly buffer, touched only on the loop.
+        self._rbuf = bytearray()
+        self._io_detached = False
+        self._reactor = eventloop.get_reactor()
+        policy = CoalescePolicy.from_option(batch)
+        self._coalescer: FrameCoalescer | None = None
+        if policy is not None:
+            self._coalescer = FrameCoalescer(
+                transmit=self._transmit_batch,
+                schedule=self._reactor.call_later,
+                policy=policy,
+                depth=self._pending_count,
+            )
+        self._reactor.register(self._sock, self._on_readable)
         try:
             # Handshake: fetch the server's catalog digest and compare, to
             # fail fast when host and target registered different
@@ -566,7 +610,7 @@ class TcpBackend(Backend):
         except BaseException:
             self._closing = True
             self._alive = False
-            self._sock.close()
+            self._teardown_io()
             raise
         #: Target->host clock mapping, estimated at connect by clock
         #: ping-pong (see :mod:`repro.telemetry.distributed`) and
@@ -630,8 +674,19 @@ class TcpBackend(Backend):
 
         A receive error or EOF means no outstanding operation can ever be
         matched again — they all inherit ``error`` instead of hanging.
+        Frames still sitting in the coalescing buffer can never be
+        delivered either: they are dropped and the queued byte count is
+        folded into the error every waiter sees.
         """
         self._alive = False
+        if self._coalescer is not None:
+            frames, queued = self._coalescer.discard()
+            if frames:
+                error = BackendError(
+                    f"{error}; dropped {frames} coalesced frame"
+                    f"{'s' if frames != 1 else ''} ({queued} bytes) still "
+                    "queued for send"
+                )
         with self._pending_lock:
             sinks = list(self._pending.values())
             self._pending.clear()
@@ -655,13 +710,34 @@ class TcpBackend(Backend):
             else:
                 sink["error"] = error
                 sink["event"].set()
+        self._teardown_io()
+
+    def _teardown_io(self) -> None:
+        """Detach from the reactor, close the socket, drop the loop ref.
+
+        Idempotent; safe from any thread including the loop itself
+        (a receive error tears down from inside the read callback).
+        """
+        if self._io_detached:
+            return
+        self._io_detached = True
+        self._reactor.unregister(self._sock)
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - close never fails on Linux
             pass
+        eventloop.release_reactor(self._reactor)
 
     def _send(self, op: int, corr: int, *parts) -> None:
-        """Send one frame, translating socket failures into BackendError."""
+        """Send one frame now, flushing any coalesced frames first.
+
+        The ordered path for synchronous operations and large
+        payloads: everything buffered ahead of this frame goes out
+        before it, so the stream never reorders around a roundtrip.
+        Socket failures are translated into :class:`BackendError`.
+        """
+        if self._coalescer is not None:
+            self._coalescer.flush("sync")
         try:
             with self._send_lock:
                 sent = _send_frame(self._sock, op, corr, *parts)
@@ -671,52 +747,125 @@ class TcpBackend(Backend):
             raise error from exc
         self.bytes_sent += sent
 
-    def _recv_loop(self) -> None:
-        """Receiver thread: owns framing, matches replies by id.
+    def _transmit_batch(self, parts: list[Any]) -> None:
+        """Coalescer sink: one scatter-gather send for a whole batch."""
+        nbytes = sum(len(part) for part in parts)
+        try:
+            with self._send_lock:
+                _sendmsg_all(self._sock, parts)
+        except OSError as exc:
+            error = BackendError(f"tcp send failed: {exc}")
+            self._fail_pending(error)
+            raise error from exc
+        self.bytes_sent += nbytes
 
-        Because only this thread reads the socket, a waiter's deadline
+    def _post_frame(self, op: int, corr: int, *parts) -> None:
+        """Send or buffer one invoke frame (the coalescing path).
+
+        Small frames are copied into the batch buffer — detaching them
+        from caller-owned array storage, since the flush may happen up
+        to the coalescing deadline later — and ride the next
+        ``sendmsg`` batch. Large frames keep the zero-copy
+        scatter-gather path, flushing the buffer first so stream order
+        is preserved.
+        """
+        coalescer = self._coalescer
+        body_len = sum(len(part) for part in parts)
+        if (
+            coalescer is None
+            or _FRAME_META + body_len >= coalescer.policy.max_bytes
+        ):
+            self._send(op, corr, *parts)
+            return
+        frame = (
+            _LEN.pack(_FRAME_META + body_len)
+            + bytes([op])
+            + _U64.pack(corr)
+            + b"".join(bytes(part) for part in parts)
+        )
+        coalescer.add([frame], len(frame))
+
+    def _on_readable(self) -> None:
+        """Reactor read callback: drain a chunk, dispatch complete frames.
+
+        Only the loop thread reads the socket, so a waiter's deadline
         expiring never consumes half a frame — soft timeouts leave the
         stream intact and the late reply is matched (or discarded) when
         it arrives. EOF and receive errors poison the backend and fail
         everything outstanding.
         """
+        try:
+            chunk = self._sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):  # pragma: no cover
+            return
+        except OSError as exc:
+            self._connection_lost(BackendError(f"tcp receive failed: {exc}"))
+            return
+        if not chunk:
+            self._connection_lost(self._eof_error())
+            return
+        self.bytes_received += len(chunk)
+        buf = self._rbuf
+        buf += chunk
+        offset = 0
+        size = len(buf)
         while True:
-            try:
-                if not select.select([self._sock], [], [], 0.1)[0]:
-                    if self._closing or not self._alive:
-                        return
-                    continue
-                # Telemetry phase ``offload.reply``: pulling one reply
-                # frame off the wire (select saw data, so this measures
-                # frame assembly — the pre-reply wait lives in
-                # ``offload.transport``). The receiver thread runs
-                # outside any trace context, so the span is closed under
-                # the reply's own (peeked) context when that trace is
-                # unsampled — the recorder gate then stages it with the
-                # trace instead of polluting the ring on the fast path.
-                reply_span = telemetry.span("offload.reply")
-                reply_span.__enter__()
-                try:
-                    op, corr, body = _recv_frame(
-                        self._sock, pending=self._pending_count
-                    )
-                except BaseException as exc:
-                    reply_span.__exit__(type(exc), exc, exc.__traceback__)
-                    raise
-                reply_span.set("bytes", len(body) + FRAME_OVERHEAD)
-                with trace_context.activate(_unsampled_reply_context(body)):
-                    reply_span.__exit__(None, None, None)
-            except (OSError, ValueError, BackendError) as exc:
-                if self._closing:
-                    return
-                if isinstance(exc, BackendError):
-                    error: BaseException = exc
-                else:
-                    error = BackendError(f"tcp receive failed: {exc}")
-                self._fail_pending(error)
+            if size - offset < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(buf, offset)
+            if length < _FRAME_META:
+                del buf[:offset]
+                self._connection_lost(BackendError(
+                    f"short frame: length {length} < op + correlation "
+                    f"header ({_FRAME_META} bytes)"
+                ))
                 return
-            self.bytes_received += len(body) + FRAME_OVERHEAD
+            if size - offset < _LEN.size + length:
+                break
+            start = offset + _LEN.size
+            payload = bytes(buf[start:start + length])
+            offset = start + length
+            op = payload[0]
+            (corr,) = _U64.unpack_from(payload, 1)
+            body = memoryview(payload)[_FRAME_META:]
+            # Telemetry phase ``offload.reply``: one reply frame pulled
+            # off the wire (the pre-reply wait lives in
+            # ``offload.transport``). The loop thread runs outside any
+            # trace context, so the span is closed under the reply's
+            # own (peeked) context when that trace is unsampled — the
+            # recorder gate then stages it with the trace instead of
+            # polluting the ring on the fast path.
+            reply_span = telemetry.span("offload.reply")
+            reply_span.__enter__()
+            reply_span.set("bytes", length + _LEN.size)
+            with trace_context.activate(_unsampled_reply_context(body)):
+                reply_span.__exit__(None, None, None)
             self._dispatch_reply(op, corr, body)
+        if offset:
+            del buf[:offset]
+
+    def _eof_error(self) -> BackendError:
+        """Describe an EOF precisely: partial frame bytes + orphaned ops."""
+        count = self._pending_count()
+        context = ""
+        if count:
+            context = (
+                f"; {count} pending operation{'s' if count != 1 else ''}"
+                " can no longer be matched"
+            )
+        if self._rbuf:
+            return BackendError(
+                f"connection closed mid-frame: {len(self._rbuf)} byte(s) "
+                f"of a partial frame received{context}"
+            )
+        return BackendError(f"connection closed by peer{context}")
+
+    def _connection_lost(self, error: BackendError) -> None:
+        """Loop-side connection teardown (EOF or receive error)."""
+        if self._closing or self._closed:
+            self._teardown_io()  # planned close: nothing left to fail
+            return
+        self._fail_pending(error)
 
     def _dispatch_reply(self, op: int, corr: int, body: memoryview) -> None:
         """Complete the expectation filed under ``corr`` (any order)."""
@@ -810,7 +959,7 @@ class TcpBackend(Backend):
                 self._pending[handle.correlation_id] = ("invoke", handle)
             self._register_invoke(handle)
             try:
-                self._send(OP_INVOKE, handle.correlation_id, *parts)
+                self._post_frame(OP_INVOKE, handle.correlation_id, *parts)
             except BaseException as exc:
                 # The handle is already registered: completing it with
                 # the error frees its window slot (a bare re-raise would
@@ -854,6 +1003,13 @@ class TcpBackend(Backend):
             "pending_replies": self._pending_count(),
             "send_queue_bytes": depths["send_queue"],
             "recv_queue_bytes": depths["recv_queue"],
+            # The channel runs on the shared reactor: no per-connection
+            # receiver thread exists (introspection asserts this).
+            "receiver_threads": 0,
+            "reactor": self._reactor.stats(),
+            "batch": (
+                self._coalescer.stats() if self._coalescer is not None else None
+            ),
         }
 
     def introspect_target(
@@ -879,8 +1035,13 @@ class TcpBackend(Backend):
         if handle.completed:
             return
         self._check_alive()
+        # A waiter implies latency-bound traffic: anything coalescing
+        # (possibly this very handle's frame) goes out now rather than
+        # at the batching deadline.
+        if self._coalescer is not None:
+            self._coalescer.flush("drive")
         if not blocking:
-            # The receiver thread completes handles; nothing to pump here.
+            # The reactor completes handles; nothing to pump here.
             return
         effective = timeout if timeout is not None else self.op_timeout
         if not handle.wait_event(effective):
@@ -952,6 +1113,15 @@ class TcpBackend(Backend):
         if self._closed:
             return
         self._closed = True
+        if self._alive and self._coalescer is not None:
+            # Drain the coalescing buffer before the shutdown exchange:
+            # a half-flushed batch must reach the wire (and its replies
+            # arrive, drained by the server ahead of the shutdown ack)
+            # rather than being stranded.
+            try:
+                self._coalescer.flush("shutdown")
+            except BackendError:
+                pass  # transmit failed; _fail_pending already ran
         if self._alive:
             try:
                 # The server drains its worker pool before acknowledging,
@@ -964,12 +1134,17 @@ class TcpBackend(Backend):
                 pass  # server already gone or wedged
         self._closing = True
         self._alive = False
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - close never fails on Linux
-            pass
-        if self._receiver.is_alive():
-            self._receiver.join(timeout=5.0)
+        # Anything still expected or buffered can never complete now;
+        # fail it (with the queued-bytes detail) instead of stranding
+        # waiters on a closed connection.
+        pending_frames = (
+            self._coalescer.pending()[0] if self._coalescer is not None else 0
+        )
+        if self._pending_count() or pending_frames:
+            self._fail_pending(
+                BackendError("tcp backend shut down with operations outstanding")
+            )
+        self._teardown_io()
         if self._on_shutdown is not None:
             self._on_shutdown()
 

@@ -281,6 +281,27 @@ def report_shm(quick: bool) -> Report:
     return text, {"shm": data}
 
 
+def report_saturation(quick: bool) -> Report:
+    depths = (64, 256, 1024) if quick else (64, 256, 1024, 4096, 10_000)
+    data = exp.measure_saturation(depths=depths)
+    rows = []
+    for depth in depths:
+        tcp = data["tcp"][f"depth_{depth}"]
+        shm = data["shm"][f"depth_{depth}"]
+        rows.append({
+            "depth": f"{depth:,}",
+            "tcp unbatched": f"{tcp['unbatched_rate']:,.0f}/s",
+            "tcp batched": f"{tcp['batched_rate']:,.0f}/s",
+            "batch speedup": f"{tcp['batch_speedup']:.2f}x",
+            "shm": f"{shm['rate']:,.0f}/s",
+        })
+    text = render_table(
+        rows,
+        title="S2 — pipelined empty-kernel invoke rate vs in-flight depth",
+    )
+    return text, {"saturation": data}
+
+
 EXPERIMENTS: dict[str, callable] = {
     "fig9": report_fig9,
     "fig10": report_fig10,
@@ -292,6 +313,7 @@ EXPERIMENTS: dict[str, callable] = {
     "telemetry": report_telemetry,
     "qos": report_qos,
     "shm": report_shm,
+    "saturation": report_saturation,
 }
 
 

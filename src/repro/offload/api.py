@@ -75,6 +75,7 @@ def init(
     telemetry: "bool | dict | TelemetryConfig" = False,
     window: int | None = None,
     qos: "QoSConfig | None" = None,
+    **backend_options: Any,
 ) -> Runtime:
     """Initialize the process-global runtime with ``backend``.
 
@@ -83,7 +84,13 @@ def init(
     ``"local"``, ``"tcp"`` or ``"shm"`` — resolved through
     :func:`repro.backends.create_backend` (the string forms spawn and
     connect to a target server in one call, e.g.
-    ``offload.init(backend="shm")``).
+    ``offload.init(backend="shm")``). With a short name, extra keyword
+    arguments are forwarded to the backend constructor — e.g.
+    ``offload.init("tcp", batch=True)`` enables adaptive frame
+    coalescing, ``batch={"max_delay_us": 500}`` tunes it, and
+    ``workers=8`` sizes the spawned server's pool. A constructed
+    backend carries its own options; passing extras alongside one is an
+    error.
 
     ``policy`` optionally installs a
     :class:`~repro.offload.resilience.ResiliencePolicy` (deadlines,
@@ -129,7 +136,14 @@ def init(
     if isinstance(backend, str):
         from repro.backends import create_backend
 
-        backend = create_backend(backend)
+        backend = create_backend(backend, **backend_options)
+    elif backend_options:
+        raise OffloadError(
+            "backend options "
+            f"({', '.join(sorted(backend_options))}) only apply to the "
+            "string form of init; pass them to the backend constructor "
+            "instead"
+        )
     config = TelemetryConfig.coerce(telemetry)
     if config.enabled:
         recorder = _telemetry.enable(config.capacity)

@@ -10,12 +10,20 @@ instead of blocking forever on a silent target it raises
 :class:`~repro.errors.OffloadTimeoutError`. A timed-out future stays
 *pending* — the reply may still arrive, and a later ``get`` (with a new
 deadline or without one) can pick it up.
+
+Futures are also awaitable: ``await future`` inside an asyncio
+coroutine suspends the task (not the thread) until the reply lands.
+The bridge is callback-driven when the backend supports it — the
+reactor thread completes the handle, the attached done-callback pokes
+the event loop via ``call_soon_threadsafe`` — and falls back to a
+short exponential poll for handles without completion callbacks.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
-from typing import Any, Protocol
+from typing import Any, Generator, Protocol
 
 from repro.errors import FutureError, OffloadTimeoutError
 from repro.telemetry import context as trace_context
@@ -122,6 +130,50 @@ class Future:
         if self._error is not None:
             raise self._error
         return self._value
+
+    def __await__(self) -> Generator[Any, None, Any]:
+        """Suspend the current asyncio task until the result is ready.
+
+        The blocking semantics of :meth:`get` are preserved — the same
+        settle path runs, remote exceptions re-raise, the value is
+        cached — but the wait parks only the task: the event loop keeps
+        running other coroutines while the reply is in flight, so one
+        loop can hold thousands of offloads open concurrently.
+
+        Completion-capable handles (every transport backend) wake the
+        loop exactly once via a done-callback; handles without
+        ``add_done_callback`` are polled with an exponential backoff
+        capped at 5 ms. Cancelling the awaiting task leaves the future
+        *pending*, exactly like a timed-out ``get`` — a later ``get``
+        or ``await`` can still collect the reply.
+        """
+        if not self._done and not self.test():
+            loop = asyncio.get_running_loop()
+            attach = getattr(self._handle, "add_done_callback", None)
+            if attach is not None:
+                woken = loop.create_future()
+
+                def _wake() -> None:
+                    if not woken.done():
+                        woken.set_result(None)
+
+                def _on_done(_handle: Any) -> None:
+                    # Runs on the completing thread (reactor / driver);
+                    # a closed loop means the application is tearing
+                    # down and nobody is left to wake.
+                    if not loop.is_closed():
+                        loop.call_soon_threadsafe(_wake)
+
+                attach(_on_done)
+                yield from woken.__await__()
+            else:
+                delay = 50e-6
+                while not self.test():
+                    yield from asyncio.sleep(delay).__await__()
+                    delay = min(delay * 2, 5e-3)
+        # The handle is complete: get() settles without blocking and
+        # re-raises a remote failure, identical to the sync surface.
+        return self.get()
 
     def _settle(self, timeout: float | None = None) -> None:
         if self._handle is None:

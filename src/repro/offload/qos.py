@@ -489,6 +489,14 @@ class FairInflightWindow(InflightWindow):
         progress: Callable[[], None] | None = None,
         label: str = "",
     ) -> None:
+        """Reserve one slot, queueing under the tenant's DRR share.
+
+        ``timeout`` arrives from the backend's admission path already
+        clamped to the offload's remaining budget (the ambient
+        :func:`~repro.backends.base.window_budget` scope set by
+        ``Runtime.sync``), so a retried offload parks here only for
+        what is left of its overall deadline — never a fresh one.
+        """
         if progress is not None:
             # Single-threaded backend driving its own completions: the
             # caller is the only producer, fairness is vacuous.

@@ -30,6 +30,7 @@ from repro.errors import (
     OffloadTimeoutError,
     RemoteExecutionError,
 )
+from repro.backends.base import window_budget
 from repro.ham.functor import Functor
 from repro.offload.buffer import BufferPtr
 from repro.offload.future import CompletedHandle, Future
@@ -334,12 +335,50 @@ class Runtime:
         *,
         idempotent: bool = False,
     ) -> Any:
-        """The retry/failover loop of :meth:`sync` (trace already active)."""
+        """The retry/failover loop of :meth:`sync` (trace already active).
+
+        ``deadline`` is the budget for the *whole* resilient operation,
+        not per attempt: the absolute expiry is computed once, every
+        retry gets only the time still remaining, and the window-slot
+        wait inside the backend is bounded by the same budget (via
+        :func:`~repro.backends.base.window_budget`). Previously each
+        retry re-armed the full deadline — three retries against a full
+        window could stall a 1 s policy for 4 s.
+        """
         policy = self.policy
         node = target
+        expiry = None if deadline is None else time.monotonic() + deadline
+        with window_budget(expiry):
+            return self._attempt_loop(
+                functor, expiry, attempts, target, tried, last_error,
+                node=node, idempotent=idempotent,
+            )
+
+    def _attempt_loop(
+        self,
+        functor: Functor,
+        expiry: float | None,
+        attempts: int,
+        target: NodeId,
+        tried: list[NodeId],
+        last_error: Exception | None,
+        *,
+        node: NodeId,
+        idempotent: bool,
+    ) -> Any:
+        policy = self.policy
         for attempt in range(attempts):
             if attempt:
                 self._sleep(policy.delay_for(attempt - 1, self._retry_rng))
+                if expiry is not None and time.monotonic() >= expiry:
+                    # The backoff sleep spent the rest of the budget: a
+                    # further attempt would be posted with no time left
+                    # to wait for its reply.
+                    last_error = OffloadTimeoutError(
+                        f"operation budget exhausted after {attempt} "
+                        f"attempt(s) of {functor.type_name!r}"
+                    )
+                    break
                 self._retries += 1
                 telemetry.count("offload.retries")
                 telemetry.event(
@@ -370,6 +409,9 @@ class Runtime:
                 tried.append(target)
                 last_error = exc
                 continue
+            # Posting may itself have waited (window full): the reply
+            # wait gets what is left of the budget, not a fresh deadline.
+            remaining = None if expiry is None else expiry - time.monotonic()
             try:
                 if (
                     self._hedger is not None
@@ -382,10 +424,10 @@ class Runtime:
                     # handling: transport errors out of await_hedged land
                     # in the same except arms as a plain get.
                     value = self._hedger.await_hedged(
-                        self, future, functor, target, deadline
+                        self, future, functor, target, remaining
                     )
                 else:
-                    value = future.get(timeout=deadline)
+                    value = future.get(timeout=remaining)
             except RemoteExecutionError:
                 # The target executed the functor and the *application*
                 # raised: the transport is healthy, and retrying a

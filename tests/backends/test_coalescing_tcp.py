@@ -1,0 +1,136 @@
+"""Adaptive coalescing on the real TCP wire.
+
+The batching layer must be invisible to callers: same values, same
+errors, same shutdown guarantees — while the transport stats prove the
+batches actually happened and that no receiver thread exists anymore
+(the reactor owns every socket).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.backends import TcpBackend, spawn_local_server
+from repro.errors import BackendError
+from repro.ham import f2f
+from repro.offload import Runtime
+
+from tests import apps
+
+#: A policy that never flushes on its own once the pipeline is deep:
+#: effectively infinite byte/frame/delay budgets, zero idle threshold.
+STUCK = {"max_bytes": 1 << 30, "max_frames": 1 << 20,
+         "max_delay_us": 60_000_000, "idle_depth": 0}
+
+
+def make_runtime(batch):
+    process, address = spawn_local_server()
+    backend = TcpBackend(
+        address, batch=batch, on_shutdown=lambda: process.join(timeout=5)
+    )
+    return process, Runtime(backend)
+
+
+class TestBatchedSemantics:
+    def test_pipelined_values_identical(self):
+        process, runtime = make_runtime(batch=True)
+        try:
+            futures = [runtime.async_(1, f2f(apps.add, i, i)) for i in range(100)]
+            assert [f.get() for f in futures] == [2 * i for i in range(100)]
+            batch = runtime.backend.stats()["batch"]
+            assert batch["frames_coalesced"] == 100
+            assert batch["batches"] <= 100  # at least some coalescing
+        finally:
+            runtime.shutdown()
+            if process.is_alive():  # pragma: no cover - cleanup safety
+                process.terminate()
+
+    def test_get_drains_stuck_batch(self):
+        """A blocking get must flush the buffer it is waiting behind."""
+        process, runtime = make_runtime(batch=STUCK)
+        try:
+            future = runtime.async_(1, f2f(apps.add, 20, 22))
+            # Nothing trips the budgets: the frame sits in the buffer
+            # until the drive path flushes it on our behalf.
+            assert future.get(timeout=10.0) == 42
+            reasons = runtime.backend.stats()["batch"]["flush_reasons"]
+            assert reasons.get("drive") or reasons.get("deadline")
+        finally:
+            runtime.shutdown()
+            if process.is_alive():  # pragma: no cover - cleanup safety
+                process.terminate()
+
+    def test_no_receiver_threads(self):
+        process, runtime = make_runtime(batch=True)
+        try:
+            assert runtime.sync(1, f2f(apps.add, 1, 1)) == 2
+            stats = runtime.backend.stats()
+            assert stats["receiver_threads"] == 0
+            assert stats["reactor"]["alive"]
+            assert stats["reactor"]["registered_fds"] >= 1
+            names = [t.name for t in threading.enumerate()]
+            assert not any("tcp-receiver" in name for name in names)
+            assert any("reactor" in name for name in names)
+        finally:
+            runtime.shutdown()
+            if process.is_alive():  # pragma: no cover - cleanup safety
+                process.terminate()
+
+    def test_batch_disabled_still_works(self):
+        process, runtime = make_runtime(batch=False)
+        try:
+            assert runtime.sync(1, f2f(apps.add, 2, 2)) == 4
+            assert runtime.backend.stats()["batch"] is None
+        finally:
+            runtime.shutdown()
+            if process.is_alive():  # pragma: no cover - cleanup safety
+                process.terminate()
+
+
+class TestShutdownDrain:
+    def test_dead_peer_reports_stranded_batch(self):
+        """Pending futures must learn how many frames never hit the wire."""
+        process, runtime = make_runtime(batch=STUCK)
+        backend = runtime.backend
+        futures = [runtime.async_(1, f2f(apps.add, i, 1)) for i in range(3)]
+        assert backend._coalescer.pending()[0] == 3  # all stuck in the buffer
+        process.terminate()
+        process.join(timeout=5)
+        with pytest.raises(BackendError, match=r"dropped 3 coalesced frames"):
+            futures[0].get(timeout=10.0)
+        for future in futures[1:]:
+            with pytest.raises(BackendError, match=r"\d+ bytes.*queued for send"):
+                future.get(timeout=10.0)
+        # Shutdown after the failure must stay clean.
+        runtime.shutdown()
+
+    def test_clean_shutdown_flushes_buffer(self):
+        """Runtime.shutdown never strands a half-flushed batch."""
+        process, runtime = make_runtime(batch=STUCK)
+        backend = runtime.backend
+        future = runtime.async_(1, f2f(apps.add, 1, 1))
+        assert backend._coalescer.pending()[0] == 1
+        assert future.get(timeout=10.0) == 2
+        runtime.shutdown()
+        assert backend._coalescer.pending() == (0, 0)
+        if process.is_alive():  # pragma: no cover - cleanup safety
+            process.terminate()
+
+
+class TestIdleLatencyPath:
+    def test_single_offload_flushes_immediately(self):
+        """Depth <= idle_depth: no 200 µs tax on a lone request."""
+        process, runtime = make_runtime(batch=True)
+        try:
+            start = time.monotonic()
+            assert runtime.sync(1, f2f(apps.add, 1, 2)) == 3
+            # Generous bound: the point is that nothing waited for a
+            # coalescing deadline timer chain across 1 RTT.
+            assert time.monotonic() - start < 2.0
+            reasons = runtime.backend.stats()["batch"]["flush_reasons"]
+            assert reasons.get("idle", 0) >= 1
+        finally:
+            runtime.shutdown()
+            if process.is_alive():  # pragma: no cover - cleanup safety
+                process.terminate()

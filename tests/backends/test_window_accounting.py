@@ -65,18 +65,20 @@ class TestTcpBackendAccounting:
         backend = TcpBackend(address, on_shutdown=lambda: process.join(5.0))
         backend.set_inflight_limit(WINDOW)
         try:
-            real_send = backend._send
+            real_post = backend._post_frame
 
             def refuse(op, corr, *parts):
                 raise BackendError("injected send failure")
 
-            backend._send = refuse
+            # _post_frame is the seam every invoke frame crosses on its
+            # way to the wire (coalesced or direct).
+            backend._post_frame = refuse
             for _ in range(FLOOD):
                 with pytest.raises(BackendError):
                     backend.post_invoke(1, f2f(apps.add, 1, 2))
                 assert backend.window.in_flight == 0
                 assert backend._pending_count() == 0
-            backend._send = real_send
+            backend._post_frame = real_post
             # Capacity intact: more invokes than the window can hold at
             # once all round-trip (a leaked slot would deadlock here).
             handles = [

@@ -1,0 +1,151 @@
+"""One deadline, one budget: the resilient sync path must not re-arm
+the full policy deadline on every retry or window wait.
+
+Regression tests for the budget fix: ``Runtime.sync`` computes the
+absolute expiry once, threads the *remaining* time into each attempt's
+reply wait, and scopes window-slot waits to the same instant via
+:func:`repro.backends.base.window_budget`.
+"""
+
+import time
+
+import pytest
+
+from repro.backends import LocalBackend
+from repro.backends.base import window_budget
+from repro.errors import OffloadTimeoutError
+from repro.ham import f2f
+from repro.offload import Runtime
+from repro.offload.resilience import ResiliencePolicy
+
+from tests import apps
+
+
+class _NeverDone:
+    """A handle whose reply never arrives; records the waits it got."""
+
+    correlation_id = 0
+
+    def __init__(self, waits):
+        self._waits = waits
+
+    def test(self):
+        return False
+
+    def wait(self, timeout=None):
+        self._waits.append(timeout)
+        time.sleep(0.05)
+        raise OffloadTimeoutError("reply never arrives")
+
+
+class _StallingBackend(LocalBackend):
+    """Posts succeed; every reply wait times out."""
+
+    def __init__(self):
+        super().__init__()
+        self.waits: list[float | None] = []
+
+    def post_invoke(self, node, functor):
+        return _NeverDone(self.waits)
+
+
+class TestRetryBudget:
+    def test_retries_share_one_deadline(self):
+        deadline = 0.4
+        policy = ResiliencePolicy(
+            deadline=deadline, max_retries=10, failover=False,
+            backoff_base=1e-4, backoff_max=1e-3, jitter=0.0,
+            degraded_after=1, down_after=1000,
+        )
+        backend = _StallingBackend()
+        runtime = Runtime(backend, policy=policy)
+        try:
+            start = time.monotonic()
+            with pytest.raises(OffloadTimeoutError):
+                runtime.sync(1, f2f(apps.empty_kernel), idempotent=True)
+            elapsed = time.monotonic() - start
+        finally:
+            runtime.shutdown()
+        # The whole resilient operation fits in roughly one deadline —
+        # with per-attempt re-arming, 10 retries would take ~4 s.
+        assert elapsed < 2 * deadline
+        # Each attempt saw strictly less budget than the one before.
+        assert backend.waits, "no attempt ever waited"
+        assert backend.waits[0] <= deadline + 0.01
+        for earlier, later in zip(backend.waits, backend.waits[1:]):
+            assert later < earlier
+
+    def test_without_deadline_waits_stay_unbounded(self):
+        policy = ResiliencePolicy(
+            max_retries=2, failover=False,
+            backoff_base=1e-4, backoff_max=1e-3, jitter=0.0,
+            degraded_after=1, down_after=1000,
+        )
+        backend = _StallingBackend()
+        runtime = Runtime(backend, policy=policy)
+        try:
+            with pytest.raises(OffloadTimeoutError):
+                runtime.sync(1, f2f(apps.empty_kernel), idempotent=True)
+        finally:
+            runtime.shutdown()
+        # No policy deadline: every attempt waits without a timeout,
+        # exactly the pre-budget behavior.
+        assert backend.waits == [None, None, None]
+
+
+class TestWindowBudget:
+    def test_budget_bounds_window_wait(self):
+        backend = LocalBackend()
+        try:
+            backend.set_inflight_limit(1)
+            backend.window.acquire()  # occupy the only slot
+            start = time.monotonic()
+            with window_budget(time.monotonic() + 0.1):
+                with pytest.raises(OffloadTimeoutError):
+                    backend._admit_invoke(label="probe")
+            elapsed = time.monotonic() - start
+            # The static window timeout is None (wait forever): only
+            # the scoped budget can have bounded this.
+            assert 0.05 < elapsed < 1.0
+        finally:
+            backend.window.cancel()
+            backend.shutdown()
+
+    def test_exhausted_budget_fails_fast(self):
+        backend = LocalBackend()
+        try:
+            backend.set_inflight_limit(1)
+            backend.window.acquire()
+            start = time.monotonic()
+            with window_budget(time.monotonic() - 0.01):
+                with pytest.raises(OffloadTimeoutError, match="budget exhausted"):
+                    backend._admit_invoke(label="probe")
+            assert time.monotonic() - start < 0.05
+        finally:
+            backend.window.cancel()
+            backend.shutdown()
+
+    def test_budget_tighter_than_static_timeout_wins(self):
+        backend = LocalBackend()
+        try:
+            backend.set_inflight_limit(1)
+            backend.set_window_timeout(30.0)
+            backend.window.acquire()
+            start = time.monotonic()
+            with window_budget(time.monotonic() + 0.1):
+                with pytest.raises(OffloadTimeoutError):
+                    backend._admit_invoke(label="probe")
+            assert time.monotonic() - start < 1.0
+        finally:
+            backend.window.cancel()
+            backend.shutdown()
+
+    def test_no_scope_is_a_no_op(self):
+        backend = LocalBackend()
+        try:
+            with window_budget(None):
+                assert backend.window.in_flight == 0
+                backend._admit_invoke(label="probe")
+            backend.window.cancel()
+        finally:
+            backend.shutdown()
