@@ -1,0 +1,67 @@
+"""Experiment T2 — TSDB sampler overhead on the offload path.
+
+The time-series sampler must be cheap enough to leave on in
+production: the acceptance bar is <= 2% added round-trip latency with
+the sampler ticking at its default 1 s interval versus telemetry alone.
+The experiment measures TCP round trips of a representative
+millisecond-scale kernel with the event recorder enabled in both
+modes; the ``tsdb_on`` mode additionally installs the sampler, attaches
+the runtime (so scoreboard refreshes run too), and starts the thread —
+exactly what ``offload.init(telemetry={"tsdb": True})`` wires up.
+
+The gate uses the overhead *ratio*, which divides out machine speed —
+the absolute means in the committed baseline are informational. The
+sampler does all its work on its own daemon thread, so a breach here
+means sampling cost leaked onto the invoke path (per-invoke hooks or
+registry lock contention), not that a tick got slower.
+"""
+
+import pytest
+
+from repro.bench.experiments import measure_tsdb_overhead
+from repro.bench.tables import format_time, render_table
+
+OVERHEAD_BUDGET = 1.02  # <= 2% with the 1 s sampler on, per the acceptance bar
+
+_MODES = (
+    ("tsdb_off", "telemetry, no sampler"),
+    ("tsdb_on", "telemetry + tsdb sampler (1 s)"),
+)
+
+
+@pytest.fixture(scope="module")
+def overhead_data():
+    data = measure_tsdb_overhead(invokes=100)
+    if data["overhead_tsdb_on"] > OVERHEAD_BUDGET:
+        # one retry absorbs scheduler noise on the gated ratio
+        data = measure_tsdb_overhead(invokes=100)
+    return data
+
+
+@pytest.fixture(scope="module")
+def overhead_report(report, overhead_data):
+    rows = [
+        {"mode": label,
+         "round trip": format_time(overhead_data[f"{mode}_mean_us"] / 1e6),
+         "vs tsdb off": (
+             f"{(overhead_data['overhead_tsdb_on'] - 1.0) * 100:+.1f}%"
+             if mode == "tsdb_on" else "-"
+         )}
+        for mode, label in _MODES
+    ]
+    text = render_table(
+        rows, title="T2 — TSDB sampler overhead (TCP round trip)"
+    )
+    report("tsdb_overhead", text)
+    return rows
+
+
+class TestTsdbOverhead:
+    def test_sampler_within_budget(self, overhead_data, overhead_report):
+        """The acceptance criterion: the 1 s sampler costs <= 2% of the
+        sampler-free round trip."""
+        assert overhead_data["overhead_tsdb_on"] <= OVERHEAD_BUDGET
+
+    def test_both_modes_measured(self, overhead_data):
+        for mode, _label in _MODES:
+            assert overhead_data[f"{mode}_mean_us"] > 0.0

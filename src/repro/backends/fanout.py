@@ -29,7 +29,12 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.backends.base import Backend, InflightWindow, InvokeHandle
+from repro.backends.base import (
+    Backend,
+    InflightWindow,
+    InvokeHandle,
+    normalize_target_stats,
+)
 from repro.errors import BackendError
 from repro.offload.buffer import BufferPtr
 from repro.offload.node import HOST_NODE, NodeDescriptor, NodeId
@@ -129,6 +134,24 @@ class FanoutBackend(Backend):
             "reactor": reactor,
             "inner": inner_stats,
         }
+
+    def per_target_stats(self) -> dict[NodeId, dict[str, Any]]:
+        """One scoreboard vector per member, keyed by outer node id.
+
+        This is the TSDB scoreboard's per-target feed: each inner's
+        ``stats()`` normalized onto ``in_flight`` / ``queue_bytes`` /
+        ``ring_fill``, so ``target.*.<node>`` series exist for every
+        member even while only some are taking traffic.
+        """
+        table: dict[NodeId, dict[str, Any]] = {}
+        for index, inner in enumerate(self._inners):
+            try:
+                vector = normalize_target_stats(inner.stats())
+            except Exception:  # noqa: BLE001 - observer must not throw
+                continue
+            if vector:
+                table[index + 1] = vector
+        return table
 
     def introspect_target(
         self, timeout: float | None = None

@@ -247,6 +247,10 @@ class FaultInjectingBackend(Backend):
     def set_default_timeout(self, seconds: float | None) -> None:
         self.inner.set_default_timeout(seconds)
 
+    def per_target_stats(self) -> dict[NodeId, dict[str, Any]]:
+        """Scoreboard feed comes from the real transport (never faulted)."""
+        return self.inner.per_target_stats()
+
     def stats(self) -> dict[str, Any]:
         counts: dict[str, int] = {}
         for event in self.fault_log:

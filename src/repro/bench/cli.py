@@ -198,6 +198,26 @@ def report_telemetry(quick: bool) -> Report:
     return text, {"overhead": data}
 
 
+def report_tsdb(quick: bool) -> Report:
+    data = exp.measure_tsdb_overhead(invokes=40 if quick else 100)
+    rows = [
+        {"mode": label,
+         "round trip": format_time(data[f"{mode}_mean_us"] / 1e6),
+         "vs tsdb off": (
+             f"{(data['overhead_tsdb_on'] - 1.0) * 100:+.1f}%"
+             if mode == "tsdb_on" else "-"
+         )}
+        for mode, label in (
+            ("tsdb_off", "telemetry, no sampler"),
+            ("tsdb_on", "telemetry + tsdb sampler (1 s)"),
+        )
+    ]
+    text = render_table(
+        rows, title="T2 — TSDB sampler overhead (TCP round trip)"
+    )
+    return text, {"overhead": data}
+
+
 def report_qos(quick: bool) -> Report:
     data = exp.measure_qos(
         premium_ops=30 if quick else 80,
@@ -311,6 +331,7 @@ EXPERIMENTS: dict[str, callable] = {
     "scaling": report_scaling,
     "pipeline": report_pipeline,
     "telemetry": report_telemetry,
+    "tsdb": report_tsdb,
     "qos": report_qos,
     "shm": report_shm,
     "saturation": report_saturation,

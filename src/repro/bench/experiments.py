@@ -53,6 +53,7 @@ __all__ = [
     "measure_switch_contention",
     "measure_table4",
     "measure_telemetry_overhead",
+    "measure_tsdb_overhead",
 ]
 
 FIG10_MAX_SIZE = 256 * MIB
@@ -655,6 +656,68 @@ def measure_telemetry_overhead(
         )
     results["overhead_flight_on"] = (
         results["disabled_mean_us"] / results["flight_off_mean_us"]
+    )
+    results["invokes"] = float(invokes)
+    results["kernel_seconds"] = kernel_seconds
+    return results
+
+
+def measure_tsdb_overhead(
+    invokes: int = 100, *, kernel_seconds: float = 0.01, warmup: int = 20
+) -> dict[str, float]:
+    """T2: TSDB sampler overhead on the TCP round trip.
+
+    Measures the mean ``sync`` round trip of the same representative
+    millisecond-scale kernel as :func:`measure_telemetry_overhead`, with
+    the event recorder enabled in both modes, and compares telemetry
+    alone (``tsdb_off``) against telemetry plus the in-process
+    time-series sampler ticking at its production 1 s interval with the
+    runtime attached (``tsdb_on``, as
+    ``offload.init(telemetry={"tsdb": True})`` configures it).
+
+    The headline metric is the ``overhead_tsdb_on`` ratio — the
+    acceptance bar is <= 2%. The sampler runs on its own daemon thread
+    and each tick is one registry snapshot plus one scoreboard refresh,
+    so on a 10 ms kernel the steady-state cost should be far below the
+    bar; the gate exists to catch a regression that moves sampling work
+    onto the offload path (per-invoke hooks, lock contention on the
+    registry).
+    """
+    from repro.telemetry import recorder as telemetry_recorder
+    from repro.telemetry.tsdb import install_tsdb
+    from repro.workloads.kernels import sleep_kernel
+
+    results: dict[str, float] = {}
+    for mode, sampler_on in (("tsdb_off", False), ("tsdb_on", True)):
+        telemetry_recorder.disable()
+        tsdb = None
+        recorder = telemetry_recorder.enable()
+        try:
+            if sampler_on:
+                tsdb = install_tsdb(recorder, interval=1.0)
+            process, address = spawn_local_server()
+            backend = TcpBackend(
+                address, on_shutdown=lambda p=process: p.join(timeout=10)
+            )
+            runtime = Runtime(backend)
+            if tsdb is not None:
+                tsdb.attach_runtime(runtime)
+                tsdb.start()
+            for _ in range(warmup):
+                runtime.sync(1, f2f(sleep_kernel, 0.0))
+            start = time.perf_counter()
+            for _ in range(invokes):
+                runtime.sync(1, f2f(sleep_kernel, kernel_seconds))
+            elapsed = time.perf_counter() - start
+            runtime.shutdown()
+        finally:
+            if tsdb is not None:
+                tsdb.stop()
+                recorder.tsdb = None
+            telemetry_recorder.disable()
+        results[f"{mode}_mean_us"] = elapsed / invokes * 1e6
+    results["overhead_tsdb_on"] = (
+        results["tsdb_on_mean_us"] / results["tsdb_off_mean_us"]
     )
     results["invokes"] = float(invokes)
     results["kernel_seconds"] = kernel_seconds

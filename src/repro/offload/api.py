@@ -123,7 +123,11 @@ def init(
         unsampled) — see :mod:`repro.telemetry.sampling`;
       * ``slo_enabled`` / ``slos`` configure burn-rate SLO monitoring
         whose breaches degrade ``/healthz`` — see
-        :mod:`repro.telemetry.slo`.
+        :mod:`repro.telemetry.slo`;
+      * ``tsdb`` (``True``, or a dict with ``interval`` / ``retention``
+        / ``max_series`` / ``probe``) installs the in-process
+        time-series store, per-target scoreboard and median/MAD anomaly
+        detector — see :mod:`repro.telemetry.tsdb`.
 
     Raises
     ------
@@ -164,6 +168,16 @@ def init(
                 emit=recorder.force_event,
                 metrics=recorder.metrics,
             )
+        if config.tsdb:
+            from repro.telemetry.tsdb import install_tsdb
+
+            install_tsdb(
+                recorder,
+                interval=config.tsdb_interval,
+                retention=config.tsdb_retention,
+                max_series=config.tsdb_max_series,
+                probe=config.tsdb_probe,
+            )
         if config.metrics_port is not None:
             _metrics_server = MetricsServer(
                 _full_snapshot_fn(recorder),
@@ -177,6 +191,13 @@ def init(
         # the recorder itself has been noting events since import.
         _flightrecorder.configure(config.crash_dir)
     _runtime = Runtime(backend, policy=policy, window=window, qos=qos)
+    if config.enabled and config.tsdb:
+        # Started only now: the scoreboard needs the runtime's backend
+        # for its per-target stats before the first tick is useful.
+        recorder = _telemetry.get()
+        if recorder is not None and recorder.tsdb is not None:
+            recorder.tsdb.attach_runtime(_runtime)
+            recorder.tsdb.start()
     return _runtime
 
 
@@ -192,14 +213,25 @@ def _full_snapshot_fn(recorder: "_telemetry.Recorder"):
 
 
 def _health_fn(recorder: "_telemetry.Recorder"):
-    """``/healthz`` body: degraded while any SLO burns too hot."""
+    """``/healthz`` body: degraded while any SLO burns too hot.
+
+    Active TSDB anomalies ride along as *detail* — advisory signal for
+    an operator or a placement layer, not a health verdict, so they
+    never flip the status on their own.
+    """
 
     def health() -> dict:
         monitor = recorder.slo
         breached = monitor.breached() if monitor is not None else []
+        body: dict = {"status": "ok"}
         if breached:
-            return {"status": "degraded", "breached": breached}
-        return {"status": "ok"}
+            body = {"status": "degraded", "breached": breached}
+        tsdb = recorder.tsdb
+        if tsdb is not None:
+            anomalies = tsdb.detector.anomalies()
+            if anomalies:
+                body["anomalies"] = anomalies
+        return body
 
     return health
 
@@ -231,6 +263,9 @@ def finalize() -> None:
     Also stops the ``/metrics`` endpoint if :func:`init` started one.
     """
     global _runtime, _metrics_server
+    recorder = _telemetry.get()
+    if recorder is not None and recorder.tsdb is not None:
+        recorder.tsdb.stop()
     if _runtime is not None:
         _runtime.shutdown()
         _runtime = None

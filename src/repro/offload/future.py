@@ -76,9 +76,13 @@ class Future:
         trace: TraceContext | None = None,
         start_ns: int | None = None,
         tenant: str | None = None,
+        node: int | None = None,
     ) -> None:
         self._handle: OperationHandle | None = handle
         self._label = label
+        #: Target node the invocation was posted to; lets the settle
+        #: attribute the round trip per target (TSDB scoreboard series).
+        self._node = node
         #: Tenant this offload is accounted to (QoS layer); rides along
         #: so the settle feeds the tenant's own SLO windows.
         self._tenant = tenant
@@ -218,6 +222,7 @@ class Future:
                 duration_ns=time.perf_counter_ns() - self._start_ns,
                 error=self._error is not None,
                 tenant=self._tenant,
+                node=self._node,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -267,7 +267,8 @@ class Runtime:
         telemetry.count("offload.issued")
         return Future(handle, label=functor.type_name, trace=ctx,
                       start_ns=start_ns,
-                      tenant=tctx.tenant if tctx is not None else None)
+                      tenant=tctx.tenant if tctx is not None else None,
+                      node=node)
 
     def sync(
         self,

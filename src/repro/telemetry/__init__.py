@@ -35,6 +35,11 @@ Layout:
 * :mod:`repro.telemetry.slo` — declarative SLOs with multi-window
   burn-rate alerting (``telemetry.slo_breach`` events, ``/healthz``
   degradation);
+* :mod:`repro.telemetry.tsdb` — bounded in-process time-series store
+  (fixed-interval snapshots of the registry into per-series float64
+  rings) with ``range``/``rate``/``delta`` queries, the per-target
+  :class:`~repro.telemetry.tsdb.Scoreboard` and rolling median/MAD
+  anomaly detection feeding hedging and ``/healthz``;
 * :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``,
   per-phase latency percentiles, per-message groupings, critical paths
   and per-kernel profiles from a trace file — or a post-mortem view of
@@ -97,6 +102,14 @@ from repro.telemetry.promexport import (
 )
 from repro.telemetry.sampling import HeadSampler, TailPipeline, complete_offload
 from repro.telemetry.slo import SLO, SLOMonitor, default_slos
+from repro.telemetry.tsdb import (
+    AnomalyDetector,
+    Scoreboard,
+    SeriesRing,
+    TimeSeriesStore,
+    Tsdb,
+    install_tsdb,
+)
 from repro.telemetry.recorder import (
     EventRecord,
     Recorder,
@@ -114,6 +127,7 @@ from repro.telemetry.recorder import (
 )
 
 __all__ = [
+    "AnomalyDetector",
     "ClockSync",
     "Counter",
     "EventRecord",
@@ -130,10 +144,14 @@ __all__ = [
     "RuntimeInspector",
     "SLO",
     "SLOMonitor",
+    "Scoreboard",
+    "SeriesRing",
     "SpanRecord",
     "TailPipeline",
     "TelemetryConfig",
+    "TimeSeriesStore",
     "TraceContext",
+    "Tsdb",
     "activate",
     "align_records",
     "complete_offload",
@@ -150,6 +168,7 @@ __all__ = [
     "gauge",
     "get",
     "group_by_trace",
+    "install_tsdb",
     "merge_traces",
     "new_trace",
     "observe",

@@ -19,7 +19,14 @@ bundle to the configured crash directory:
     * ``manifest.json`` — reason, pid, wall/mono clocks, ring stats;
     * ``events.jsonl``  — the recent events, one telemetry-JSONL event
       row per line (``repro.telemetry.report`` reads it directly);
-    * ``metrics.json``  — metrics snapshot (when telemetry is enabled);
+    * ``metrics.json``  — metrics snapshot (when telemetry is enabled)
+      plus a ``transport`` section — reactor loop-lag stats and
+      coalescer flush-reason counters from every attached runtime —
+      that is captured even while the span recorder is off, so a
+      post-mortem can see event-loop stalls;
+    * ``timeseries.json`` — the in-process TSDB's recent history (last
+      ``timeseries_window`` seconds of every series) when
+      ``offload.init(telemetry={"tsdb": ...})`` installed one;
     * ``inflight.json`` — correlation ids still in flight per attached
       runtime, with window occupancy;
     * ``config.json``   — backend/policy/window configuration summary.
@@ -58,6 +65,7 @@ __all__ = [
     "BUNDLE_INFLIGHT",
     "BUNDLE_MANIFEST",
     "BUNDLE_SCHEMA_VERSION",
+    "BUNDLE_TIMESERIES",
     "DEFAULT_CAPACITY",
     "FlightRecorder",
     "attach_runtime",
@@ -65,6 +73,7 @@ __all__ = [
     "detach_runtime",
     "find_bundles",
     "get",
+    "incident",
     "load_bundle",
     "note",
     "trigger",
@@ -76,6 +85,10 @@ BUNDLE_EVENTS = "events.jsonl"
 BUNDLE_METRICS = "metrics.json"
 BUNDLE_INFLIGHT = "inflight.json"
 BUNDLE_CONFIG = "config.json"
+BUNDLE_TIMESERIES = "timeseries.json"
+
+#: Seconds of TSDB history persisted into ``timeseries.json``.
+DEFAULT_TIMESERIES_WINDOW = 300.0
 
 #: Bump when the on-disk bundle shape changes incompatibly.
 BUNDLE_SCHEMA_VERSION = 1
@@ -88,6 +101,29 @@ DEFAULT_CAPACITY = 2048
 #: (a dying peer fails every pending future at once; one bundle tells
 #: the whole story).
 DEFAULT_DEBOUNCE = 1.0
+
+
+def _find_key(tree: Any, key: str) -> Any:
+    """First value under ``key`` anywhere in a nested stats dict.
+
+    Backend stats nest differently per transport (the fan-out backend
+    wraps its members under ``inner``, the TCP backend keeps the
+    coalescer under ``coalescer``); a depth-first search keeps the
+    bundle writer agnostic to that shape.
+    """
+    if isinstance(tree, Mapping):
+        if key in tree:
+            return tree[key]
+        for value in tree.values():
+            found = _find_key(value, key)
+            if found is not None:
+                return found
+    elif isinstance(tree, (list, tuple)):
+        for value in tree:
+            found = _find_key(value, key)
+            if found is not None:
+                return found
+    return None
 
 
 class FlightRecorder:
@@ -122,6 +158,8 @@ class FlightRecorder:
             crash_dir = os.environ.get("REPRO_CRASH_DIR") or None
         self.crash_dir: Path | None = Path(crash_dir) if crash_dir else None
         self.debounce = debounce
+        #: Seconds of TSDB history written to ``timeseries.json``.
+        self.timeseries_window = DEFAULT_TIMESERIES_WINDOW
         self._ring: deque[tuple[int, str, dict[str, Any]]] = deque(
             maxlen=capacity
         )
@@ -307,21 +345,68 @@ class FlightRecorder:
             (bundle / BUNDLE_METRICS).write_text(
                 json.dumps(metrics, indent=1, default=str)
             )
+        series = self._timeseries_snapshot()
+        if series is not None:
+            (bundle / BUNDLE_TIMESERIES).write_text(
+                json.dumps(series, default=str)
+            )
         self._suppressed = 0
         self._dumps.append(bundle)
         return bundle
 
-    @staticmethod
-    def _metrics_snapshot() -> dict[str, Any] | None:
+    def _metrics_snapshot(self) -> dict[str, Any] | None:
         # Imported lazily: the flight recorder must not pull the full
         # telemetry stack in at import time (it is always-on, the span
         # recorder is opt-in).
         from repro.telemetry import recorder as telemetry
 
         recorder = telemetry.get()
-        if recorder is None:
+        snapshot: dict[str, Any] | None = None
+        if recorder is not None:
+            snapshot = recorder.metrics.snapshot()
+        transport = self._transport_snapshot()
+        if transport:
+            if snapshot is None:
+                snapshot = {}
+            snapshot["transport"] = transport
+        return snapshot
+
+    def _transport_snapshot(self) -> list[dict[str, Any]]:
+        """Reactor + coalescer state per attached runtime.
+
+        Collected straight from ``backend.stats()`` — independent of the
+        span recorder, so a bundle from an un-instrumented process still
+        shows event-loop lag (``max_lag_us``) and why frames flushed.
+        """
+        entries: list[dict[str, Any]] = []
+        for runtime in list(self._runtimes):
+            try:
+                stats = runtime.backend.stats()
+            except Exception as exc:  # noqa: BLE001 - crash path, best effort
+                entries.append({"error": f"{type(exc).__name__}: {exc}"})
+                continue
+            reactor = _find_key(stats, "reactor")
+            flush_reasons = _find_key(stats, "flush_reasons")
+            if reactor is None and flush_reasons is None:
+                continue
+            entries.append({
+                "backend": type(runtime.backend).__name__,
+                "reactor": reactor,
+                "flush_reasons": flush_reasons,
+            })
+        return entries
+
+    def _timeseries_snapshot(self) -> dict[str, Any] | None:
+        from repro.telemetry import recorder as telemetry
+
+        recorder = telemetry.get()
+        tsdb = getattr(recorder, "tsdb", None) if recorder is not None else None
+        if tsdb is None:
             return None
-        return recorder.metrics.snapshot()
+        try:
+            return tsdb.store.to_json(window=self.timeseries_window)
+        except Exception:  # noqa: BLE001 - crash path, best effort
+            return None
 
     # -- process hooks -----------------------------------------------------
     def install_signal_handler(self) -> bool:
@@ -365,6 +450,23 @@ def note(name: str, **attrs: Any) -> None:
 def trigger(reason: str, *, force: bool = False, **attrs: Any) -> Path | None:
     """Trigger the global recorder (dumps only with a crash dir set)."""
     return _FLIGHT.trigger(reason, force=force, **attrs)
+
+
+def incident(event: str, *, dump_reason: str | None = None,
+             **attrs: Any) -> Path | None:
+    """Record one alert-state transition in the black box.
+
+    The shared shape behind every alerting subsystem (SLO burn-rate
+    breaches, TSDB anomalies): the transition is noted under ``event``,
+    and *entering* the bad state — signalled by passing ``dump_reason``
+    — additionally triggers a bundle dump under that reason, so the
+    evidence of why is captured while it is still in the ring.
+    Recoveries pass no ``dump_reason`` and cost one ring append.
+    """
+    _FLIGHT.note(event, **attrs)
+    if dump_reason is None:
+        return None
+    return _FLIGHT.trigger(dump_reason, **attrs)
 
 
 def configure(
@@ -420,7 +522,7 @@ def load_bundle(path: "str | Path") -> dict[str, Any]:
     """Read a crash bundle directory back into memory.
 
     Returns ``{"manifest", "events", "metrics", "inflight", "config",
-    "skipped_lines"}``. A truncated ``events.jsonl`` (the process died
+    "timeseries", "skipped_lines"}``. A truncated ``events.jsonl`` (the process died
     mid-write) is expected, not an error: unparseable lines are skipped
     and counted in ``skipped_lines``. A missing or unparseable manifest
     raises ``ValueError`` — without it the directory is not a bundle.
@@ -452,7 +554,8 @@ def load_bundle(path: "str | Path") -> dict[str, Any]:
     }
     for key, name in (("metrics", BUNDLE_METRICS),
                       ("inflight", BUNDLE_INFLIGHT),
-                      ("config", BUNDLE_CONFIG)):
+                      ("config", BUNDLE_CONFIG),
+                      ("timeseries", BUNDLE_TIMESERIES)):
         side = bundle / name
         if side.is_file():
             try:

@@ -106,6 +106,48 @@ class RuntimeInspector:
                 "error": f"{type(exc).__name__}: {exc}",
             }
 
+    # -- time series -------------------------------------------------------
+    #: Non-target series always included in the tsdb section when they
+    #: exist — the headline "is it moving" signals.
+    TSDB_HEADLINES = ("offload.issued", "future.settled",
+                      "reactor.loop_lag_us")
+
+    def tsdb_snapshot(self, *, window: float = 60.0,
+                      points: int = 30) -> dict[str, Any] | None:
+        """Recent-history digest from the in-process TSDB, if installed.
+
+        One entry per ``target.*`` series plus the headline counters:
+        latest value, per-second :meth:`~repro.telemetry.tsdb.
+        TimeSeriesStore.rate` over ``window``, and the last ``points``
+        raw values (the ``top`` CLI renders these as sparklines).
+        """
+        from repro.telemetry import recorder as telemetry
+
+        recorder = telemetry.get()
+        tsdb = getattr(recorder, "tsdb", None) if recorder is not None \
+            else None
+        if tsdb is None:
+            return None
+        store = tsdb.store
+        names = [n for n in store.names()
+                 if n.startswith("target.") or n in self.TSDB_HEADLINES]
+        series: dict[str, Any] = {}
+        for name in names:
+            samples = store.range(name, window)
+            if not samples:
+                continue
+            series[name] = {
+                "last": samples[-1][1],
+                "rate": round(store.rate(name, window), 6),
+                "points": [value for _, value in samples[-points:]],
+            }
+        return {
+            "samples": tsdb.samples,
+            "interval": tsdb.interval,
+            "series": series,
+            "anomalies": tsdb.detector.anomalies(),
+        }
+
     # -- the merged snapshot -----------------------------------------------
     def snapshot(self, *, probe_target: bool = True) -> dict[str, Any]:
         """One merged, JSON-serializable live-state snapshot.
@@ -120,6 +162,7 @@ class RuntimeInspector:
             "time_ns": time.time_ns(),
             "host": self.host_snapshot(),
             "target": self.target_snapshot() if probe_target else None,
+            "tsdb": self.tsdb_snapshot(),
             "flight": {
                 "noted": flight.noted,
                 "dropped": flight.dropped,

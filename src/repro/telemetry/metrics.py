@@ -164,11 +164,20 @@ class LogHistogram:
     ``buckets`` list renders directly as a Prometheus ``_bucket`` series.
     Percentiles interpolate within the winning bucket and clamp to the
     observed min/max, so small-count queries stay sane.
+
+    With ``exemplars=True`` each bucket additionally retains the most
+    recent ``(trace_id, value)`` observed into it — the OpenMetrics
+    exemplar shape — so a fat latency bucket links straight to one
+    concrete trace that landed there. Off by default: the retention is
+    one tuple store per observation, but most histograms have no trace
+    to link.
     """
 
-    __slots__ = ("_lock", "_bounds", "_counts", "count", "total", "_min", "_max")
+    __slots__ = ("_lock", "_bounds", "_counts", "count", "total", "_min",
+                 "_max", "_exemplars")
 
-    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+    def __init__(self, bounds: Sequence[float] | None = None, *,
+                 exemplars: bool = False) -> None:
         self._bounds = tuple(bounds) if bounds is not None \
             else default_latency_bounds()
         if list(self._bounds) != sorted(set(self._bounds)):
@@ -182,8 +191,17 @@ class LogHistogram:
         self.total = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._exemplars: list[tuple[str, float] | None] | None = (
+            [None] * (len(self._bounds) + 1) if exemplars else None
+        )
 
-    def observe(self, value: float) -> None:
+    def enable_exemplars(self) -> None:
+        """Start retaining per-bucket exemplars (idempotent)."""
+        with self._lock:
+            if self._exemplars is None:
+                self._exemplars = [None] * (len(self._bounds) + 1)
+
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         value = float(value)
         idx = bisect.bisect_left(self._bounds, value)
         with self._lock:
@@ -194,6 +212,8 @@ class LogHistogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if trace_id and self._exemplars is not None:
+                self._exemplars[idx] = (trace_id, value)
 
     def percentile(self, q: float) -> float:
         if not 0.0 <= q <= 100.0:
@@ -222,12 +242,16 @@ class LogHistogram:
         ``buckets`` is an ordered list of ``[le, cumulative_count]``
         pairs ending with ``["+Inf", count]`` — exactly the shape
         :func:`repro.telemetry.promexport.to_prometheus` turns into a
-        ``# TYPE ... histogram`` series.
+        ``# TYPE ... histogram`` series. When exemplar retention is on,
+        an ``exemplars`` list of ``[le, trace_id, value]`` rides along
+        for the buckets that have one.
         """
         with self._lock:
             counts = list(self._counts)
             count, total = self.count, self.total
             lo, hi = self._min, self._max
+            retained = list(self._exemplars) if self._exemplars is not None \
+                else None
         if count == 0:
             return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0, "buckets": []}
@@ -237,7 +261,7 @@ class LogHistogram:
             cumulative += bucket_count
             buckets.append([bound, cumulative])
         buckets.append(["+Inf", count])
-        return {
+        summary: dict[str, Any] = {
             "count": count,
             "mean": total / count,
             "min": lo,
@@ -247,6 +271,15 @@ class LogHistogram:
             "p99": self.percentile(99),
             "buckets": buckets,
         }
+        if retained is not None:
+            bounds: list[Any] = list(self._bounds) + ["+Inf"]
+            summary["exemplars"] = [
+                [bounds[idx], trace_id, value]
+                for idx, slot in enumerate(retained)
+                if slot is not None
+                for trace_id, value in (slot,)
+            ]
+        return summary
 
 
 class MetricsRegistry:
@@ -282,21 +315,27 @@ class MetricsRegistry:
             return instrument
 
     def log_histogram(
-        self, name: str, bounds: Sequence[float] | None = None
+        self, name: str, bounds: Sequence[float] | None = None,
+        *, exemplars: bool = False,
     ) -> LogHistogram:
         """Get-or-create a bucketed histogram sharing the name table.
 
         Log and ring histograms share a namespace so ``snapshot()`` stays
         a single ``histograms`` section; asking for the same name with
         the other accessor is a programming error and raises.
+        ``exemplars=True`` turns per-bucket exemplar retention on for
+        the instrument, whether it is being created or already exists.
         """
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
-                instrument = self._histograms[name] = LogHistogram(bounds)
+                instrument = self._histograms[name] = LogHistogram(
+                    bounds, exemplars=exemplars)
             if not isinstance(instrument, LogHistogram):
                 raise TypeError(f"{name!r} is registered as a ring histogram")
-            return instrument
+        if exemplars:
+            instrument.enable_exemplars()
+        return instrument
 
     def snapshot(self) -> dict[str, Any]:
         """All instruments as one JSON-friendly dict."""

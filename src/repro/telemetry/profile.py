@@ -145,7 +145,10 @@ def render_profile_table(
     ``snapshot`` is :meth:`KernelProfiler.snapshot` output (or the same
     shape reconstructed from JSON). Sorting is by cumulative wall time
     in the ``offload`` phase (``sort_by="total"``) or by its p99
-    (``sort_by="tail"``).
+    (``sort_by="tail"``). Summaries carrying an ``exemplar`` (the
+    slowest offload's trace id, attached by the offline reconstruction
+    in :mod:`repro.telemetry.report`) grow an extra column linking each
+    row to one concrete trace.
     """
     if sort_by not in ("total", "tail"):
         raise ValueError(f"sort_by must be 'total' or 'tail', got {sort_by!r}")
@@ -156,6 +159,10 @@ def render_profile_table(
             return float(summary.get("p99", 0.0))
         return float(summary.get("mean", 0.0)) * float(summary.get("count", 0))
 
+    with_exemplars = any(
+        isinstance(summary.get("exemplar"), Mapping)
+        for summary in snapshot.values()
+    )
     rows: list[dict[str, str]] = []
     ranked: Iterable[tuple[str, Mapping[str, Any]]] = sorted(
         snapshot.items(), key=_key, reverse=True
@@ -164,7 +171,7 @@ def render_profile_table(
         total = summary.get("phases", {}).get(TOTAL_PHASE, {})
         count = int(summary.get("count", 0))
         mean = float(total.get("mean", 0.0))
-        rows.append({
+        row = {
             "kernel": name,
             "count": str(count),
             "errors": str(int(summary.get("errors", 0))),
@@ -173,7 +180,12 @@ def render_profile_table(
             "p50_ms": f"{float(total.get('p50', 0.0)) * 1e3:.3f}",
             "p95_ms": f"{float(total.get('p95', 0.0)) * 1e3:.3f}",
             "p99_ms": f"{float(total.get('p99', 0.0)) * 1e3:.3f}",
-        })
+        }
+        if with_exemplars:
+            exemplar = summary.get("exemplar") or {}
+            trace_id = str(exemplar.get("trace_id", "") or "-")
+            row["slowest_trace"] = trace_id[:16] or "-"
+        rows.append(row)
     if limit is not None:
         rows = rows[:limit]
     if not rows:

@@ -100,11 +100,22 @@ def to_prometheus(
         if "buckets" in summary:
             lines.append(f"# HELP {metric} Histogram {name}")
             lines.append(f"# TYPE {metric} histogram")
+            # Per-bucket exemplars (OpenMetrics: `... # {trace_id="..."} v`)
+            # keyed by the same formatted `le` the bucket line will use.
+            exemplars: dict[str, tuple[str, float]] = {}
+            for bound, trace_id, value in summary.get("exemplars", ()):
+                le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
+                exemplars[le] = (str(trace_id), float(value))
             saw_inf = False
             for bound, cumulative in summary["buckets"]:
                 le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
                 saw_inf = saw_inf or le == "+Inf"
-                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+                line = f'{metric}_bucket{{le="{le}"}} {cumulative}'
+                exemplar = exemplars.get(le)
+                if exemplar is not None:
+                    trace_id, value = exemplar
+                    line += f' # {{trace_id="{trace_id}"}} {_fmt(value)}'
+                lines.append(line)
             if not saw_inf:
                 # The +Inf bucket is mandatory in the exposition format.
                 lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
@@ -161,6 +172,19 @@ class TelemetryConfig:
     #: :mod:`repro.telemetry.flightrecorder`). ``None`` leaves dumping
     #: governed by the ``REPRO_CRASH_DIR`` environment variable.
     crash_dir: str | None = None
+    #: In-process time-series store (:mod:`repro.telemetry.tsdb`).
+    #: ``False`` keeps history off (no sampler thread exists); ``True``
+    #: installs the 1 s sampler with defaults. In the dict form of
+    #: ``init(telemetry=...)``, ``"tsdb"`` may itself be a dict with
+    #: ``interval`` / ``retention`` / ``max_series`` / ``probe`` keys,
+    #: normalized by :meth:`coerce` onto the ``tsdb_*`` fields below.
+    tsdb: bool = False
+    tsdb_interval: float = 1.0
+    tsdb_retention: int = 600
+    tsdb_max_series: int = 2048
+    #: Whether the scoreboard may issue OP_INTROSPECT probes (one wire
+    #: round trip per target every few seconds).
+    tsdb_probe: bool = False
 
     @classmethod
     def coerce(
@@ -172,7 +196,19 @@ class TelemetryConfig:
         elif isinstance(value, bool):
             config = cls(enabled=value)
         elif isinstance(value, Mapping):
-            config = cls(**dict(value))
+            fields = dict(value)
+            tsdb = fields.get("tsdb")
+            if isinstance(tsdb, Mapping):
+                options = dict(tsdb)
+                fields["tsdb"] = True
+                for key in ("interval", "retention", "max_series", "probe"):
+                    if key in options:
+                        fields[f"tsdb_{key}"] = options.pop(key)
+                if options:
+                    raise ValueError(
+                        f"unknown tsdb options: {sorted(options)}"
+                    )
+            config = cls(**fields)
         else:
             raise TypeError(
                 "telemetry must be a bool, dict or TelemetryConfig, "

@@ -244,6 +244,10 @@ class Recorder:
         self.pipeline: Any = None
         #: SLO burn-rate monitor fed by span folds and completions.
         self.slo: Any = None
+        #: In-process time-series store + anomaly detector
+        #: (:class:`repro.telemetry.tsdb.Tsdb`); ``None`` keeps history
+        #: off — consumers probe with ``getattr(recorder, "tsdb", None)``.
+        self.tsdb: Any = None
         # Per-phase histogram cache: _fold_span runs for every span of
         # every offload, so the registry lookup (lock + dict) is paid
         # once per phase name, not once per span.
@@ -282,9 +286,13 @@ class Recorder:
         """
         hist = self._phase_hists.get(record.name)
         if hist is None:
-            hist = self.metrics.log_histogram("phase." + record.name)
+            # Exemplars on: phase folds are the one place a duration and
+            # its trace id meet, so each fat bucket keeps a live link to
+            # the most recent trace that landed in it.
+            hist = self.metrics.log_histogram("phase." + record.name,
+                                              exemplars=True)
             self._phase_hists[record.name] = hist
-        hist.observe(record.duration_ns / 1e9)
+        hist.observe(record.duration_ns / 1e9, trace_id=record.trace_id or None)
         if self.slo is not None:
             self.slo.observe_phase(record.name, record.duration_ns,
                                    error="error" in record.attrs)

@@ -177,9 +177,16 @@ def profile_from_records(records: Sequence[Record]) -> dict[str, Any]:
     round trip is the trace's wall extent, and every span feeds its
     phase histogram. Untraced records (no ``trace_id``) contribute
     nothing — they cannot be attributed to a kernel.
+
+    Each kernel summary also carries an ``exemplar``: the trace id and
+    round-trip time of that kernel's *slowest* observed offload, so the
+    percentile row links straight to one concrete trace the operator
+    can pull from the file (mirroring the OpenMetrics bucket exemplars
+    on the live ``/metrics`` endpoint).
     """
     profiler = KernelProfiler()
-    for group in group_by_trace(records).values():
+    slowest: dict[str, tuple[int, str]] = {}
+    for trace_id, group in group_by_trace(records).items():
         spans = [r for r in group if r.kind == "span"]
         if not spans:
             continue
@@ -201,7 +208,14 @@ def profile_from_records(records: Sequence[Record]) -> dict[str, Any]:
             profiler.add_bytes(kernel, nbytes)
         for span in spans:
             profiler.record_phase(kernel, span.name, span.duration_ns)
-    return profiler.snapshot()
+        if trace_id and total_ns >= slowest.get(kernel, (-1, ""))[0]:
+            slowest[kernel] = (total_ns, str(trace_id))
+    snapshot = profiler.snapshot()
+    for kernel, (total_ns, trace_id) in slowest.items():
+        snapshot[kernel]["exemplar"] = {
+            "trace_id": trace_id, "total_ns": total_ns,
+        }
+    return snapshot
 
 
 def render_profile(records: Sequence[Record], sort_by: str = "total") -> str:

@@ -236,6 +236,7 @@ def complete_offload(
     error: bool = False,
     recorder: "Recorder | None" = None,
     tenant: str | None = None,
+    node: int | None = None,
 ) -> None:
     """Fold one finished offload into every aggregate consumer.
 
@@ -243,7 +244,12 @@ def complete_offload(
     offload (sampled or not): per-kernel profile, SLO windows, and the
     tail pipeline's keep/drop verdict. A no-op while telemetry is off.
     ``tenant`` (when the QoS layer tagged the offload) routes the
-    observation into that tenant's own SLO windows as well.
+    observation into that tenant's own SLO windows as well. ``node``
+    (the target the invocation was posted to) additionally feeds the
+    per-target ``target.reply.<node>`` histogram and
+    ``target.errors.<node>`` counter — but only while a TSDB is
+    installed, so the per-target cardinality is paid exactly when the
+    scoreboard consuming it exists.
     """
     if recorder is None:
         from repro.telemetry import recorder as recorder_mod
@@ -252,6 +258,12 @@ def complete_offload(
     if recorder is None:
         return
     recorder.profiles.record(kernel or "<anonymous>", duration_ns, error=error)
+    if node is not None and getattr(recorder, "tsdb", None) is not None:
+        recorder.metrics.log_histogram(f"target.reply.{node}").observe(
+            duration_ns / 1e9
+        )
+        if error:
+            recorder.metrics.counter(f"target.errors.{node}").inc()
     if recorder.slo is not None:
         recorder.slo.observe("offload", duration_ns, error=error,
                              tenant=tenant)

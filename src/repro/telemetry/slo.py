@@ -320,13 +320,12 @@ class SLOMonitor:
             if slo_tenant is not None:
                 attrs["tenant"] = slo_tenant
             self.emit(name, **attrs)
-            if breached:
-                # SLO breaches are flight-recorder triggers: when the
-                # burn rate pages, the evidence of *why* is the recent
-                # control-plane event stream, captured right now.
-                flightrecorder.trigger("slo_breach", **attrs)
-            else:
-                flightrecorder.note("slo.recovered", **attrs)
+            # SLO breaches are flight-recorder incidents: when the burn
+            # rate pages, the evidence of *why* is the recent
+            # control-plane event stream, captured right now.
+            flightrecorder.incident(
+                name, dump_reason="slo_breach" if breached else None, **attrs
+            )
 
     # Alias used by the recorder's span fold, which feeds phase streams.
     observe_phase = observe

@@ -1,0 +1,106 @@
+"""Exemplar retention on log histograms and OpenMetrics exposition."""
+
+import re
+
+from repro.telemetry.metrics import LogHistogram, MetricsRegistry
+from repro.telemetry.promexport import to_prometheus
+
+
+class TestLogHistogramExemplars:
+    def test_disabled_by_default(self):
+        hist = LogHistogram()
+        hist.observe(0.01, trace_id="abc")
+        assert "exemplars" not in hist.summary()
+
+    def test_retains_most_recent_per_bucket(self):
+        hist = LogHistogram(bounds=(0.001, 0.01, 0.1), exemplars=True)
+        hist.observe(0.005, trace_id="first")
+        hist.observe(0.006, trace_id="second")  # same bucket: wins
+        hist.observe(0.05, trace_id="slow")
+        summary = hist.summary()
+        exemplars = {trace: (bound, value)
+                     for bound, trace, value in summary["exemplars"]}
+        assert "first" not in exemplars
+        assert exemplars["second"] == (0.01, 0.006)
+        assert exemplars["slow"] == (0.1, 0.05)
+
+    def test_overflow_bucket_exemplar_uses_inf(self):
+        hist = LogHistogram(bounds=(0.001,), exemplars=True)
+        hist.observe(10.0, trace_id="huge")
+        [(bound, trace, value)] = hist.summary()["exemplars"]
+        assert bound == "+Inf"
+        assert trace == "huge"
+        assert value == 10.0
+
+    def test_observation_without_trace_id_keeps_old_exemplar(self):
+        hist = LogHistogram(bounds=(1.0,), exemplars=True)
+        hist.observe(0.5, trace_id="keep")
+        hist.observe(0.6)  # unsampled: must not evict the exemplar
+        [(_, trace, value)] = hist.summary()["exemplars"]
+        assert trace == "keep"
+        assert value == 0.5
+
+    def test_enable_exemplars_retroactively_via_registry(self):
+        reg = MetricsRegistry()
+        hist = reg.log_histogram("phase.k.offload")
+        hist.observe(0.01, trace_id="early")  # dropped: not enabled yet
+        same = reg.log_histogram("phase.k.offload", exemplars=True)
+        assert same is hist
+        hist.observe(0.01, trace_id="late")
+        [(_, trace, _)] = hist.summary()["exemplars"]
+        assert trace == "late"
+
+
+#: One exposition line: name{labels} value, optionally trailed by an
+#: OpenMetrics exemplar `# {trace_id="..."} value`.
+_SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'            # metric name
+    r'(\{[a-zA-Z0-9_]+="[^"]*"'             # first label
+    r'(,[a-zA-Z0-9_]+="[^"]*")*\})?'        # further labels
+    r' (-?[0-9.eE+-]+|[+-]?Inf|NaN)'        # value
+    r'( # \{trace_id="[^"]+"\} -?[0-9.eE+-]+)?$'  # exemplar
+)
+_COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+class TestExemplarExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("offload.issued").inc(4)
+        reg.gauge("window.in_flight").set(1.0)
+        hist = reg.log_histogram(
+            "phase.k.offload", bounds=(0.001, 0.01, 0.1), exemplars=True
+        )
+        hist.observe(0.005, trace_id="abc123")
+        hist.observe(0.05, trace_id="def456")
+        hist.observe(5.0)  # overflow, no exemplar
+        return reg
+
+    def test_bucket_lines_carry_exemplars(self):
+        text = to_prometheus(self._registry().snapshot())
+        assert re.search(
+            r'repro_phase_k_offload_bucket\{le="0\.01"\} 1'
+            r' # \{trace_id="abc123"\} 0\.005', text)
+        assert '# {trace_id="def456"} 0.05' in text
+        # The overflow observation had no trace id: its +Inf line is bare.
+        inf_line = next(line for line in text.splitlines()
+                        if 'le="+Inf"' in line)
+        assert "#" not in inf_line
+
+    def test_every_line_passes_the_grammar(self):
+        text = to_prometheus(self._registry().snapshot())
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert _COMMENT_LINE.match(line), line
+            else:
+                assert _SAMPLE_LINE.match(line), line
+
+    def test_histogram_without_exemplars_renders_unchanged(self):
+        reg = MetricsRegistry()
+        hist = reg.log_histogram("plain", bounds=(0.001,))
+        hist.observe(0.0005)
+        text = to_prometheus(reg.snapshot())
+        for line in text.splitlines():
+            assert "trace_id" not in line

@@ -176,6 +176,127 @@ class TestConfigure:
             flightrecorder.configure(capacity=original, install_signal=False)
 
 
+class TestIncident:
+    def test_recovery_notes_without_dumping(self, tmp_path):
+        flight = flightrecorder.get()
+        flight.crash_dir = tmp_path
+        flight.clear()
+        before = list(flight.dumps)
+        assert flightrecorder.incident(
+            "telemetry.slo_recovered", slo="offload-latency") is None
+        assert flight.records()[-1][1] == "telemetry.slo_recovered"
+        assert flight.dumps == before
+
+    def test_entry_notes_and_dumps(self, tmp_path):
+        flight = flightrecorder.get()
+        flight.crash_dir = tmp_path
+        flight.debounce = 0.0
+        flight.clear()
+        bundle = flightrecorder.incident(
+            "telemetry.anomaly", dump_reason="telemetry_anomaly",
+            series="target.reply.1.p95", score=9.2,
+        )
+        assert bundle is not None and "telemetry_anomaly" in bundle.name
+        names = [name for _, name, _ in flight.records()]
+        assert "telemetry.anomaly" in names
+        manifest = json.loads((bundle / BUNDLE_MANIFEST).read_text())
+        assert manifest["attrs"]["series"] == "target.reply.1.p95"
+
+
+class TestTimeseriesBundle:
+    def test_bundle_includes_timeseries_json(self, tmp_path):
+        from repro.telemetry import recorder as telemetry
+        from repro.telemetry.flightrecorder import BUNDLE_TIMESERIES
+        from repro.telemetry.tsdb import install_tsdb
+
+        telemetry.enable()
+        recorder = telemetry.get()
+        tsdb = install_tsdb(recorder)
+        try:
+            import time as _time
+            now = _time.time()
+            for i in range(5):
+                tsdb.store.record(
+                    "target.in_flight.1", float(i), now - 4 + i)
+            rec = FlightRecorder(capacity=8, crash_dir=tmp_path)
+            bundle = rec.dump("anomaly")
+            payload = json.loads((bundle / BUNDLE_TIMESERIES).read_text())
+            assert payload["target.in_flight.1"]["v"] == [
+                0.0, 1.0, 2.0, 3.0, 4.0]
+            loaded = flightrecorder.load_bundle(bundle)
+            assert loaded["timeseries"] == payload
+        finally:
+            recorder.tsdb = None
+            telemetry.disable()
+
+    def test_no_tsdb_no_timeseries_file(self, tmp_path):
+        from repro.telemetry.flightrecorder import BUNDLE_TIMESERIES
+
+        rec = FlightRecorder(capacity=8, crash_dir=tmp_path)
+        bundle = rec.dump("boom")
+        assert not (bundle / BUNDLE_TIMESERIES).exists()
+        assert flightrecorder.load_bundle(bundle)["timeseries"] is None
+
+    def test_timeseries_window_bounds_the_dump(self, tmp_path):
+        from repro.telemetry import recorder as telemetry
+        from repro.telemetry.flightrecorder import BUNDLE_TIMESERIES
+        from repro.telemetry.tsdb import install_tsdb
+
+        telemetry.enable()
+        recorder = telemetry.get()
+        tsdb = install_tsdb(recorder)
+        try:
+            import time as _time
+            now = _time.time()
+            tsdb.store.record("g", 1.0, now - 10_000)  # far outside
+            tsdb.store.record("g", 2.0, now)
+            rec = FlightRecorder(capacity=8, crash_dir=tmp_path)
+            rec.timeseries_window = 60.0
+            bundle = rec.dump("boom")
+            payload = json.loads((bundle / BUNDLE_TIMESERIES).read_text())
+            assert payload["g"]["v"] == [2.0]
+        finally:
+            recorder.tsdb = None
+            telemetry.disable()
+
+
+class TestTransportSnapshot:
+    class _Backend:
+        def stats(self):
+            return {
+                "backend": "tcp",
+                "reactor": {"max_lag_us": 120, "loops": 42},
+                "batch": {"flush_reasons": {"deadline": 3, "full": 1}},
+            }
+
+    class _Runtime:
+        def __init__(self):
+            self.backend = TestTransportSnapshot._Backend()
+
+    def test_metrics_json_carries_reactor_and_flush_reasons(self, tmp_path):
+        rec = FlightRecorder(capacity=8, crash_dir=tmp_path)
+        runtime = self._Runtime()  # held: the recorder only weak-refs it
+        rec.attach(runtime)
+        bundle = rec.dump("boom")
+        metrics = json.loads((bundle / "metrics.json").read_text())
+        [entry] = metrics["transport"]
+        assert entry["reactor"]["max_lag_us"] == 120
+        assert entry["flush_reasons"] == {"deadline": 3, "full": 1}
+
+    def test_statless_backend_contributes_nothing(self, tmp_path):
+        class _Plain:
+            def stats(self):
+                return {"backend": "local"}
+
+        class _Rt:
+            backend = _Plain()
+
+        rec = FlightRecorder(capacity=8, crash_dir=tmp_path)
+        runtime = _Rt()
+        rec.attach(runtime)
+        assert rec._transport_snapshot() == []
+
+
 class TestRuntimeIntegration:
     def test_runtime_attach_fills_inflight_and_config(self, tmp_path):
         from repro.backends import LocalBackend

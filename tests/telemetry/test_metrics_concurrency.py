@@ -1,0 +1,85 @@
+"""Concurrent scrape-vs-mutate: /metrics under registry churn.
+
+Four scraper threads hammer the metrics endpoint while a mutator keeps
+creating instruments and folding observations (with exemplars) — the
+shape of a real deployment where Prometheus scrapes mid-offload. Every
+response must parse as complete, well-formed exposition text; no tearing,
+no duplicate TYPE lines, no exceptions surfacing as 500s.
+"""
+
+import threading
+import urllib.request
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.promexport import MetricsServer
+
+SCRAPERS = 4
+SCRAPES_PER_THREAD = 25
+
+
+def test_concurrent_scrapes_while_registry_mutates():
+    reg = MetricsRegistry()
+    stop = threading.Event()
+    mutator_error: list[BaseException] = []
+
+    def mutate():
+        i = 0
+        try:
+            while not stop.is_set():
+                i += 1
+                reg.counter(f"offload.issued").inc()
+                reg.counter(f"target.errors.{i % 3 + 1}").inc(i % 2)
+                reg.gauge(f"window.in_flight").set(i % 7)
+                reg.gauge(f"health.node_state.{i % 3 + 1}").set(1.0)
+                hist = reg.log_histogram(
+                    f"target.reply.{i % 3 + 1}", exemplars=True)
+                hist.observe(0.001 * (i % 50 + 1), trace_id=f"{i:08x}")
+                reg.histogram("offload.sync.time").observe(0.001 * (i % 9))
+        except BaseException as exc:  # noqa: BLE001 - reported by the test
+            mutator_error.append(exc)
+
+    srv = MetricsServer(reg.snapshot)
+    mutator = threading.Thread(target=mutate, daemon=True)
+    mutator.start()
+    bodies: list[str] = []
+    errors: list[BaseException] = []
+
+    def scrape():
+        try:
+            for _ in range(SCRAPES_PER_THREAD):
+                with urllib.request.urlopen(
+                        srv.url + "/metrics", timeout=10) as rsp:
+                    assert rsp.status == 200
+                    bodies.append(rsp.read().decode())
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    try:
+        scrapers = [threading.Thread(target=scrape) for _ in range(SCRAPERS)]
+        for thread in scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "scraper wedged"
+    finally:
+        stop.set()
+        mutator.join(timeout=10)
+        srv.close()
+
+    assert not errors, errors
+    assert not mutator_error, mutator_error
+    assert len(bodies) == SCRAPERS * SCRAPES_PER_THREAD
+    for body in bodies:
+        assert body.endswith("\n")
+        seen_types: set[str] = set()
+        for line in body.splitlines():
+            if line.startswith("# TYPE "):
+                metric = line.split()[2]
+                # A torn snapshot would render one family twice.
+                assert metric not in seen_types, f"duplicate TYPE {metric}"
+                seen_types.add(metric)
+    # The mutator made progress while being scraped.
+    final = reg.snapshot()
+    assert final["counters"]["offload.issued"] > 0
+    assert any(name.startswith("target.reply.")
+               for name in final["histograms"])

@@ -1,0 +1,111 @@
+"""Lint: every metric/series name follows one dotted-segment grammar.
+
+The registry namespace is flat, so the only structure series names have
+is the convention: dot-separated segments of ``[A-Za-z0-9_-]``, with
+discriminating labels (node id, ring name, tenant, series) as the
+*final* segments — ``health.node_state.<node>``,
+``target.reply.<node>.p95``, ``slo.offload-latency.fast_burn``. This
+test pins the grammar both statically (every name literal in the
+source) and dynamically (every series a live TSDB tick produces), so a
+new subsystem cannot quietly invent a second naming scheme.
+"""
+
+import re
+from pathlib import Path
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tsdb import AnomalyDetector, Scoreboard, Tsdb
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: One dotted segment: plain token, f-string placeholder (a runtime
+#: label), or the profiler's ``<anonymous>``/``<unknown>`` sentinels.
+_SEGMENT = re.compile(r"^([A-Za-z0-9_-]+|\{[^{}]+\}|<[a-z]+>)$")
+
+#: Instrument-getter calls whose first argument names a series.
+_NAME_CALL = re.compile(
+    r"\.(?:counter|gauge|histogram|log_histogram|record)\(\s*"
+    r"\n?\s*(f?)\"([^\"]+)\""
+)
+
+
+def assert_valid_name(name: str, *, where: str = "") -> None:
+    # F-string placeholders may contain dotted expressions
+    # (``{state.slo.name}``); each is one runtime label segment.
+    name = re.sub(r"\{[^{}]+\}", "{label}", name)
+    segments = name.split(".")
+    # A literal like "phase." concatenated with a runtime value leaves a
+    # trailing empty segment; the runtime part is checked dynamically.
+    if segments and segments[-1] == "":
+        segments = segments[:-1]
+    assert segments, f"{where}: empty metric name"
+    for segment in segments:
+        assert _SEGMENT.match(segment), (
+            f"{where}: segment {segment!r} of {name!r} breaks the "
+            "dotted-name grammar [A-Za-z0-9_-]"
+        )
+
+
+class TestStaticGrammar:
+    def test_every_source_literal_matches(self):
+        checked = 0
+        for path in sorted(SRC.rglob("*.py")):
+            text = path.read_text()
+            for match in _NAME_CALL.finditer(text):
+                checked += 1
+                assert_valid_name(match.group(2), where=str(path))
+        # The scan must actually be biting: the codebase registers many
+        # instruments by literal name.
+        assert checked > 30
+
+
+class _GrammarBackend:
+    def per_target_stats(self):
+        return {1: {"in_flight": 1, "queue_bytes": 10, "ring_fill": 0.5}}
+
+    def introspect_target(self, timeout=None):
+        return {"targets": [{"node": 1, "pending_invokes": 2}]}
+
+
+class _GrammarRuntime:
+    backend = _GrammarBackend()
+    monitor = None
+
+
+class TestDynamicGrammar:
+    def test_every_live_series_matches(self):
+        reg = MetricsRegistry()
+        reg.counter("offload.issued").inc()
+        reg.gauge("health.node_state.1").set(1.0)
+        reg.log_histogram("target.reply.1").observe(0.01)
+        reg.log_histogram("kernel.<anonymous>.offload").observe(0.01)
+        reg.gauge("slo.offload-latency.fast_burn").set(0.1)
+        tsdb = Tsdb(reg, interval=1.0)
+        tsdb.attach_runtime(_GrammarRuntime())
+        tsdb.scoreboard.probe = True
+        tsdb.scoreboard.probe_interval = 0.0
+        for tick in range(10):
+            tsdb.sample_once(now=float(tick + 1))
+        for name in tsdb.store.names():
+            assert_valid_name(name, where="tsdb store")
+        for section in ("counters", "gauges", "histograms"):
+            for name in reg.snapshot()[section]:
+                assert_valid_name(name, where=f"registry {section}")
+
+    def test_anomaly_gauges_match(self):
+        reg = MetricsRegistry()
+        tsdb = Tsdb(reg, interval=1.0)
+        det = AnomalyDetector(tsdb.store, reg, min_samples=5)
+        for tick in range(19):
+            tsdb.store.record("target.in_flight.1", 1.0, float(tick))
+        tsdb.store.record("target.in_flight.1", 99.0, 19.0)
+        det.evaluate(now=19.0)
+        for name in reg.snapshot()["gauges"]:
+            assert_valid_name(name, where="anomaly gauges")
+
+    def test_grammar_rejects_what_it_should(self):
+        import pytest
+
+        for bad in ("", "a..b", "a b", "a.b!", "emoji.🔥"):
+            with pytest.raises(AssertionError):
+                assert_valid_name(bad)
