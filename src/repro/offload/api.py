@@ -266,6 +266,10 @@ def finalize() -> None:
     recorder = _telemetry.get()
     if recorder is not None and recorder.tsdb is not None:
         recorder.tsdb.stop()
+        # The recorder survives finalize -> init cycles; a detached
+        # store would keep stale anomalies visible (and per-target
+        # metric plumbing paying for a consumer that no longer exists).
+        recorder.tsdb = None
     if _runtime is not None:
         _runtime.shutdown()
         _runtime = None

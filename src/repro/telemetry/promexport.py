@@ -17,6 +17,14 @@ offload session can be scraped without touching the trace ring:
   ``phase.offload.*`` latencies and the per-kernel profiles land here
   and scrape into native Prometheus quantile queries
 
+Exemplars (``# {trace_id="..."} v`` bucket annotations) are only legal
+in the OpenMetrics exposition format — the Prometheus 0.0.4 text parser
+rejects trailing content after the sample value. The ``/metrics``
+handler therefore content-negotiates: scrapers sending ``Accept:
+application/openmetrics-text`` get the OpenMetrics rendering (exemplars
+plus the mandatory ``# EOF`` trailer); everyone else gets plain 0.0.4
+with no exemplars, so a stock Prometheus always scrapes cleanly.
+
 Everything is standard library (``http.server``); no Prometheus client
 dependency. :class:`MetricsServer` binds ``127.0.0.1:0`` by default —
 an ephemeral loopback port, printed/queried via :attr:`~MetricsServer.address`
@@ -36,6 +44,8 @@ from typing import Any, Callable, Mapping
 
 __all__ = [
     "MetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
     "TelemetryConfig",
     "sanitize_metric_name",
     "to_prometheus",
@@ -43,6 +53,12 @@ __all__ = [
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 _LEADING_DIGIT = re.compile(r"^[0-9]")
+
+#: Content types served on ``/metrics`` depending on the Accept header.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 
 
 def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
@@ -68,9 +84,10 @@ def _fmt(value: float) -> str:
 
 
 def to_prometheus(
-    snapshot: Mapping[str, Any], prefix: str = "repro_"
+    snapshot: Mapping[str, Any], prefix: str = "repro_",
+    *, openmetrics: bool = False,
 ) -> str:
-    """Render a metrics snapshot as Prometheus text format 0.0.4.
+    """Render a metrics snapshot as Prometheus exposition text.
 
     ``snapshot`` is the dict from
     :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`:
@@ -81,12 +98,23 @@ def to_prometheus(
     series with cumulative ``_bucket{le="..."}`` lines. In both cases
     ``_sum`` is reconstructed as ``mean * count`` (exact: mean is
     total/count).
+
+    ``openmetrics=False`` (the default) renders text format 0.0.4 and
+    never emits exemplars — the 0.0.4 parser treats any trailing
+    content after the value as a malformed timestamp and fails the
+    whole scrape. ``openmetrics=True`` renders OpenMetrics 1.0.0:
+    counter metadata drops the ``_total`` suffix from the family name,
+    retained bucket exemplars ride along as ``# {trace_id="..."} v``
+    annotations and the output ends with the mandatory ``# EOF``.
     """
     lines: list[str] = []
     for name, value in snapshot.get("counters", {}).items():
         metric = sanitize_metric_name(name, prefix) + "_total"
-        lines.append(f"# HELP {metric} Counter {name}")
-        lines.append(f"# TYPE {metric} counter")
+        # OpenMetrics names the counter *family* without _total; the
+        # sample line keeps the suffix in both formats.
+        family = metric[: -len("_total")] if openmetrics else metric
+        lines.append(f"# HELP {family} Counter {name}")
+        lines.append(f"# TYPE {family} counter")
         lines.append(f"{metric} {_fmt(value)}")
     for name, value in snapshot.get("gauges", {}).items():
         metric = sanitize_metric_name(name, prefix)
@@ -102,10 +130,12 @@ def to_prometheus(
             lines.append(f"# TYPE {metric} histogram")
             # Per-bucket exemplars (OpenMetrics: `... # {trace_id="..."} v`)
             # keyed by the same formatted `le` the bucket line will use.
+            # Only legal in the OpenMetrics format, never in 0.0.4.
             exemplars: dict[str, tuple[str, float]] = {}
-            for bound, trace_id, value in summary.get("exemplars", ()):
-                le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
-                exemplars[le] = (str(trace_id), float(value))
+            if openmetrics:
+                for bound, trace_id, value in summary.get("exemplars", ()):
+                    le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
+                    exemplars[le] = (str(trace_id), float(value))
             saw_inf = False
             for bound, cumulative in summary["buckets"]:
                 le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
@@ -128,6 +158,8 @@ def to_prometheus(
         lines.append(f'{metric}{{quantile="0.95"}} {_fmt(summary.get("p95", 0.0))}')
         lines.append(f"{metric}_sum {_fmt(total)}")
         lines.append(f"{metric}_count {count}")
+    if openmetrics:
+        lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
@@ -244,8 +276,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
-            body = to_prometheus(self.snapshot_fn(), self.prefix).encode()
-            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+            # Exemplar syntax is OpenMetrics-only: serve it (plus the
+            # `# EOF` trailer) only to scrapers that negotiate for it.
+            accept = self.headers.get("Accept", "") or ""
+            openmetrics = "application/openmetrics-text" in accept
+            body = to_prometheus(
+                self.snapshot_fn(), self.prefix, openmetrics=openmetrics
+            ).encode()
+            content_type = (
+                OPENMETRICS_CONTENT_TYPE if openmetrics
+                else PROMETHEUS_CONTENT_TYPE
+            )
+            self._reply(200, body, content_type)
         elif path == "/healthz":
             health: Mapping[str, Any] = {"status": "ok"}
             if self.health_fn is not None:

@@ -387,10 +387,24 @@ class AnomalyDetector:
     Every evaluation scores each watched series' newest sample against
     the median of its trailing window: ``score = |x - median| / scale``
     with ``scale = max(1.4826 * MAD, rel_floor * |median|, abs_floor)``
-    (the floors keep near-constant series from flagging on noise). A
-    score at or above ``threshold`` marks the series anomalous; it
-    recovers once the score falls below ``threshold / 2`` (hysteresis,
-    so a value oscillating around the trip point does not flap events).
+    (the floors keep near-constant series from flagging on noise).
+    Series whose baseline is identically zero (``MAD == 0`` and
+    ``median == 0`` — an idle target's ``in_flight``/``error_rate``)
+    are *not* scored: a zero history carries no scale information, and
+    any floor small enough to keep latency series sensitive would make
+    the first sample after an idle period score astronomically and flap
+    a healthy target. Cumulative series are excluded outright (see
+    ``exclude_suffixes`` / ``exclude_prefixes``): a monotone counter
+    level like ``target.reply.N.count`` always drifts off its trailing
+    median under normal traffic — consumers who want them watched
+    should score their ``rate()`` instead (the scoreboard already
+    derives ``target.error_rate.<n>`` for exactly this reason).
+
+    A score at or above ``threshold`` on ``enter_ticks`` *consecutive*
+    evaluations marks the series anomalous (a single-tick blip never
+    enters); it recovers once the score falls below ``threshold / 2``
+    (hysteresis, so a value oscillating around the trip point does not
+    flap events).
 
     On each transition the detector emits a ``telemetry.anomaly`` /
     ``telemetry.anomaly_recovered`` event through ``emit`` (the
@@ -407,24 +421,45 @@ class AnomalyDetector:
         metrics: MetricsRegistry | None = None,
         *,
         prefixes: Iterable[str] = ("target.",),
+        exclude_suffixes: Iterable[str] = (".count",),
+        exclude_prefixes: Iterable[str] = ("target.errors.",),
         window: float = 60.0,
         min_samples: int = 8,
         threshold: float = 5.0,
         rel_floor: float = 0.05,
         abs_floor: float = 1e-9,
+        enter_ticks: int = 2,
         emit: Callable[..., None] | None = None,
     ) -> None:
         self.store = store
         self.metrics = metrics
         self.prefixes = tuple(prefixes)
+        self.exclude_suffixes = tuple(exclude_suffixes)
+        self.exclude_prefixes = tuple(exclude_prefixes)
         self.window = window
         self.min_samples = max(3, min_samples)
         self.threshold = threshold
         self.rel_floor = rel_floor
         self.abs_floor = abs_floor
+        self.enter_ticks = max(1, enter_ticks)
         self._emit = emit
         self._lock = threading.Lock()
         self._active: dict[str, dict[str, Any]] = {}
+        #: name -> consecutive evaluations at/above threshold (pre-entry).
+        self._pending: dict[str, int] = {}
+
+    def watches(self, name: str) -> bool:
+        """Whether ``name`` is scored: prefix-matched and not excluded.
+
+        Cumulative series (histogram ``.count`` derivatives, raw error
+        counters) are excluded — the level-shift detector would flag
+        their normal monotone growth; their rates are scored instead.
+        """
+        if not name.startswith(self.prefixes):
+            return False
+        if name.endswith(self.exclude_suffixes):
+            return False
+        return not name.startswith(self.exclude_prefixes)
 
     # -- scoring -----------------------------------------------------------
     def score(self, name: str, now: float | None = None) -> float | None:
@@ -437,6 +472,11 @@ class AnomalyDetector:
         baseline = values[:-1]
         med = percentile(baseline, 50)
         mad = percentile([abs(v - med) for v in baseline], 50)
+        if mad == 0.0 and med == 0.0:
+            # Identically-zero baseline (idle target): no scale
+            # information — any finite floor either deadens latency
+            # series or makes the first post-idle sample score ~1e9.
+            return None
         scale = max(1.4826 * mad, self.rel_floor * abs(med), self.abs_floor)
         return abs(latest - med) / scale
 
@@ -444,7 +484,7 @@ class AnomalyDetector:
         """Score every watched series; emit transitions. Returns entries."""
         entered: list[dict[str, Any]] = []
         for name in self.store.names():
-            if not name.startswith(self.prefixes):
+            if not self.watches(name):
                 continue
             value = self.score(name, now)
             if value is None or not math.isfinite(value):
@@ -454,15 +494,25 @@ class AnomalyDetector:
             with self._lock:
                 active = name in self._active
                 if value >= self.threshold and not active:
+                    # Entry requires the deviation to persist for
+                    # enter_ticks consecutive evaluations — a one-tick
+                    # blip (GC pause, scheduler hiccup) never enters.
+                    streak = self._pending.get(name, 0) + 1
+                    if streak < self.enter_ticks:
+                        self._pending[name] = streak
+                        continue
+                    self._pending.pop(name, None)
                     entry = {"series": name, "score": round(value, 3),
                              "since": now,
                              "latest": self.store.latest(name)}
                     self._active[name] = entry
                     entered.append(entry)
-                elif active and value < self.threshold / 2.0:
-                    entry = self._active.pop(name)
-                    self._transition("telemetry.anomaly_recovered", name,
-                                     value, entry, now)
+                elif value < self.threshold:
+                    self._pending.pop(name, None)
+                    if active and value < self.threshold / 2.0:
+                        entry = self._active.pop(name)
+                        self._transition("telemetry.anomaly_recovered",
+                                         name, value, entry, now)
         for entry in entered:
             self._transition("telemetry.anomaly", entry["series"],
                              entry["score"], entry, now, trigger=True)
@@ -514,6 +564,7 @@ class AnomalyDetector:
     def clear(self) -> None:
         with self._lock:
             self._active.clear()
+            self._pending.clear()
 
 
 class Tsdb:
@@ -571,6 +622,10 @@ class Tsdb:
         thread.join(timeout=5.0)
         self._thread = None
         self.scoreboard.detach_runtime()
+        # A stopped sampler can never observe recovery: leaving active
+        # anomalies behind would demote those targets forever in any
+        # consumer (hedger, /healthz) that outlives this runtime.
+        self.detector.clear()
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):

@@ -60,7 +60,9 @@ _SAMPLE_LINE = re.compile(
     r' (-?[0-9.eE+-]+|[+-]?Inf|NaN)'        # value
     r'( # \{trace_id="[^"]+"\} -?[0-9.eE+-]+)?$'  # exemplar
 )
-_COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_COMMENT_LINE = re.compile(
+    r"^# ((HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|EOF)$"
+)
 
 
 class TestExemplarExposition:
@@ -77,7 +79,7 @@ class TestExemplarExposition:
         return reg
 
     def test_bucket_lines_carry_exemplars(self):
-        text = to_prometheus(self._registry().snapshot())
+        text = to_prometheus(self._registry().snapshot(), openmetrics=True)
         assert re.search(
             r'repro_phase_k_offload_bucket\{le="0\.01"\} 1'
             r' # \{trace_id="abc123"\} 0\.005', text)
@@ -87,8 +89,26 @@ class TestExemplarExposition:
                         if 'le="+Inf"' in line)
         assert "#" not in inf_line
 
-    def test_every_line_passes_the_grammar(self):
+    def test_openmetrics_ends_with_eof(self):
+        text = to_prometheus(self._registry().snapshot(), openmetrics=True)
+        assert text.endswith("# EOF\n")
+        # The counter family is named without _total in OpenMetrics;
+        # the sample line keeps the suffix.
+        assert "# TYPE repro_offload_issued counter" in text
+        assert "repro_offload_issued_total 4" in text
+
+    def test_plain_format_never_carries_exemplars(self):
+        # Prometheus text format 0.0.4 has no exemplar syntax: trailing
+        # content after the value is parsed as a malformed timestamp and
+        # fails the whole scrape, so the default rendering must be bare.
         text = to_prometheus(self._registry().snapshot())
+        for line in text.splitlines():
+            assert "trace_id" not in line, line
+        assert "# EOF" not in text
+        assert "# TYPE repro_offload_issued_total counter" in text
+
+    def test_every_line_passes_the_grammar(self):
+        text = to_prometheus(self._registry().snapshot(), openmetrics=True)
         for line in text.splitlines():
             if not line:
                 continue
@@ -101,6 +121,51 @@ class TestExemplarExposition:
         reg = MetricsRegistry()
         hist = reg.log_histogram("plain", bounds=(0.001,))
         hist.observe(0.0005)
-        text = to_prometheus(reg.snapshot())
+        text = to_prometheus(reg.snapshot(), openmetrics=True)
         for line in text.splitlines():
             assert "trace_id" not in line
+
+
+class TestMetricsEndpointNegotiation:
+    """/metrics serves 0.0.4 by default, OpenMetrics only on Accept."""
+
+    def _server(self):
+        from repro.telemetry.promexport import MetricsServer
+
+        reg = MetricsRegistry()
+        hist = reg.log_histogram(
+            "phase.k.offload", bounds=(0.01,), exemplars=True)
+        hist.observe(0.005, trace_id="abc123")
+        return MetricsServer(reg.snapshot)
+
+    def test_default_scrape_is_plain_and_exemplar_free(self):
+        import urllib.request
+
+        srv = self._server()
+        try:
+            with urllib.request.urlopen(
+                    srv.url + "/metrics", timeout=5) as rsp:
+                assert "version=0.0.4" in rsp.headers["Content-Type"]
+                body = rsp.read().decode()
+            assert "trace_id" not in body
+            assert "# EOF" not in body
+        finally:
+            srv.close()
+
+    def test_openmetrics_accept_negotiates_exemplars(self):
+        import urllib.request
+
+        srv = self._server()
+        try:
+            request = urllib.request.Request(
+                srv.url + "/metrics",
+                headers={"Accept": "application/openmetrics-text"},
+            )
+            with urllib.request.urlopen(request, timeout=5) as rsp:
+                assert "application/openmetrics-text" in \
+                    rsp.headers["Content-Type"]
+                body = rsp.read().decode()
+            assert '# {trace_id="abc123"} 0.005' in body
+            assert body.endswith("# EOF\n")
+        finally:
+            srv.close()

@@ -228,16 +228,67 @@ class TestAnomalyDetector:
         )
         _feed_flat(store, "target.in_flight.1", 2.0, count=19)
         store.record("target.in_flight.1", 50.0, 19.0)  # the spike
-        entered = det.evaluate(now=19.0)
+        # First deviant tick only arms the entry (enter_ticks=2).
+        assert det.evaluate(now=19.0) == []
+        assert det.anomalies() == []
+        store.record("target.in_flight.1", 50.0, 20.0)  # it persists
+        entered = det.evaluate(now=20.0)
         assert [e["series"] for e in entered] == ["target.in_flight.1"]
         assert det.anomalies()[0]["series"] == "target.in_flight.1"
         assert events[0][0] == "telemetry.anomaly"
         # Back to baseline: score collapses below threshold/2 -> recovery.
-        for i in range(20, 40):
+        for i in range(21, 40):
             store.record("target.in_flight.1", 2.0, float(i))
         assert det.evaluate(now=39.0) == []
         assert det.anomalies() == []
         assert events[-1][0] == "telemetry.anomaly_recovered"
+
+    def test_single_tick_blip_never_enters(self):
+        store = TimeSeriesStore()
+        events = []
+        det = AnomalyDetector(
+            store, window=60.0, min_samples=5,
+            emit=lambda name, **kw: events.append((name, kw)),
+        )
+        _feed_flat(store, "target.in_flight.1", 2.0, count=19)
+        store.record("target.in_flight.1", 50.0, 19.0)  # one-tick blip
+        assert det.evaluate(now=19.0) == []
+        store.record("target.in_flight.1", 2.0, 20.0)  # gone next tick
+        assert det.evaluate(now=20.0) == []
+        assert det.anomalies() == []
+        assert events == []
+
+    def test_idle_zero_baseline_first_sample_does_not_flap(self):
+        # An idle target's in_flight/error_rate is constant 0; the first
+        # request afterwards must not score ~1e9 and demote the target.
+        store = TimeSeriesStore()
+        det = AnomalyDetector(store, window=60.0, min_samples=5)
+        _feed_flat(store, "target.in_flight.1", 0.0, count=19)
+        store.record("target.in_flight.1", 1.0, 19.0)  # traffic resumes
+        assert det.evaluate(now=19.0) == []
+        assert det.score("target.in_flight.1", now=19.0) is None
+        store.record("target.in_flight.1", 1.0, 20.0)
+        assert det.evaluate(now=20.0) == []
+        assert det.anomalies() == []
+
+    def test_cumulative_series_excluded_from_scoring(self):
+        # Monotone counter levels (histogram .count derivatives, raw
+        # error counters) always drift off their trailing median under
+        # normal traffic; only their rates are anomaly material.
+        store = TimeSeriesStore()
+        det = AnomalyDetector(store, min_samples=5)
+        assert not det.watches("target.reply.1.count")
+        assert not det.watches("target.errors.1")
+        assert det.watches("target.reply.1.p95")
+        assert det.watches("target.error_rate.1")
+        # A ramping .count series never flags even across many ticks.
+        for tick in range(19):
+            store.record("target.reply.1.count", float(tick * 10),
+                         float(tick))
+        store.record("target.reply.1.count", 400.0, 19.0)
+        assert det.evaluate(now=19.0) == []
+        assert det.evaluate(now=19.0) == []
+        assert det.anomalies() == []
 
     def test_score_gauges_exported(self):
         store = TimeSeriesStore()
@@ -254,6 +305,8 @@ class TestAnomalyDetector:
         _feed_flat(store, "target.reply.3.p95", 0.001, count=19)
         store.record("target.reply.3.p95", 1.0, 19.0)
         det.evaluate(now=19.0)
+        store.record("target.reply.3.p95", 1.0, 20.0)
+        det.evaluate(now=20.0)
         assert det.anomalous_nodes() == {3}
 
     def test_non_target_prefixes_ignored_by_default(self):
@@ -295,6 +348,21 @@ class TestTsdb:
             tsdb.stop()
         tsdb.stop()  # idempotent
 
+    def test_stop_clears_active_anomalies(self):
+        # A stopped sampler never observes recovery; stale anomalies
+        # would demote targets forever in the hedger and /healthz.
+        tsdb = Tsdb(MetricsRegistry(), interval=0.01)
+        _feed_flat(tsdb.store, "target.in_flight.1", 2.0, count=19)
+        tsdb.store.record("target.in_flight.1", 50.0, 19.0)
+        tsdb.detector.evaluate(now=19.0)
+        tsdb.store.record("target.in_flight.1", 50.0, 20.0)
+        tsdb.detector.evaluate(now=20.0)
+        assert tsdb.detector.anomalies()
+        tsdb.start()
+        tsdb.stop()
+        assert tsdb.detector.anomalies() == []
+        assert tsdb.detector.anomalous_nodes() == set()
+
     def test_install_tsdb_attaches_but_does_not_start(self):
         from repro.telemetry.recorder import Recorder
 
@@ -318,17 +386,22 @@ class TestHedgeAdvisory:
             _feed_flat(tsdb.store, "target.reply.2.p95", 0.001, count=19)
             tsdb.store.record("target.reply.2.p95", 5.0, 19.0)
             tsdb.detector.evaluate(now=19.0)
+            tsdb.store.record("target.reply.2.p95", 5.0, 20.0)
+            tsdb.detector.evaluate(now=20.0)
             assert tsdb.detector.anomalous_nodes() == {2}
             reordered, avoided = Hedger._prefer_non_anomalous(
                 [2, 3, 4])
             assert reordered == [3, 4, 2]
             assert avoided == {2}
             # All-anomalous fleet: order preserved, nothing dropped.
-            _feed_flat(tsdb.store, "target.reply.3.p95", 0.001, count=19)
-            tsdb.store.record("target.reply.3.p95", 5.0, 19.0)
-            _feed_flat(tsdb.store, "target.reply.4.p95", 0.001, count=19)
-            tsdb.store.record("target.reply.4.p95", 5.0, 19.0)
+            for node in (3, 4):
+                series = f"target.reply.{node}.p95"
+                _feed_flat(tsdb.store, series, 0.001, count=19)
+                tsdb.store.record(series, 5.0, 19.0)
             tsdb.detector.evaluate(now=19.0)
+            for node in (3, 4):
+                tsdb.store.record(f"target.reply.{node}.p95", 5.0, 20.0)
+            tsdb.detector.evaluate(now=20.0)
             reordered, avoided = Hedger._prefer_non_anomalous(
                 [2, 3, 4])
             assert reordered == [2, 3, 4]
